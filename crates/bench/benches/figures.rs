@@ -1,0 +1,80 @@
+//! One benchmark per paper table/figure.
+//!
+//! Each bench regenerates the corresponding exhibit at quick scale — the
+//! identical code path the full-scale `repro` binary runs, so these double
+//! as end-to-end regression checks on experiment runtime. Model-only
+//! exhibits (Fig 1/3/4, Tables 1/2, eq. 1) run at full fidelity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emptcp_bench::BENCH_SEED;
+use emptcp_expr::figures::{self, Config};
+use std::hint::black_box;
+
+fn quick() -> Config {
+    let mut cfg = Config::quick();
+    cfg.runs = 1;
+    cfg.seed = BENCH_SEED;
+    cfg
+}
+
+fn model_exhibits(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_exhibits");
+    g.sample_size(10);
+    g.bench_function("table1_devices", |b| b.iter(|| black_box(figures::table1())));
+    g.bench_function("fig01_fixed_overhead", |b| b.iter(|| black_box(figures::fig1())));
+    g.bench_function("table2_eib", |b| b.iter(|| black_box(figures::table2())));
+    g.bench_function("fig03_heatmap", |b| b.iter(|| black_box(figures::fig3())));
+    g.bench_function("fig04_region", |b| b.iter(|| black_box(figures::fig4())));
+    g.bench_function("eq1_tau_bound", |b| b.iter(|| black_box(figures::eq1())));
+    g.finish();
+}
+
+fn lab_experiments(c: &mut Criterion) {
+    let cfg = quick();
+    let mut g = c.benchmark_group("lab_experiments");
+    g.sample_size(10);
+    g.bench_function("fig05_static_good", |b| b.iter(|| black_box(figures::fig5(&cfg))));
+    g.bench_function("fig06_static_bad", |b| b.iter(|| black_box(figures::fig6(&cfg))));
+    g.bench_function("fig07_bwchange_trace", |b| b.iter(|| black_box(figures::fig7(&cfg))));
+    g.bench_function("fig08_bwchange", |b| b.iter(|| black_box(figures::fig8(&cfg))));
+    g.bench_function("fig09_background_trace", |b| b.iter(|| black_box(figures::fig9(&cfg))));
+    g.bench_function("fig10_background", |b| b.iter(|| black_box(figures::fig10(&cfg))));
+    g.finish();
+}
+
+fn mobility_experiments(c: &mut Criterion) {
+    let cfg = quick();
+    let mut g = c.benchmark_group("mobility_experiments");
+    g.sample_size(10);
+    g.bench_function("fig12_mobility_trace", |b| b.iter(|| black_box(figures::fig12(&cfg))));
+    g.bench_function("fig13_mobility", |b| b.iter(|| black_box(figures::fig13(&cfg))));
+    g.bench_function("sec46_baselines", |b| b.iter(|| black_box(figures::sec46(&cfg))));
+    g.finish();
+}
+
+fn wild_experiments(c: &mut Criterion) {
+    let cfg = quick();
+    let mut g = c.benchmark_group("wild_experiments");
+    g.sample_size(10);
+    g.bench_function("fig15_small_transfers", |b| {
+        b.iter(|| black_box(figures::fig15(&cfg)))
+    });
+    g.bench_function("fig16_fig14_large_transfers", |b| {
+        b.iter(|| {
+            let (out, traces) = figures::fig16(&cfg);
+            black_box(figures::fig14(&traces));
+            black_box(out)
+        })
+    });
+    g.bench_function("fig17_web_browsing", |b| b.iter(|| black_box(figures::fig17(&cfg))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    model_exhibits,
+    lab_experiments,
+    mobility_experiments,
+    wild_experiments
+);
+criterion_main!(benches);

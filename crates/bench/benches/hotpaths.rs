@@ -1,0 +1,141 @@
+//! Micro-benchmarks of the algorithmic building blocks.
+//!
+//! These are the operations eMPTCP adds to the kernel fast path — the paper
+//! argues (contra the MDP approach of §4.6) that its decisions are cheap
+//! enough to run at line rate on a phone. The numbers here back that up:
+//! every control-plane operation is nanoseconds-to-microseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emptcp::predictor::{BandwidthPredictor, HoltWinters};
+use emptcp::{EmptcpConfig, PathUsageController};
+use emptcp_bench::BENCH_SEED;
+use emptcp_energy::{Eib, EnergyModel, PathUsage};
+use emptcp_expr::scenario::{Scenario, Workload};
+use emptcp_expr::{host, Strategy};
+use emptcp_phy::IfaceKind;
+use emptcp_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use emptcp_tcp::cc::lia_alpha;
+use std::hint::black_box;
+
+fn predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.bench_function("holt_winters_observe", |b| {
+        let mut hw = HoltWinters::new(0.4, 0.2);
+        let mut x = 1.0;
+        b.iter(|| {
+            x = (x * 1.1) % 20.0;
+            hw.observe(black_box(x));
+            black_box(hw.forecast())
+        })
+    });
+    g.bench_function("predictor_offer_and_predict", |b| {
+        let mut p = BandwidthPredictor::new();
+        let mut now = SimTime::ZERO;
+        p.register_iface(now, IfaceKind::Wifi, Some(SimDuration::from_millis(250)));
+        let mut bytes = 0u64;
+        b.iter(|| {
+            now += SimDuration::from_millis(250);
+            bytes += 300_000;
+            p.offer(now, IfaceKind::Wifi, bytes);
+            black_box(p.predict(IfaceKind::Wifi))
+        })
+    });
+    g.finish();
+}
+
+fn eib(c: &mut Criterion) {
+    let model = EnergyModel::galaxy_s3_lte();
+    let mut g = c.benchmark_group("eib");
+    g.sample_size(20);
+    g.bench_function("generate_default_grid", |b| {
+        b.iter(|| black_box(Eib::generate_default(&model)))
+    });
+    let eib = Eib::generate_default(&model);
+    g.bench_function("lookup_choose", |b| {
+        let mut w = 0.1;
+        b.iter(|| {
+            w = (w + 0.37) % 12.0;
+            black_box(eib.choose(black_box(w), black_box(4.0)))
+        })
+    });
+    g.bench_function("model_best_usage", |b| {
+        b.iter(|| black_box(model.best_usage(black_box(1.3), black_box(6.0))))
+    });
+    g.finish();
+}
+
+fn controller(c: &mut Criterion) {
+    let model = EnergyModel::galaxy_s3_lte();
+    let eib = Eib::generate_default(&model);
+    let mut g = c.benchmark_group("controller");
+    g.bench_function("decide_with_hysteresis", |b| {
+        let mut ctl = PathUsageController::new(EmptcpConfig::default().controller);
+        let mut w = 0.1;
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            w = (w + 0.29) % 10.0;
+            now = now + SimDuration::from_secs(5);
+            black_box(ctl.decide(now, &eib, black_box(w), black_box(3.0)))
+        })
+    });
+    g.bench_function("lia_alpha_two_paths", |b| {
+        b.iter(|| {
+            black_box(lia_alpha(&[
+                (black_box(200_000), 0.025),
+                (black_box(150_000), 0.06),
+            ]))
+        })
+    });
+    g.finish();
+}
+
+fn simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("event_queue_push_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            q.schedule(SimTime::from_nanos(t * 1000), t);
+            if t % 2 == 0 {
+                black_box(q.pop());
+            }
+        })
+    });
+    g.bench_function("rng_exponential", |b| {
+        let mut rng = SimRng::new(BENCH_SEED);
+        b.iter(|| black_box(rng.exponential(0.05)))
+    });
+    g.sample_size(10);
+    g.bench_function("end_to_end_4mb_download", |b| {
+        b.iter(|| {
+            let mut s = Scenario::static_good_wifi();
+            s.workload = Workload::Download { size: 4 << 20 };
+            black_box(host::run(s, Strategy::TcpWifi, BENCH_SEED))
+        })
+    });
+    g.bench_function("end_to_end_4mb_emptcp", |b| {
+        b.iter(|| {
+            let mut s = Scenario::static_bad_wifi();
+            s.workload = Workload::Download { size: 4 << 20 };
+            black_box(host::run(s, Strategy::emptcp_default(), BENCH_SEED))
+        })
+    });
+    g.finish();
+}
+
+fn usage_enum(c: &mut Criterion) {
+    // Keep PathUsage in the measured set so regressions in the enum's
+    // dispatch (used on every decision) are visible.
+    c.bench_function("path_usage_predicates", |b| {
+        b.iter(|| {
+            for u in PathUsage::ALL {
+                black_box(u.uses_wifi());
+                black_box(u.uses_cellular());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, predictor, eib, controller, simulator, usage_enum);
+criterion_main!(benches);

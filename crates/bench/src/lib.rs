@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! Criterion benchmark crate for the eMPTCP reproduction.
+//!
+//! Two families of benches live under `benches/`:
+//!
+//! * `figures.rs` — one benchmark per paper table/figure, timing the
+//!   regeneration of each exhibit at [`emptcp_expr::figures::Config::quick`]
+//!   scale (same code paths as the full-scale `repro` binary);
+//! * `hotpaths.rs` — micro-benchmarks of the algorithmic building blocks:
+//!   Holt-Winters updates, EIB generation and lookup, the minRTT scheduler
+//!   decision, LIA alpha, SACK processing and raw simulator throughput;
+//! * `ablations.rs` — design-choice ablations called out in DESIGN.md:
+//!   coupled vs uncoupled congestion control, hysteresis on/off, resume
+//!   tweaks on/off.
+//!
+//! The library itself only re-exports helpers shared by the bench targets.
+
+pub use emptcp_expr::figures::Config;
+
+/// The seed all benches run with, so numbers are comparable across runs.
+pub const BENCH_SEED: u64 = 0xBE7C4;

@@ -1,0 +1,275 @@
+//! The path usage controller (§3.4).
+//!
+//! On every new prediction the controller queries the EIB with the
+//! predicted WiFi and cellular throughputs and decides which interfaces
+//! should carry traffic. A 10% "safety factor" adds hysteresis: leaving the
+//! current state requires crossing the relevant EIB threshold by an extra
+//! 10%, so throughput noise near a boundary cannot make the radios flap
+//! (each LTE resume costs a promotion and each suspension strands a tail).
+//!
+//! Per the paper's note, the controller does not typically choose
+//! cellular-only — "the expected gain is not much more than using both" —
+//! so by default a cellular-only verdict is executed as Both (the flag
+//! [`ControllerConfig::allow_cellular_only`] restores the pure EIB
+//! behaviour for ablation).
+
+use emptcp_energy::{Eib, PathUsage};
+use emptcp_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Controller tunables.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// The hysteresis safety factor (0.10 = the paper's 10%).
+    pub safety_factor: f64,
+    /// Permit the cellular-only usage (default false, per §3.4's note).
+    pub allow_cellular_only: bool,
+    /// Minimum time between usage switches. Every cellular suspension
+    /// strands a tail and every resume costs a promotion (§4.3 notes the
+    /// switching overhead "may become noticeable" under fast changes), so
+    /// decisions are held for at least this long.
+    pub min_dwell: SimDuration,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            safety_factor: 0.10,
+            allow_cellular_only: false,
+            min_dwell: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// The path usage controller: current state plus the hysteresis rule.
+#[derive(Clone, Debug)]
+pub struct PathUsageController {
+    config: ControllerConfig,
+    usage: PathUsage,
+    switches: u64,
+    last_switch_at: Option<SimTime>,
+}
+
+impl PathUsageController {
+    /// Start in WiFi-only (WiFi is the default primary interface, §3.6).
+    pub fn new(config: ControllerConfig) -> Self {
+        PathUsageController {
+            config,
+            usage: PathUsage::WifiOnly,
+            switches: 0,
+            last_switch_at: None,
+        }
+    }
+
+    /// Current usage.
+    pub fn usage(&self) -> PathUsage {
+        self.usage
+    }
+
+    /// How many state changes have occurred (each may cost radio wakeups).
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Force the state (used when the delayed-establishment module brings
+    /// the cellular subflow up and traffic starts flowing on both).
+    pub fn force_usage(&mut self, now: SimTime, usage: PathUsage) {
+        if self.usage != usage {
+            self.usage = usage;
+            self.switches += 1;
+            self.last_switch_at = Some(now);
+        }
+    }
+
+    /// Decide the usage for the predicted throughputs. Returns the (possibly
+    /// unchanged) usage after applying hysteresis and the dwell-time rule.
+    pub fn decide(&mut self, now: SimTime, eib: &Eib, wifi_mbps: f64, cell_mbps: f64) -> PathUsage {
+        if let Some(at) = self.last_switch_at {
+            if now.saturating_since(at) < self.config.min_dwell {
+                return self.usage;
+            }
+        }
+        let (t1, t2) = eib.thresholds(cell_mbps);
+        let s = self.config.safety_factor;
+        let raw = match self.usage {
+            PathUsage::Both => {
+                // Leaving Both needs the threshold crossed by +/-10%.
+                if wifi_mbps >= t2 * (1.0 + s) {
+                    PathUsage::WifiOnly
+                } else if wifi_mbps < t1 * (1.0 - s) {
+                    PathUsage::CellularOnly
+                } else {
+                    PathUsage::Both
+                }
+            }
+            PathUsage::WifiOnly => {
+                if wifi_mbps < t1 * (1.0 - s) {
+                    PathUsage::CellularOnly
+                } else if wifi_mbps < t2 * (1.0 - s) {
+                    PathUsage::Both
+                } else {
+                    PathUsage::WifiOnly
+                }
+            }
+            PathUsage::CellularOnly => {
+                if wifi_mbps >= t2 * (1.0 + s) {
+                    PathUsage::WifiOnly
+                } else if wifi_mbps >= t1 * (1.0 + s) {
+                    PathUsage::Both
+                } else {
+                    PathUsage::CellularOnly
+                }
+            }
+        };
+        let target = if raw == PathUsage::CellularOnly && !self.config.allow_cellular_only {
+            PathUsage::Both
+        } else {
+            raw
+        };
+        if target != self.usage {
+            self.usage = target;
+            self.switches += 1;
+            self.last_switch_at = Some(now);
+        }
+        self.usage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emptcp_energy::EnergyModel;
+
+    fn eib() -> Eib {
+        Eib::generate_default(&EnergyModel::galaxy_s3_lte())
+    }
+
+    fn controller() -> PathUsageController {
+        PathUsageController::new(ControllerConfig::default())
+    }
+
+    /// A clock that always steps past the dwell window, so the hysteresis
+    /// logic is tested in isolation.
+    struct Clock(SimTime);
+    impl Clock {
+        fn new() -> Clock {
+            Clock(SimTime::ZERO)
+        }
+        fn tick(&mut self) -> SimTime {
+            self.0 = self.0 + SimDuration::from_secs(10);
+            self.0
+        }
+    }
+
+    #[test]
+    fn dwell_time_blocks_rapid_switches() {
+        let e = eib();
+        let mut c = controller();
+        let t0 = SimTime::from_secs(100);
+        c.force_usage(t0, PathUsage::Both);
+        // One second later, a strong WiFi signal: held by the dwell rule.
+        let t1 = t0 + SimDuration::from_secs(1);
+        assert_eq!(c.decide(t1, &e, 20.0, 1.0), PathUsage::Both);
+        // Past the dwell window: the switch goes through.
+        let t2 = t0 + SimDuration::from_secs(4);
+        assert_eq!(c.decide(t2, &e, 20.0, 1.0), PathUsage::WifiOnly);
+    }
+
+    #[test]
+    fn starts_wifi_only() {
+        assert_eq!(controller().usage(), PathUsage::WifiOnly);
+    }
+
+    #[test]
+    fn switches_to_both_when_wifi_degrades() {
+        let e = eib();
+        let mut c = controller();
+        let mut clk = Clock::new();
+        // Strong WiFi: stay.
+        assert_eq!(c.decide(clk.tick(), &e, 10.0, 5.0), PathUsage::WifiOnly);
+        // Weak WiFi (well below the WiFi-only threshold for 5 Mbps LTE):
+        assert_eq!(c.decide(clk.tick(), &e, 0.5, 5.0), PathUsage::Both);
+        assert_eq!(c.switches(), 1);
+    }
+
+    #[test]
+    fn hysteresis_blocks_boundary_noise() {
+        let e = eib();
+        let (_, t2) = e.thresholds(1.0);
+        let mut c = controller();
+        let mut clk = Clock::new();
+        c.force_usage(clk.tick(), PathUsage::Both);
+        // Exactly at the threshold: stay in Both (needs +10%).
+        assert_eq!(c.decide(clk.tick(), &e, t2, 1.0), PathUsage::Both);
+        assert_eq!(c.decide(clk.tick(), &e, t2 * 1.05, 1.0), PathUsage::Both);
+        // Past the +10% mark: switch.
+        assert_eq!(c.decide(clk.tick(), &e, t2 * 1.11, 1.0), PathUsage::WifiOnly);
+        // Dropping just below the threshold again: stay (needs -10%).
+        assert_eq!(c.decide(clk.tick(), &e, t2 * 0.95, 1.0), PathUsage::WifiOnly);
+        assert_eq!(c.decide(clk.tick(), &e, t2 * 0.85, 1.0), PathUsage::Both);
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // §3.4: with the Table 2 row (1 Mbps LTE, WiFi-only at 0.502), Both
+        // -> WiFi-only requires 0.552, and WiFi-only -> Both requires 0.452.
+        // Our thresholds differ slightly; verify the same *ratios*.
+        let e = eib();
+        let (_, t2) = e.thresholds(1.0);
+        let mut c = controller();
+        let mut clk = Clock::new();
+        c.force_usage(clk.tick(), PathUsage::Both);
+        assert_eq!(c.decide(clk.tick(), &e, t2 * 1.09, 1.0), PathUsage::Both);
+        assert_eq!(c.decide(clk.tick(), &e, t2 * 1.10, 1.0), PathUsage::WifiOnly);
+        let mut c2 = controller();
+        let mut clk2 = Clock::new();
+        assert_eq!(c2.decide(clk2.tick(), &e, t2 * 0.91, 1.0), PathUsage::WifiOnly);
+        assert_eq!(c2.decide(clk2.tick(), &e, t2 * 0.89, 1.0), PathUsage::Both);
+    }
+
+    #[test]
+    fn cellular_only_mapped_to_both_by_default() {
+        let e = eib();
+        let mut c = controller();
+        let mut clk = Clock::new();
+        // WiFi essentially dead, LTE fine: raw verdict is cellular-only.
+        assert_eq!(c.decide(clk.tick(), &e, 0.01, 5.0), PathUsage::Both);
+    }
+
+    #[test]
+    fn cellular_only_allowed_when_configured() {
+        let e = eib();
+        let mut c = PathUsageController::new(ControllerConfig {
+            safety_factor: 0.10,
+            allow_cellular_only: true,
+            min_dwell: SimDuration::ZERO,
+        });
+        let mut clk = Clock::new();
+        assert_eq!(c.decide(clk.tick(), &e, 0.01, 5.0), PathUsage::CellularOnly);
+        // And it can leave that state when WiFi recovers.
+        assert_eq!(c.decide(clk.tick(), &e, 10.0, 5.0), PathUsage::WifiOnly);
+    }
+
+    #[test]
+    fn oscillating_inputs_cause_few_switches() {
+        let e = eib();
+        let (_, t2) = e.thresholds(2.0);
+        let mut c = controller();
+        let mut clk = Clock::new();
+        c.force_usage(clk.tick(), PathUsage::Both);
+        // Noise within +/-8% of the boundary: no switches at all.
+        for i in 0..100 {
+            let jitter = 1.0 + 0.08 * if i % 2 == 0 { 1.0 } else { -1.0 };
+            c.decide(clk.tick(), &e, t2 * jitter, 2.0);
+        }
+        assert_eq!(c.switches(), 1, "only the initial force counts");
+    }
+
+    #[test]
+    fn force_usage_counts_switches() {
+        let mut c = controller();
+        c.force_usage(SimTime::ZERO, PathUsage::Both);
+        c.force_usage(SimTime::ZERO, PathUsage::Both);
+        assert_eq!(c.switches(), 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! Steady-state per-byte energy efficiency for each path usage.
+//!
+//! eMPTCP "assumes a large transfer and defines efficiency in terms of
+//! per-byte energy consumption" (§3.3): fixed promotion/tail costs are
+//! excluded here (they amortize away on long transfers; the finite-transfer
+//! variants live in [`crate::region`]), leaving the steady power draw of
+//! each usage divided by its delivered byte rate.
+
+use crate::power::mbps_to_bytes_per_sec;
+use crate::profile::{CellularPower, DeviceProfile};
+use emptcp_phy::IfaceKind;
+use serde::{Deserialize, Serialize};
+
+/// Which interfaces carry traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PathUsage {
+    /// WiFi subflow only.
+    WifiOnly,
+    /// Cellular subflow only.
+    CellularOnly,
+    /// Both subflows simultaneously.
+    Both,
+}
+
+impl PathUsage {
+    /// All three usages, in a fixed order (used by exhaustive searches).
+    pub const ALL: [PathUsage; 3] = [PathUsage::WifiOnly, PathUsage::CellularOnly, PathUsage::Both];
+
+    /// Label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PathUsage::WifiOnly => "WiFi-only",
+            PathUsage::CellularOnly => "Cellular-only",
+            PathUsage::Both => "Both",
+        }
+    }
+
+    /// Whether the cellular radio carries traffic under this usage.
+    pub fn uses_cellular(self) -> bool {
+        !matches!(self, PathUsage::WifiOnly)
+    }
+
+    /// Whether the WiFi radio carries traffic under this usage.
+    pub fn uses_wifi(self) -> bool {
+        !matches!(self, PathUsage::CellularOnly)
+    }
+}
+
+/// The steady-state energy model for one device and one cellular radio kind.
+#[derive(Clone, Debug)]
+pub struct EnergyModel {
+    profile: DeviceProfile,
+    cellular_kind: IfaceKind,
+}
+
+impl EnergyModel {
+    /// Build a model; `cellular_kind` selects which of the device's cellular
+    /// radios (3G or LTE) is in play.
+    pub fn new(profile: DeviceProfile, cellular_kind: IfaceKind) -> Self {
+        assert!(cellular_kind.is_cellular(), "cellular kind required");
+        EnergyModel {
+            profile,
+            cellular_kind,
+        }
+    }
+
+    /// Shorthand for the paper's primary configuration: Galaxy S3 over LTE.
+    pub fn galaxy_s3_lte() -> Self {
+        EnergyModel::new(DeviceProfile::galaxy_s3(), IfaceKind::CellularLte)
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The cellular radio in play.
+    pub fn cellular(&self) -> &CellularPower {
+        match self.cellular_kind {
+            IfaceKind::Cellular3g => &self.profile.threeg,
+            _ => &self.profile.lte,
+        }
+    }
+
+    /// The cellular kind in play.
+    pub fn cellular_kind(&self) -> IfaceKind {
+        self.cellular_kind
+    }
+
+    /// Steady transferring power (watts) under a usage with the given
+    /// per-interface throughputs.
+    pub fn power_w(&self, usage: PathUsage, wifi_mbps: f64, cell_mbps: f64) -> f64 {
+        match usage {
+            PathUsage::WifiOnly => self.profile.wifi_curve.power_w(wifi_mbps),
+            PathUsage::CellularOnly => self.cellular().curve.power_w(cell_mbps),
+            PathUsage::Both => {
+                let combined = self.profile.wifi_curve.power_w(wifi_mbps)
+                    + self.cellular().curve.power_w(cell_mbps)
+                    - self.profile.sharing_discount_w;
+                // The discount can never push the pair below the more
+                // expensive radio running alone.
+                combined.max(
+                    self.profile
+                        .wifi_curve
+                        .power_w(wifi_mbps)
+                        .max(self.cellular().curve.power_w(cell_mbps)),
+                )
+            }
+        }
+    }
+
+    /// Delivered throughput (Mbps) under a usage.
+    pub fn delivered_mbps(&self, usage: PathUsage, wifi_mbps: f64, cell_mbps: f64) -> f64 {
+        match usage {
+            PathUsage::WifiOnly => wifi_mbps,
+            PathUsage::CellularOnly => cell_mbps,
+            PathUsage::Both => wifi_mbps + cell_mbps,
+        }
+    }
+
+    /// Steady-state energy per downloaded byte (J/byte) for a usage; +∞ if
+    /// the usage delivers no throughput.
+    pub fn joules_per_byte(&self, usage: PathUsage, wifi_mbps: f64, cell_mbps: f64) -> f64 {
+        let rate = mbps_to_bytes_per_sec(self.delivered_mbps(usage, wifi_mbps, cell_mbps));
+        if rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.power_w(usage, wifi_mbps, cell_mbps) / rate
+    }
+
+    /// The per-byte-optimal usage and its efficiency.
+    pub fn best_usage(&self, wifi_mbps: f64, cell_mbps: f64) -> (PathUsage, f64) {
+        PathUsage::ALL
+            .iter()
+            .map(|&u| (u, self.joules_per_byte(u, wifi_mbps, cell_mbps)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("efficiency is never NaN"))
+            .expect("non-empty usage set")
+    }
+
+    /// Fig 3's normalization: the efficiency of using both interfaces
+    /// relative to the best single interface. Values below 1 are the dark
+    /// V-region where MPTCP wins.
+    pub fn both_vs_best_single(&self, wifi_mbps: f64, cell_mbps: f64) -> f64 {
+        let both = self.joules_per_byte(PathUsage::Both, wifi_mbps, cell_mbps);
+        let single = self
+            .joules_per_byte(PathUsage::WifiOnly, wifi_mbps, cell_mbps)
+            .min(self.joules_per_byte(PathUsage::CellularOnly, wifi_mbps, cell_mbps));
+        both / single
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::galaxy_s3_lte()
+    }
+
+    #[test]
+    fn table2_regime_examples() {
+        // The paper's Table 2 row for 1 Mbps LTE: below ~0.13 Mbps WiFi
+        // use LTE only; above ~0.50 use WiFi only; in between use both.
+        let m = model();
+        assert_eq!(m.best_usage(0.05, 1.0).0, PathUsage::CellularOnly);
+        assert_eq!(m.best_usage(0.30, 1.0).0, PathUsage::Both);
+        assert_eq!(m.best_usage(1.00, 1.0).0, PathUsage::WifiOnly);
+    }
+
+    #[test]
+    fn fast_wifi_always_wins() {
+        let m = model();
+        for lte in [0.5, 2.0, 8.0, 15.0] {
+            assert_eq!(
+                m.best_usage(20.0, lte).0,
+                PathUsage::WifiOnly,
+                "lte={lte}"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_wifi_prefers_cellular() {
+        let m = model();
+        assert_eq!(m.best_usage(0.0, 5.0).0, PathUsage::CellularOnly);
+        assert_eq!(
+            m.joules_per_byte(PathUsage::WifiOnly, 0.0, 5.0),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn both_efficiency_between_or_better_than_singles() {
+        // With the sharing discount, "both" can beat the best single; it can
+        // never be worse than the *worse* single.
+        let m = model();
+        for wifi in [0.1, 0.5, 1.0, 3.0, 8.0] {
+            for lte in [0.5, 1.0, 4.0, 10.0] {
+                let w = m.joules_per_byte(PathUsage::WifiOnly, wifi, lte);
+                let c = m.joules_per_byte(PathUsage::CellularOnly, wifi, lte);
+                let b = m.joules_per_byte(PathUsage::Both, wifi, lte);
+                assert!(b <= w.max(c) + 1e-15, "wifi={wifi} lte={lte}");
+            }
+        }
+    }
+
+    #[test]
+    fn v_region_exists_and_normalization_brackets() {
+        let m = model();
+        // Inside the V (paper Fig 3): both strictly better than best single.
+        assert!(m.both_vs_best_single(0.3, 1.0) < 1.0);
+        // Far right: WiFi dominates, both is worse than best single.
+        assert!(m.both_vs_best_single(10.0, 1.0) > 1.0);
+        // Fig 3's scale spans ~0.8 to ~1.8; check we're in that ballpark.
+        let mut min_ratio: f64 = f64::INFINITY;
+        let mut max_ratio: f64 = 0.0;
+        let mut x = 0.25;
+        while x <= 10.0 {
+            let mut y = 0.25;
+            while y <= 10.0 {
+                let r = m.both_vs_best_single(x, y);
+                min_ratio = min_ratio.min(r);
+                max_ratio = max_ratio.max(r);
+                y += 0.25;
+            }
+            x += 0.25;
+        }
+        assert!(min_ratio > 0.6 && min_ratio < 1.0, "min {min_ratio}");
+        assert!(max_ratio > 1.2 && max_ratio < 3.0, "max {max_ratio}");
+    }
+
+    #[test]
+    fn both_power_floor_respected() {
+        let m = model();
+        // Even with the discount, the pair never draws less than the
+        // cellular radio alone.
+        let p_both = m.power_w(PathUsage::Both, 0.0, 1.0);
+        let p_cell = m.power_w(PathUsage::CellularOnly, 0.0, 1.0);
+        assert!(p_both >= p_cell);
+    }
+
+    #[test]
+    fn threeg_model_selectable() {
+        let m = EnergyModel::new(DeviceProfile::galaxy_s3(), IfaceKind::Cellular3g);
+        assert_eq!(m.cellular_kind(), IfaceKind::Cellular3g);
+        // 3G is less efficient than LTE at the same rate, so cellular-only
+        // efficiency is worse under the 3G model.
+        let lte_model = model();
+        let e3g = m.joules_per_byte(PathUsage::CellularOnly, 0.0, 2.0);
+        let elte = lte_model.joules_per_byte(PathUsage::CellularOnly, 0.0, 2.0);
+        assert!(e3g > elte);
+    }
+
+    #[test]
+    #[should_panic(expected = "cellular kind required")]
+    fn rejects_wifi_as_cellular() {
+        EnergyModel::new(DeviceProfile::galaxy_s3(), IfaceKind::Wifi);
+    }
+
+    #[test]
+    fn usage_predicates() {
+        assert!(PathUsage::Both.uses_wifi() && PathUsage::Both.uses_cellular());
+        assert!(PathUsage::WifiOnly.uses_wifi() && !PathUsage::WifiOnly.uses_cellular());
+        assert!(!PathUsage::CellularOnly.uses_wifi() && PathUsage::CellularOnly.uses_cellular());
+    }
+}

@@ -1,0 +1,143 @@
+//! Power-versus-throughput curves.
+//!
+//! Fitted mobile power models are reported as measured power at a set of
+//! throughput operating points; [`PowerCurve`] interpolates linearly between
+//! points and extrapolates with the final slope, which covers both the
+//! affine `β + α·x` models of Huang et al. and arbitrary fitted tables
+//! from tools like the V-edge / PowerTutor generators the paper cites as
+//! alternative EIB sources (§3.3).
+
+use serde::{Deserialize, Serialize};
+
+/// A monotone piecewise-linear map from throughput (Mbps) to power (watts).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PowerCurve {
+    /// `(throughput_mbps, power_w)` knots, strictly increasing in
+    /// throughput, starting at 0 Mbps.
+    points: Vec<(f64, f64)>,
+}
+
+impl PowerCurve {
+    /// Build from explicit knots. The first knot must be at 0 Mbps (the
+    /// active-idle baseline) and throughputs must strictly increase.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "power curve needs at least one point");
+        assert_eq!(points[0].0, 0.0, "first knot must be at 0 Mbps");
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "knot throughputs must strictly increase"
+        );
+        assert!(
+            points.iter().all(|&(_, p)| p >= 0.0),
+            "power must be non-negative"
+        );
+        PowerCurve { points }
+    }
+
+    /// The affine model `P(x) = beta + alpha * x` used by Huang et al.:
+    /// `beta` watts at zero throughput, `alpha` watts per Mbps.
+    pub fn affine(beta_w: f64, alpha_w_per_mbps: f64) -> Self {
+        PowerCurve::from_points(vec![(0.0, beta_w), (1.0, beta_w + alpha_w_per_mbps)])
+    }
+
+    /// Power draw at the given throughput.
+    pub fn power_w(&self, thpt_mbps: f64) -> f64 {
+        let x = thpt_mbps.max(0.0);
+        let ps = &self.points;
+        if ps.len() == 1 {
+            return ps[0].1;
+        }
+        // Find the bracketing segment; extrapolate with the last slope.
+        let idx = ps.partition_point(|&(t, _)| t <= x);
+        let (i0, i1) = if idx == 0 {
+            (0, 1)
+        } else if idx >= ps.len() {
+            (ps.len() - 2, ps.len() - 1)
+        } else {
+            (idx - 1, idx)
+        };
+        let (x0, y0) = ps[i0];
+        let (x1, y1) = ps[i1];
+        let slope = (y1 - y0) / (x1 - x0);
+        (y0 + slope * (x - x0)).max(0.0)
+    }
+
+    /// The zero-throughput (active-idle) power.
+    pub fn base_w(&self) -> f64 {
+        self.points[0].1
+    }
+
+    /// The knots.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// Convert a throughput in Mbps to bytes per second.
+pub fn mbps_to_bytes_per_sec(mbps: f64) -> f64 {
+    mbps * 1e6 / 8.0
+}
+
+/// Convert bytes-over-duration to Mbps.
+pub fn bytes_to_mbps(bytes: u64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / secs / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_curve_matches_formula() {
+        let c = PowerCurve::affine(0.25, 0.14);
+        assert!((c.power_w(0.0) - 0.25).abs() < 1e-12);
+        assert!((c.power_w(1.0) - 0.39).abs() < 1e-12);
+        // Extrapolation keeps the slope.
+        assert!((c.power_w(10.0) - (0.25 + 1.4)).abs() < 1e-12);
+        assert_eq!(c.base_w(), 0.25);
+    }
+
+    #[test]
+    fn piecewise_interpolation() {
+        let c = PowerCurve::from_points(vec![(0.0, 1.0), (2.0, 2.0), (4.0, 2.5)]);
+        assert!((c.power_w(1.0) - 1.5).abs() < 1e-12);
+        assert!((c.power_w(3.0) - 2.25).abs() < 1e-12);
+        // Beyond the last knot: final slope 0.25 W/Mbps.
+        assert!((c.power_w(6.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_throughput_clamped() {
+        let c = PowerCurve::affine(0.5, 0.1);
+        assert_eq!(c.power_w(-3.0), c.power_w(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "first knot must be at 0 Mbps")]
+    fn rejects_missing_baseline() {
+        PowerCurve::from_points(vec![(1.0, 1.0), (2.0, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_unordered_knots() {
+        PowerCurve::from_points(vec![(0.0, 1.0), (2.0, 2.0), (2.0, 3.0)]);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((mbps_to_bytes_per_sec(8.0) - 1e6).abs() < 1e-9);
+        assert!((bytes_to_mbps(1_000_000, 1.0) - 8.0).abs() < 1e-12);
+        assert_eq!(bytes_to_mbps(100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn power_never_negative() {
+        // A decreasing tail segment extrapolated far out must clamp at 0.
+        let c = PowerCurve::from_points(vec![(0.0, 1.0), (1.0, 0.5)]);
+        assert_eq!(c.power_w(100.0), 0.0);
+    }
+}

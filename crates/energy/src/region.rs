@@ -1,0 +1,240 @@
+//! Finite-transfer energy and the Fig 4 operating regions.
+//!
+//! For a transfer of known size the cellular fixed costs (promotion + tail)
+//! do not amortize away: downloading `S` bytes over a given usage costs the
+//! steady power times the transfer time **plus** the one-shot costs of every
+//! radio the usage wakes. The paper's Fig 4 plots, for 1/4/16 MB transfers,
+//! the (WiFi, LTE) throughput region where using both interfaces is the most
+//! energy-efficient way to complete the entire transfer — the justification
+//! for the κ = 1 MB delayed-subflow threshold.
+
+use crate::model::{EnergyModel, PathUsage};
+use crate::power::mbps_to_bytes_per_sec;
+use serde::{Deserialize, Serialize};
+
+/// Total energy (J) to download `size_bytes` under a usage at the given
+/// steady throughputs, including one-shot radio costs. Infinite if the usage
+/// delivers no throughput.
+pub fn transfer_energy_j(
+    model: &EnergyModel,
+    usage: PathUsage,
+    size_bytes: u64,
+    wifi_mbps: f64,
+    cell_mbps: f64,
+) -> f64 {
+    let rate = mbps_to_bytes_per_sec(model.delivered_mbps(usage, wifi_mbps, cell_mbps));
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    let secs = size_bytes as f64 / rate;
+    let steady = model.power_w(usage, wifi_mbps, cell_mbps) * secs;
+    let mut fixed = 0.0;
+    if usage.uses_wifi() {
+        fixed += model.profile().wifi_wake_j;
+    }
+    if usage.uses_cellular() {
+        fixed += model.cellular().fixed_overhead_j();
+    }
+    steady + fixed
+}
+
+/// Time (s) to download `size_bytes` under a usage (promotion delay adds to
+/// the cellular start but is negligible next to transfer times here).
+pub fn transfer_time_s(
+    model: &EnergyModel,
+    usage: PathUsage,
+    size_bytes: u64,
+    wifi_mbps: f64,
+    cell_mbps: f64,
+) -> f64 {
+    let rate = mbps_to_bytes_per_sec(model.delivered_mbps(usage, wifi_mbps, cell_mbps));
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    size_bytes as f64 / rate
+}
+
+/// The usage that completes a `size_bytes` transfer with the least energy.
+pub fn best_usage_for_size(
+    model: &EnergyModel,
+    size_bytes: u64,
+    wifi_mbps: f64,
+    cell_mbps: f64,
+) -> (PathUsage, f64) {
+    PathUsage::ALL
+        .iter()
+        .map(|&u| (u, transfer_energy_j(model, u, size_bytes, wifi_mbps, cell_mbps)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("energy is never NaN"))
+        .expect("non-empty usage set")
+}
+
+/// One row of the Fig 4 region: at this cellular throughput, `Both` is the
+/// most efficient way to complete the transfer for WiFi throughputs within
+/// `wifi_range` (if any).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RegionRow {
+    /// Cellular throughput, Mbps.
+    pub cell_mbps: f64,
+    /// `(low, high)` WiFi throughput interval where both-interfaces wins.
+    pub wifi_range: Option<(f64, f64)>,
+}
+
+/// Compute the Fig 4 operating region for a transfer size: for each cellular
+/// throughput in `cell_grid`, the WiFi interval where `Both` is the most
+/// energy-efficient usage. The scan resolution is `wifi_step` Mbps over
+/// `[wifi_step, wifi_max]`.
+pub fn mptcp_region(
+    model: &EnergyModel,
+    size_bytes: u64,
+    cell_grid: &[f64],
+    wifi_max: f64,
+    wifi_step: f64,
+) -> Vec<RegionRow> {
+    assert!(wifi_step > 0.0 && wifi_max > wifi_step);
+    cell_grid
+        .iter()
+        .map(|&cell| {
+            let mut lo = None;
+            let mut hi = None;
+            let mut w = wifi_step;
+            while w <= wifi_max {
+                if best_usage_for_size(model, size_bytes, w, cell).0 == PathUsage::Both {
+                    if lo.is_none() {
+                        lo = Some(w);
+                    }
+                    hi = Some(w);
+                }
+                w += wifi_step;
+            }
+            RegionRow {
+                cell_mbps: cell,
+                wifi_range: lo.zip(hi),
+            }
+        })
+        .collect()
+}
+
+/// Area (in Mbps²) of the region, used to compare sizes: larger transfers
+/// must have larger regions. `wifi_step` is the scan resolution the rows
+/// were computed with; a row whose interval collapsed to a single scan point
+/// still contributes one cell of area.
+pub fn region_area(rows: &[RegionRow], cell_step: f64, wifi_step: f64) -> f64 {
+    rows.iter()
+        .filter_map(|r| r.wifi_range)
+        .map(|(lo, hi)| (hi - lo + wifi_step) * cell_step)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn model() -> EnergyModel {
+        EnergyModel::galaxy_s3_lte()
+    }
+
+    #[test]
+    fn energy_includes_fixed_costs() {
+        let m = model();
+        let e_wifi = transfer_energy_j(&m, PathUsage::WifiOnly, MB, 5.0, 5.0);
+        let e_cell = transfer_energy_j(&m, PathUsage::CellularOnly, MB, 5.0, 5.0);
+        // Same steady throughput, but cellular pays ~12 J promotion+tail.
+        assert!(e_cell > e_wifi + 10.0);
+    }
+
+    #[test]
+    fn zero_rate_is_infinite() {
+        let m = model();
+        assert_eq!(
+            transfer_energy_j(&m, PathUsage::WifiOnly, MB, 0.0, 5.0),
+            f64::INFINITY
+        );
+        assert_eq!(
+            transfer_time_s(&m, PathUsage::Both, MB, 0.0, 0.0),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn small_transfers_prefer_wifi_only() {
+        // κ = 1 MB rationale: "MPTCP is rarely more energy efficient than
+        // single path TCP when downloading a file smaller than this size."
+        let m = model();
+        let mut both_wins = 0;
+        let mut total = 0;
+        for wi in 1..=24 {
+            for ci in 1..=24 {
+                let wifi = wi as f64 * 0.25;
+                let cell = ci as f64 * 0.5;
+                total += 1;
+                if best_usage_for_size(&m, MB, wifi, cell).0 == PathUsage::Both {
+                    both_wins += 1;
+                }
+            }
+        }
+        assert!(
+            (both_wins as f64) < 0.05 * total as f64,
+            "both won {both_wins}/{total} for 1 MB"
+        );
+    }
+
+    #[test]
+    fn fig4_regions_grow_with_size() {
+        let m = model();
+        let cell_grid: Vec<f64> = (1..=24).map(|i| i as f64 * 0.5).collect();
+        let r1 = mptcp_region(&m, MB, &cell_grid, 6.0, 0.1);
+        let r4 = mptcp_region(&m, 4 * MB, &cell_grid, 6.0, 0.1);
+        let r16 = mptcp_region(&m, 16 * MB, &cell_grid, 6.0, 0.1);
+        let (a1, a4, a16) = (
+            region_area(&r1, 0.5, 0.1),
+            region_area(&r4, 0.5, 0.1),
+            region_area(&r16, 0.5, 0.1),
+        );
+        assert!(a1 < a4, "1 MB region {a1} !< 4 MB region {a4}");
+        assert!(a4 < a16, "4 MB region {a4} !< 16 MB region {a16}");
+        assert!(a4 > 0.0, "4 MB region must be non-empty");
+    }
+
+    #[test]
+    fn large_transfer_region_approaches_steady_state() {
+        // For a very large file, the per-size best usage must agree with the
+        // steady-state model almost everywhere.
+        let m = model();
+        let mut agree = 0;
+        let mut total = 0;
+        for wi in 1..=20 {
+            for ci in 1..=20 {
+                let wifi = wi as f64 * 0.3;
+                let cell = ci as f64 * 0.5;
+                total += 1;
+                let by_size = best_usage_for_size(&m, 1024 * MB, wifi, cell).0;
+                let (steady, _) = m.best_usage(wifi, cell);
+                if by_size == steady {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(agree as f64 / total as f64 > 0.95, "{agree}/{total}");
+    }
+
+    #[test]
+    fn region_rows_cover_grid() {
+        let m = model();
+        let cell_grid = [2.0, 4.0, 8.0];
+        let rows = mptcp_region(&m, 16 * MB, &cell_grid, 6.0, 0.1);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].cell_mbps, 2.0);
+        // At 16 MB and strong LTE, a region exists for slow WiFi.
+        assert!(rows.iter().any(|r| r.wifi_range.is_some()));
+    }
+
+    #[test]
+    fn transfer_time_matches_rate() {
+        let m = model();
+        // 1 MB at 8 Mbps = 1 MB / 1 MB/s ≈ 1.05 s.
+        let t = transfer_time_s(&m, PathUsage::WifiOnly, MB, 8.0, 0.0);
+        assert!((t - (MB as f64 / 1e6)).abs() < 0.06, "{t}");
+    }
+}

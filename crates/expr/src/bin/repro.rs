@@ -1,0 +1,124 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --list            list experiment ids
+//! repro fig5 fig6         run specific experiments (full scale)
+//! repro all               run everything
+//! repro --quick all       shrunk transfers (smoke test)
+//! repro --out results all custom output directory
+//! repro --seed 7 fig5     override the experiment seed
+//! ```
+//!
+//! Each experiment prints its tables and writes `<out>/<id>.{txt,json}`.
+
+use emptcp_expr::figures::{self, Config};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const IDS: &[&str] = &[
+    "table1", "fig1", "table2", "fig3", "fig4", "eq1", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig12", "fig13", "sec46", "fig14", "fig15", "fig16", "fig17", "handover", "devices", "ablations", "upload", "streaming", "breakdown", "sweep_hold", "sweep_kappa",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed: Option<u64> = None;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => {
+                for id in IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(it.next().expect("--out needs a directory"));
+            }
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed needs an integer"),
+                );
+            }
+            "all" => ids.extend(IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: repro [--quick] [--out DIR] (all | <id>...)");
+        eprintln!("ids: {}", IDS.join(" "));
+        std::process::exit(2);
+    }
+    let mut cfg = if quick { Config::quick() } else { Config::full() };
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    ids.dedup();
+
+    // fig14 consumes fig16's traces; run them together when both are asked.
+    let mut fig16_traces = None;
+    for id in &ids {
+        let started = Instant::now();
+        let outputs = match id.as_str() {
+            "table1" => vec![figures::table1()],
+            "fig1" => vec![figures::fig1()],
+            "table2" => vec![figures::table2()],
+            "fig3" => vec![figures::fig3()],
+            "fig4" => vec![figures::fig4()],
+            "eq1" => vec![figures::eq1()],
+            "fig5" => vec![figures::fig5(&cfg)],
+            "fig6" => vec![figures::fig6(&cfg)],
+            "fig7" => vec![figures::fig7(&cfg)],
+            "fig8" => vec![figures::fig8(&cfg)],
+            "fig9" => vec![figures::fig9(&cfg)],
+            "fig10" => vec![figures::fig10(&cfg)],
+            "fig12" => vec![figures::fig12(&cfg)],
+            "fig13" => vec![figures::fig13(&cfg)],
+            "sec46" => vec![figures::sec46(&cfg)],
+            "fig15" => vec![figures::fig15(&cfg)],
+            "fig16" => {
+                let (out, traces) = figures::fig16(&cfg);
+                fig16_traces = Some(traces);
+                vec![out]
+            }
+            "fig14" => {
+                let traces = match fig16_traces.take() {
+                    Some(t) => t,
+                    None => {
+                        let (out, traces) = figures::fig16(&cfg);
+                        out.write_to(&out_dir).expect("write fig16");
+                        traces
+                    }
+                };
+                vec![figures::fig14(&traces)]
+            }
+            "fig17" => vec![figures::fig17(&cfg)],
+            "handover" => vec![figures::handover(&cfg)],
+            "devices" => vec![figures::devices(&cfg)],
+            "ablations" => vec![figures::ablations(&cfg)],
+            "upload" => vec![figures::upload(&cfg)],
+            "streaming" => vec![figures::streaming(&cfg)],
+            "breakdown" => vec![figures::breakdown(&cfg)],
+            "sweep_hold" => vec![figures::sweep_hold(&cfg)],
+            "sweep_kappa" => vec![figures::sweep_kappa(&cfg)],
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                std::process::exit(2);
+            }
+        };
+        for out in outputs {
+            print!("{}", out.render());
+            out.write_to(&out_dir)
+                .unwrap_or_else(|e| panic!("writing {}: {e}", out.id));
+        }
+        eprintln!("[{id}] done in {:.1}s", started.elapsed().as_secs_f64());
+        println!();
+    }
+}

@@ -1,0 +1,172 @@
+//! Run one scenario from the command line and print the result.
+//!
+//! ```text
+//! simulate --strategy emptcp --wifi-mbps 3 --cell-mbps 12 --size-mb 16
+//! simulate --strategy mptcp --scenario mobility --json
+//! simulate --list-strategies
+//! ```
+//!
+//! This is the downstream-user entry point: where `repro` regenerates the
+//! paper's figures, `simulate` answers "what would strategy X do in my
+//! environment?".
+
+use emptcp_expr::scenario::{Scenario, Workload};
+use emptcp_expr::{host, Strategy};
+use emptcp_sim::SimDuration;
+
+const STRATEGIES: &[(&str, fn() -> Strategy)] = &[
+    ("mptcp", || Strategy::Mptcp),
+    ("emptcp", Strategy::emptcp_default),
+    ("tcp-wifi", || Strategy::TcpWifi),
+    ("tcp-cellular", || Strategy::TcpCellular),
+    ("wifi-first", || Strategy::WifiFirst),
+    ("mdp", || Strategy::MdpScheduler),
+    ("single-path", || Strategy::SinglePath),
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [options]
+  --strategy NAME      mptcp | emptcp | tcp-wifi | tcp-cellular |
+                       wifi-first | mdp | single-path     (default emptcp)
+  --scenario NAME      custom | good | bad | bwchange | background |
+                       mobility | web | outage | upload | streaming
+                       (default custom)
+  --wifi-mbps X        WiFi capacity for 'custom'          (default 10)
+  --cell-mbps X        cellular capacity for 'custom'      (default 12)
+  --rtt-ms N           WiFi base RTT for 'custom'          (default 25)
+  --size-mb X          download size for 'custom'/'good'/'bad' (default 16)
+  --seed N             simulation seed                     (default 42)
+  --json               print the full RunResult as JSON
+  --list-strategies    list strategy names and exit"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut strategy_name = "emptcp".to_string();
+    let mut scenario_name = "custom".to_string();
+    let mut wifi_mbps = 10.0f64;
+    let mut cell_mbps = 12.0f64;
+    let mut rtt_ms = 25u64;
+    let mut size_mb = 16.0f64;
+    let mut seed = 42u64;
+    let mut json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--strategy" => strategy_name = value("--strategy"),
+            "--scenario" => scenario_name = value("--scenario"),
+            "--wifi-mbps" => wifi_mbps = value("--wifi-mbps").parse().unwrap_or_else(|_| usage()),
+            "--cell-mbps" => cell_mbps = value("--cell-mbps").parse().unwrap_or_else(|_| usage()),
+            "--rtt-ms" => rtt_ms = value("--rtt-ms").parse().unwrap_or_else(|_| usage()),
+            "--size-mb" => size_mb = value("--size-mb").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--json" => json = true,
+            "--list-strategies" => {
+                for (name, _) in STRATEGIES {
+                    println!("{name}");
+                }
+                return;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option: {other}");
+                usage();
+            }
+        }
+    }
+
+    let strategy = STRATEGIES
+        .iter()
+        .find(|(name, _)| *name == strategy_name)
+        .map(|(_, make)| make())
+        .unwrap_or_else(|| {
+            eprintln!("unknown strategy '{strategy_name}'");
+            usage();
+        });
+
+    let size = (size_mb * (1 << 20) as f64) as u64;
+    let scenario = match scenario_name.as_str() {
+        "custom" => Scenario::wild(
+            "custom",
+            (wifi_mbps * 1e6) as u64,
+            (cell_mbps * 1e6) as u64,
+            SimDuration::from_millis(rtt_ms),
+            SimDuration::from_millis(rtt_ms + 35),
+            size,
+        ),
+        "good" => {
+            let mut s = Scenario::static_good_wifi();
+            s.workload = Workload::Download { size };
+            s
+        }
+        "bad" => {
+            let mut s = Scenario::static_bad_wifi();
+            s.workload = Workload::Download { size };
+            s
+        }
+        "bwchange" => {
+            let mut s = Scenario::bandwidth_changes();
+            s.workload = Workload::Download { size };
+            s
+        }
+        "background" => {
+            let mut s = Scenario::background_traffic(2, 0.025);
+            s.workload = Workload::Download { size };
+            s
+        }
+        "mobility" => Scenario::mobility(),
+        "web" => Scenario::web_browsing(),
+        "outage" => Scenario::wifi_outage(),
+        "upload" => Scenario::upload(),
+        "streaming" => Scenario::streaming(),
+        other => {
+            eprintln!("unknown scenario '{other}'");
+            usage();
+        }
+    };
+
+    let result = host::run(scenario, strategy, seed);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serializable result")
+        );
+        return;
+    }
+    println!("strategy:        {}", result.strategy);
+    println!("scenario:        {}", result.scenario);
+    println!("completed:       {}", result.completed);
+    println!("download time:   {:.2} s", result.download_time_s);
+    println!("energy:          {:.2} J ({:.2} J at completion)",
+        result.energy_j, result.energy_at_completion_j);
+    println!(
+        "delivered:       {:.2} MB  (WiFi {:.2} MB, cellular {:.2} MB)",
+        result.bytes_delivered as f64 / (1 << 20) as f64,
+        result.wifi_bytes as f64 / (1 << 20) as f64,
+        result.cell_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "per byte:        {:.3} uJ/B",
+        result.joules_per_byte * 1e6
+    );
+    println!(
+        "radio:           {} promotions, {:.2} J promotion energy, {:.2} J tail energy",
+        result.promotions, result.promo_energy_j, result.tail_energy_j
+    );
+    println!(
+        "dynamics:        {} usage switches, {} retransmissions",
+        result.usage_switches, result.retransmissions
+    );
+    if result.rebuffer_events > 0 {
+        println!("rebuffers:       {}", result.rebuffer_events);
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! Experiment harness: every table and figure of the eMPTCP paper.
+//!
+//! * [`host`] — the device/server simulation: radios (WiFi channel +
+//!   cellular RRC), paths, MPTCP stacks, the eMPTCP engine and the energy
+//!   meter, all driven from one deterministic event loop;
+//! * [`scenario`] — environment definitions for §4 (static, bandwidth
+//!   changes, background traffic, mobility) and §5 (wild, web);
+//! * [`strategy`] — the transport strategies under comparison: standard
+//!   MPTCP, eMPTCP, single-path TCP over WiFi or LTE, MPTCP-with-WiFi-First
+//!   and Single-Path mode;
+//! * [`mdp`] — the Markov-decision-process scheduler of Pluntke et al.,
+//!   reproduced for the §4.6 comparison;
+//! * [`wild`] — the §5 in-the-wild study: server/venue populations and the
+//!   Good/Bad × WiFi/LTE categorization of Fig 14;
+//! * [`figures`] — one runner per table/figure, producing printable tables
+//!   and machine-readable JSON;
+//! * [`report`] — table formatting and file output helpers.
+//!
+//! The `repro` binary regenerates everything: `repro --list`, `repro fig5`,
+//! `repro all`.
+//!
+//! ```
+//! use emptcp_expr::scenario::{Scenario, Workload};
+//! use emptcp_expr::{host, Strategy};
+//!
+//! let mut scenario = Scenario::static_good_wifi();
+//! scenario.workload = Workload::Download { size: 256 << 10 };
+//! let result = host::run(scenario, Strategy::emptcp_default(), 42);
+//! assert!(result.completed);
+//! // Small transfer on good WiFi: the LTE radio never woke up.
+//! assert_eq!(result.promotions, 0);
+//! ```
+
+pub mod figures;
+pub mod host;
+pub mod mdp;
+pub mod report;
+pub mod scenario;
+pub mod strategy;
+pub mod wild;
+
+pub use host::{RunResult, Simulation};
+pub use scenario::Scenario;
+pub use strategy::Strategy;

@@ -1,0 +1,202 @@
+//! Table formatting and result output.
+//!
+//! Every figure runner produces a [`Table`] (printed to stdout by the
+//! `repro` binary and written to `results/<id>.txt`) plus a JSON dump of
+//! the underlying numbers, so EXPERIMENTS.md entries are regenerable and
+//! machine-checkable.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title (figure/table id + caption).
+    pub title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A titled table with the given column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(line, "{:<w$}  ", h, w = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols;
+        let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:<w$}  ", cell, w = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn f(x: f64) -> String {
+    if !x.is_finite() {
+        return "inf".to_string();
+    }
+    let x = if x == 0.0 { 0.0 } else { x }; // normalize -0.0
+    if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Format `mean ± 2*SEM`.
+pub fn pm(mean: f64, sem: f64) -> String {
+    format!("{} ± {}", f(mean), f(2.0 * sem))
+}
+
+/// A figure's full output: rendered tables plus the raw data as JSON and
+/// optional CSV attachments (time-series traces for plotting).
+pub struct FigureOutput {
+    /// Experiment id (e.g. "fig5").
+    pub id: String,
+    /// The printable tables.
+    pub tables: Vec<Table>,
+    /// JSON payload of the raw numbers.
+    pub json: serde_json::Value,
+    /// `(suffix, csv_content)` attachments, written as `<id>_<suffix>.csv`.
+    pub csvs: Vec<(String, String)>,
+}
+
+impl FigureOutput {
+    /// Build from tables and any serializable payload.
+    pub fn new(id: &str, tables: Vec<Table>, payload: impl Serialize) -> FigureOutput {
+        FigureOutput {
+            id: id.to_string(),
+            tables,
+            json: serde_json::to_value(payload).expect("serializable payload"),
+            csvs: Vec::new(),
+        }
+    }
+
+    /// Attach a CSV (e.g. a trace for external plotting).
+    pub fn with_csv(mut self, suffix: &str, content: String) -> FigureOutput {
+        self.csvs.push((suffix.to_string(), content));
+        self
+    }
+
+    /// Render all tables.
+    pub fn render(&self) -> String {
+        self.tables
+            .iter()
+            .map(|t| t.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Write `<dir>/<id>.txt` and `<dir>/<id>.json`.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{}.txt", self.id)), self.render())?;
+        fs::write(
+            dir.join(format!("{}.json", self.id)),
+            serde_json::to_string_pretty(&self.json).expect("valid json"),
+        )?;
+        for (suffix, content) in &self.csvs {
+            fs::write(dir.join(format!("{}_{suffix}.csv", self.id)), content)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Fig X", &["strategy", "energy (J)"]);
+        t.row(vec!["MPTCP".into(), "412.3".into()]);
+        t.row(vec!["eMPTCP".into(), "250.1".into()]);
+        let s = t.render();
+        assert!(s.contains("== Fig X =="));
+        assert!(s.contains("MPTCP"));
+        assert!(s.contains("412.3"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1234.5), "1234");
+        assert_eq!(f(12.345), "12.35");
+        assert_eq!(f(0.1234), "0.1234");
+        assert_eq!(f(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn pm_formatting() {
+        assert_eq!(pm(10.0, 1.0), "10.00 ± 2.00");
+    }
+
+    #[test]
+    fn figure_output_roundtrip() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        let out = FigureOutput::new("test_fig", vec![t], vec![1, 2, 3]);
+        let dir = std::env::temp_dir().join("emptcp_report_test");
+        out.write_to(&dir).unwrap();
+        let txt = std::fs::read_to_string(dir.join("test_fig.txt")).unwrap();
+        assert!(txt.contains("== t =="));
+        let json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("test_fig.json")).unwrap())
+                .unwrap();
+        assert_eq!(json, serde_json::json!([1, 2, 3]));
+    }
+}

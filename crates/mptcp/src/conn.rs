@@ -1,0 +1,805 @@
+//! The MPTCP connection: DSS reassembly, scheduling, coupling, reinjection.
+//!
+//! One [`MpConnection`] is one side (client or server) of one MPTCP
+//! connection. It owns its subflows and exposes the same poll-style surface
+//! they do:
+//!
+//! * [`MpConnection::write`] — append connection-level data to send,
+//! * [`MpConnection::poll_transmit`] — next `(subflow, segment)` to emit
+//!   (the minRTT scheduler maps fresh data onto subflows here),
+//! * [`MpConnection::on_segment`] — feed an arriving segment to its
+//!   subflow, translate newly delivered subflow bytes back to data-sequence
+//!   space, and reassemble the connection stream,
+//! * [`MpConnection::on_deadline`] / [`MpConnection::next_deadline`] —
+//!   subflow timers; a subflow RTO triggers opportunistic reinjection of
+//!   its unacknowledged data onto the surviving subflows.
+//!
+//! LIA coupling (RFC 6356) is refreshed on every poll: the connection
+//! computes `alpha` across its established subflows and pushes it into each
+//! subflow's congestion controller.
+
+use crate::sched::pick_subflow;
+use crate::subflow::{Subflow, SubflowId};
+use emptcp_phy::IfaceKind;
+use emptcp_sim::{SimDuration, SimTime};
+use emptcp_tcp::cc::lia_alpha;
+use emptcp_tcp::{Segment, TcpConfig, TcpState};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Which side of the connection this object is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Role {
+    /// The mobile device: initiates subflows, mostly receives.
+    Client,
+    /// The wired server: accepts subflows, mostly sends.
+    Server,
+}
+
+/// What [`MpConnection::on_segment`] produced.
+#[derive(Clone, Debug, Default)]
+pub struct MpSegmentOutcome {
+    /// Connection-level bytes newly delivered in order.
+    pub delivered_bytes: u64,
+    /// The subflow's handshake completed during this call.
+    pub established_now: bool,
+    /// MP_PRIO received on this subflow (`Some(backup)`).
+    pub mp_prio: Option<bool>,
+}
+
+/// One side of an MPTCP connection.
+#[derive(Clone, Debug)]
+pub struct MpConnection {
+    role: Role,
+    tcp_cfg: TcpConfig,
+    subflows: Vec<Subflow>,
+
+    // --- connection-level send state ---
+    data_written: u64,
+    data_next: u64,
+    reinject: VecDeque<(u64, u32)>,
+    data_acked: u64,
+
+    // --- connection-level receive state ---
+    data_rcv_nxt: u64,
+    data_ooo: BTreeMap<u64, u32>,
+    data_delivered: u64,
+
+    /// Graceful close requested: once every written byte is scheduled and
+    /// acknowledged, FINs go out on all subflows (the DATA_FIN analogue).
+    closing: bool,
+    /// Couple subflow congestion windows with LIA (true = standard MPTCP).
+    coupled: bool,
+    /// Opportunistic reinjection (Raiciu et al. [29]): when a subflow's
+    /// oldest unacked data stalls for ~2 RTT while another subflow could
+    /// carry it, re-map it there instead of waiting for the RTO.
+    opportunistic: bool,
+    /// Last LIA recomputation (rate-limited: alpha moves on RTT timescales,
+    /// recomputing per segment is pure overhead).
+    lia_refreshed_at: SimTime,
+}
+
+impl MpConnection {
+    /// Create one side of a connection. `tcp_cfg` applies to every subflow.
+    pub fn new(role: Role, tcp_cfg: TcpConfig) -> Self {
+        MpConnection {
+            role,
+            tcp_cfg,
+            subflows: Vec::new(),
+            data_written: 0,
+            data_next: 0,
+            reinject: VecDeque::new(),
+            data_acked: 0,
+            data_rcv_nxt: 0,
+            data_ooo: BTreeMap::new(),
+            data_delivered: 0,
+            closing: false,
+            coupled: true,
+            opportunistic: true,
+            lia_refreshed_at: SimTime::ZERO,
+        }
+    }
+
+    /// Disable LIA coupling (each subflow runs plain Reno). Used by
+    /// ablation benches.
+    pub fn set_coupled(&mut self, coupled: bool) {
+        self.coupled = coupled;
+    }
+
+    /// Toggle opportunistic reinjection (on by default, as in Linux MPTCP).
+    pub fn set_opportunistic(&mut self, enabled: bool) {
+        self.opportunistic = enabled;
+    }
+
+    /// This side's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Add a subflow on `iface`. The client actively opens it (SYN emitted
+    /// on the next poll); the server side listens. Returns its id.
+    pub fn add_subflow(&mut self, now: SimTime, iface: IfaceKind) -> SubflowId {
+        let id = SubflowId(self.subflows.len() as u8);
+        let sf = match self.role {
+            Role::Client => {
+                let mut sf = Subflow::client(id, iface, self.tcp_cfg);
+                sf.tcp.connect(now);
+                sf
+            }
+            Role::Server => Subflow::listener(id, iface, self.tcp_cfg),
+        };
+        self.subflows.push(sf);
+        id
+    }
+
+    /// All subflows.
+    pub fn subflows(&self) -> &[Subflow] {
+        &self.subflows
+    }
+
+    /// A subflow by id.
+    pub fn subflow(&self, id: SubflowId) -> &Subflow {
+        &self.subflows[id.0 as usize]
+    }
+
+    /// A subflow by id, mutable.
+    pub fn subflow_mut(&mut self, id: SubflowId) -> &mut Subflow {
+        &mut self.subflows[id.0 as usize]
+    }
+
+    /// True once at least one subflow finished its handshake.
+    pub fn established(&self) -> bool {
+        self.subflows
+            .iter()
+            .any(|sf| sf.tcp.state() == TcpState::Established)
+    }
+
+    /// Append `bytes` to the connection-level send stream.
+    pub fn write(&mut self, bytes: u64) {
+        assert!(!self.closing, "write after close");
+        self.data_written += bytes;
+    }
+
+    /// Request a graceful close: once all written data is scheduled and
+    /// acknowledged, every subflow sends its FIN.
+    pub fn close(&mut self) {
+        self.closing = true;
+    }
+
+    /// True once this side requested close, everything it wrote was
+    /// acknowledged, and its FINs are queued on every subflow.
+    pub fn close_sent(&self) -> bool {
+        self.closing
+            && self.data_acked >= self.data_written
+            && self.all_data_scheduled()
+    }
+
+    /// True once every subflow has received the peer's FIN (the peer is
+    /// done sending).
+    pub fn peer_closed(&self) -> bool {
+        !self.subflows.is_empty()
+            && self
+                .subflows
+                .iter()
+                .all(|sf| sf.tcp.fin_received() || sf.tcp.state() != TcpState::Established)
+    }
+
+    /// Total connection-level bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.data_written
+    }
+
+    /// Connection-level bytes delivered in order to the application.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.data_delivered
+    }
+
+    /// Highest cumulative data-level acknowledgment seen from the peer.
+    pub fn bytes_acked(&self) -> u64 {
+        self.data_acked
+    }
+
+    /// Bytes delivered in order over subflows riding `iface` — the
+    /// per-interface counters the bandwidth predictor samples (§3.2).
+    pub fn delivered_by_iface(&self, iface: IfaceKind) -> u64 {
+        self.subflows
+            .iter()
+            .filter(|sf| sf.iface == iface)
+            .map(|sf| sf.tcp.bytes_delivered_total())
+            .sum()
+    }
+
+    /// Bytes this side sent and had acknowledged over subflows riding
+    /// `iface` — the upload-direction counterpart of
+    /// [`delivered_by_iface`](Self::delivered_by_iface).
+    pub fn acked_by_iface(&self, iface: IfaceKind) -> u64 {
+        self.subflows
+            .iter()
+            .filter(|sf| sf.iface == iface)
+            .map(|sf| sf.tcp.bytes_acked_total())
+            .sum()
+    }
+
+    /// Locally set a subflow's priority and tell the peer via MP_PRIO
+    /// (§3.6: "eMPTCP adds an MP_PRIO option, which changes the priority of
+    /// subflows, to the next packet to be transmitted").
+    pub fn set_subflow_priority(&mut self, now: SimTime, id: SubflowId, backup: bool) {
+        let sf = &mut self.subflows[id.0 as usize];
+        if sf.backup == backup {
+            return;
+        }
+        sf.backup = backup;
+        sf.tcp.send_mp_prio(now, backup);
+    }
+
+    /// Apply the §3.6 resume tweaks to a subflow being re-enabled.
+    pub fn prepare_subflow_resume(&mut self, id: SubflowId) {
+        self.subflows[id.0 as usize].prepare_resume();
+    }
+
+    /// Mark a subflow's underlying link up or down (interface loss, e.g. a
+    /// WiFi disassociation). Going down immediately queues its unacked data
+    /// for reinjection on the surviving subflows.
+    pub fn set_subflow_link_up(&mut self, id: SubflowId, up: bool) {
+        let idx = id.0 as usize;
+        if self.subflows[idx].link_down == !up {
+            return;
+        }
+        self.subflows[idx].link_down = !up;
+        if !up && self.subflows.len() > 1 {
+            for range in self.subflows[idx].unacked_data_ranges() {
+                self.reinject.push_back(range);
+            }
+        }
+    }
+
+    /// The earliest pending timer across subflows.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.subflows
+            .iter()
+            .filter_map(|sf| sf.tcp.next_deadline())
+            .min()
+    }
+
+    /// Fire due subflow timers; RTOs trigger reinjection of the victim's
+    /// unacknowledged data so another subflow can carry it, and stalled
+    /// subflows trigger opportunistic reinjection a couple of RTTs earlier.
+    pub fn on_deadline(&mut self, now: SimTime) {
+        for idx in 0..self.subflows.len() {
+            self.subflows[idx].tcp.on_deadline(now);
+            let timeouts = self.subflows[idx].tcp.timeouts();
+            if timeouts > self.subflows[idx].seen_timeouts {
+                self.subflows[idx].seen_timeouts = timeouts;
+                if self.subflows.len() > 1 {
+                    for range in self.subflows[idx].unacked_data_ranges() {
+                        self.reinject.push_back(range);
+                    }
+                }
+            }
+        }
+        if self.opportunistic {
+            self.check_stalls(now);
+        }
+    }
+
+    /// Opportunistic reinjection: a subflow whose cumulative ack has not
+    /// moved for roughly two of its RTTs while holding data, with another
+    /// subflow able to take it, gets its unacked ranges re-mapped — once
+    /// per stall.
+    fn check_stalls(&mut self, now: SimTime) {
+        if self.subflows.len() < 2 {
+            return;
+        }
+        for idx in 0..self.subflows.len() {
+            let sf = &mut self.subflows[idx];
+            let una = sf.tcp.snd_una();
+            if una != sf.stall_una {
+                sf.stall_una = una;
+                sf.stall_since = now;
+                sf.reinjected_una = None;
+                continue;
+            }
+            if sf.tcp.bytes_in_flight() == 0 || sf.reinjected_una == Some(una) {
+                continue;
+            }
+            let rtt = sf.tcp.rtt().srtt_or_zero();
+            let threshold = (rtt * 2).max(SimDuration::from_millis(300));
+            if now.saturating_since(sf.stall_since) < threshold {
+                continue;
+            }
+            let others_can_carry = self
+                .subflows
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != idx && other.can_take_data());
+            if !others_can_carry {
+                continue;
+            }
+            self.subflows[idx].reinjected_una = Some(una);
+            for range in self.subflows[idx].unacked_data_ranges() {
+                self.reinject.push_back(range);
+            }
+        }
+    }
+
+    fn update_lia(&mut self, now: SimTime) {
+        if !self.coupled || self.subflows.len() < 2 {
+            return;
+        }
+        // Alpha changes on RTT timescales; refresh at most every 10 ms.
+        if now.saturating_since(self.lia_refreshed_at) < SimDuration::from_millis(10)
+            && self.lia_refreshed_at > SimTime::ZERO
+        {
+            return;
+        }
+        self.lia_refreshed_at = now;
+        let mut flows: [(u64, f64); 8] = [(0, 0.0); 8];
+        let mut n = 0;
+        for sf in &self.subflows {
+            if sf.tcp.state() == TcpState::Established && n < flows.len() {
+                flows[n] = (
+                    sf.tcp.cc().cwnd(),
+                    sf.tcp.rtt().srtt_or_zero().as_secs_f64(),
+                );
+                n += 1;
+            }
+        }
+        if n < 2 {
+            return;
+        }
+        let alpha = lia_alpha(&flows[..n]);
+        let total: u64 = flows[..n].iter().map(|&(c, _)| c).sum();
+        for sf in &mut self.subflows {
+            sf.tcp.set_lia(alpha, total);
+        }
+    }
+
+    /// Next segment to put on the wire, tagged with its subflow.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<(SubflowId, Segment)> {
+        self.update_lia(now);
+        // Graceful close: once the stream is fully scheduled and
+        // acknowledged, queue FINs (idempotent at the TCP layer).
+        if self.close_sent() {
+            for sf in &mut self.subflows {
+                if sf.tcp.state() == TcpState::Established && !sf.tcp.fin_queued() {
+                    sf.tcp.close();
+                }
+            }
+        }
+        // 1. Anything the subflow TCP machines already want to say
+        //    (handshake, ACKs, retransmissions, previously scheduled data).
+        for idx in 0..self.subflows.len() {
+            let data_ack = self.data_rcv_nxt;
+            let sf = &mut self.subflows[idx];
+            if let Some(mut seg) = sf.tcp.poll_transmit(now) {
+                sf.decorate(&mut seg, data_ack);
+                return Some((sf.id, seg));
+            }
+        }
+        // 2. Schedule fresh (or reinjected) connection data.
+        loop {
+            let (data_seq, len) = match self.next_chunk() {
+                Some(c) => c,
+                None => return None,
+            };
+            let Some(idx) = pick_subflow(&self.subflows) else {
+                // Put an unconsumed reinjection chunk back.
+                self.unconsume_chunk(data_seq, len);
+                return None;
+            };
+            let data_ack = self.data_rcv_nxt;
+            let sf = &mut self.subflows[idx];
+            let take = (len as u64).min(sf.tcp.config().mss as u64).min(sf.send_room()) as u32;
+            if take == 0 {
+                self.unconsume_chunk(data_seq, len);
+                return None;
+            }
+            if take < len {
+                // Leave the remainder for the next pick.
+                self.unconsume_chunk(data_seq + take as u64, len - take);
+            }
+            let sf = &mut self.subflows[idx];
+            sf.push_data(data_seq, take);
+            if let Some(mut seg) = sf.tcp.poll_transmit(now) {
+                sf.decorate(&mut seg, data_ack);
+                sf.gc_mappings();
+                return Some((sf.id, seg));
+            }
+            // The subflow accepted the data but can't emit yet (shouldn't
+            // happen given can_take_data); try other subflows next poll.
+            return None;
+        }
+    }
+
+    /// The next chunk of data wanting transmission: reinjections first,
+    /// then fresh stream bytes (up to one MSS).
+    fn next_chunk(&mut self) -> Option<(u64, u32)> {
+        while let Some((seq, len)) = self.reinject.pop_front() {
+            // Skip reinjections the peer has since acknowledged.
+            let end = seq + len as u64;
+            if end <= self.data_acked {
+                continue;
+            }
+            let start = seq.max(self.data_acked);
+            return Some((start, (end - start) as u32));
+        }
+        if self.data_next < self.data_written {
+            let len = (self.data_written - self.data_next).min(u32::MAX as u64) as u32;
+            let seq = self.data_next;
+            let take = len.min(65_535);
+            self.data_next += take as u64;
+            return Some((seq, take));
+        }
+        None
+    }
+
+    fn unconsume_chunk(&mut self, data_seq: u64, len: u32) {
+        if data_seq + len as u64 == self.data_next && self.reinject.is_empty() {
+            // Fresh data: simply rewind the cursor.
+            self.data_next = data_seq;
+        } else {
+            self.reinject.push_front((data_seq, len));
+        }
+    }
+
+    /// Feed an arriving segment to its subflow.
+    pub fn on_segment(
+        &mut self,
+        now: SimTime,
+        id: SubflowId,
+        seg: Segment,
+    ) -> MpSegmentOutcome {
+        let mut outcome = MpSegmentOutcome::default();
+        let idx = id.0 as usize;
+        assert!(idx < self.subflows.len(), "unknown subflow {id}");
+
+        // Learn the data mapping before TCP-level processing so in-order
+        // delivery can translate immediately.
+        if let Some(dss) = seg.dss {
+            self.subflows[idx].learn_mapping(seg.seq, dss);
+            if dss.data_ack > self.data_acked {
+                self.data_acked = dss.data_ack;
+            }
+        }
+        let tcp_outcome = self.subflows[idx].tcp.on_segment(now, seg);
+        outcome.established_now = tcp_outcome.established_now;
+        outcome.mp_prio = tcp_outcome.mp_prio;
+        if let Some(backup) = tcp_outcome.mp_prio {
+            self.subflows[idx].backup = backup;
+        }
+
+        // Translate delivered subflow ranges to data space and reassemble.
+        for range in &tcp_outcome.delivered {
+            let translated = self.subflows[idx].translate_delivered(range.seq, range.len);
+            debug_assert_eq!(
+                translated.iter().map(|&(_, l)| l as u64).sum::<u64>(),
+                range.len as u64,
+                "delivered range with unmapped bytes"
+            );
+            for (data_seq, len) in translated {
+                outcome.delivered_bytes += self.receive_data(data_seq, len);
+            }
+        }
+        self.subflows[idx].gc_mappings();
+        outcome
+    }
+
+    /// Insert `[data_seq, data_seq+len)` into the connection stream;
+    /// returns bytes newly delivered in order.
+    fn receive_data(&mut self, data_seq: u64, len: u32) -> u64 {
+        let end = data_seq + len as u64;
+        if end <= self.data_rcv_nxt {
+            return 0; // duplicate (e.g. a reinjected copy)
+        }
+        let start = data_seq.max(self.data_rcv_nxt);
+        if start > self.data_rcv_nxt {
+            // Out of order at the data level: buffer (merging overlaps
+            // conservatively by keeping the longer mapping).
+            let keep = self
+                .data_ooo
+                .get(&start)
+                .map(|&l| l as u64)
+                .unwrap_or(0);
+            if (end - start) > keep {
+                self.data_ooo.insert(start, (end - start) as u32);
+            }
+            return 0;
+        }
+        let mut delivered = end - start;
+        self.data_rcv_nxt = end;
+        // Drain contiguous out-of-order data.
+        while let Some((&s, &l)) = self.data_ooo.first_key_value() {
+            if s > self.data_rcv_nxt {
+                break;
+            }
+            self.data_ooo.remove(&s);
+            let e = s + l as u64;
+            if e > self.data_rcv_nxt {
+                delivered += e - self.data_rcv_nxt;
+                self.data_rcv_nxt = e;
+            }
+        }
+        self.data_delivered += delivered;
+        delivered
+    }
+
+    /// True when the sender side has pushed every written byte into some
+    /// subflow.
+    pub fn all_data_scheduled(&self) -> bool {
+        self.data_next >= self.data_written && self.reinject.is_empty()
+    }
+
+    /// Idle test used by eMPTCP's §3.5: no subflow has sent or received
+    /// anything within `window` of `now`.
+    pub fn is_idle(&self, now: SimTime, window: SimDuration) -> bool {
+        self.subflows
+            .iter()
+            .all(|sf| now.saturating_since(sf.last_activity()) > window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HALF: SimDuration = SimDuration::from_millis(10);
+
+    /// A loopback pair: client + server connections whose segments are
+    /// carried with a fixed one-way delay per direction and optional drops.
+    struct Pair {
+        now: SimTime,
+        client: MpConnection,
+        server: MpConnection,
+    }
+
+    impl Pair {
+        fn new(ifaces: &[IfaceKind]) -> Pair {
+            let mut client = MpConnection::new(Role::Client, TcpConfig::default());
+            let mut server = MpConnection::new(Role::Server, TcpConfig::default());
+            let now = SimTime::ZERO;
+            for &iface in ifaces {
+                client.add_subflow(now, iface);
+                server.add_subflow(now, iface);
+            }
+            Pair {
+                now,
+                client,
+                server,
+            }
+        }
+
+        /// One half-round: move every pending segment from `a` to `b`.
+        fn flow(now: &mut SimTime, a: &mut MpConnection, b: &mut MpConnection) -> u64 {
+            a.on_deadline(*now);
+            let mut segs = Vec::new();
+            while let Some(pair) = a.poll_transmit(*now) {
+                segs.push(pair);
+            }
+            *now += HALF;
+            b.on_deadline(*now);
+            let mut delivered = 0;
+            for (id, seg) in segs {
+                delivered += b.on_segment(*now, id, seg).delivered_bytes;
+            }
+            delivered
+        }
+
+        /// Run rounds until the client delivered `total` bytes (or panic).
+        fn run_until_delivered(&mut self, total: u64, max_rounds: usize) {
+            for _ in 0..max_rounds {
+                Pair::flow(&mut self.now, &mut self.server, &mut self.client);
+                Pair::flow(&mut self.now, &mut self.client, &mut self.server);
+                if self.client.bytes_delivered() >= total {
+                    return;
+                }
+            }
+            panic!(
+                "stalled: delivered {} of {total}",
+                self.client.bytes_delivered()
+            );
+        }
+    }
+
+    #[test]
+    fn single_subflow_download() {
+        let mut p = Pair::new(&[IfaceKind::Wifi]);
+        p.server.write(500_000);
+        p.run_until_delivered(500_000, 500);
+        assert_eq!(p.client.bytes_delivered(), 500_000);
+    }
+
+    #[test]
+    fn two_subflows_both_carry_data() {
+        let mut p = Pair::new(&[IfaceKind::Wifi, IfaceKind::CellularLte]);
+        p.server.write(3_000_000);
+        p.run_until_delivered(3_000_000, 2000);
+        let wifi = p.client.delivered_by_iface(IfaceKind::Wifi);
+        let lte = p.client.delivered_by_iface(IfaceKind::CellularLte);
+        assert!(wifi > 0, "wifi idle");
+        assert!(lte > 0, "lte idle");
+        assert_eq!(wifi + lte, 3_000_000);
+    }
+
+    #[test]
+    fn data_ack_propagates_to_server() {
+        let mut p = Pair::new(&[IfaceKind::Wifi]);
+        p.server.write(100_000);
+        p.run_until_delivered(100_000, 500);
+        // A few more quiet rounds to flush the final data-ack.
+        for _ in 0..4 {
+            Pair::flow(&mut p.now, &mut p.client, &mut p.server);
+            Pair::flow(&mut p.now, &mut p.server, &mut p.client);
+        }
+        assert_eq!(p.server.bytes_acked(), 100_000);
+        assert!(p.server.all_data_scheduled());
+    }
+
+    #[test]
+    fn mp_prio_suspends_subflow_at_sender() {
+        let mut p = Pair::new(&[IfaceKind::Wifi, IfaceKind::CellularLte]);
+        p.server.write(200_000);
+        p.run_until_delivered(200_000, 1000);
+        // Client marks LTE backup; a couple of rounds to propagate.
+        p.client
+            .set_subflow_priority(p.now, SubflowId(1), true);
+        for _ in 0..4 {
+            Pair::flow(&mut p.now, &mut p.client, &mut p.server);
+            Pair::flow(&mut p.now, &mut p.server, &mut p.client);
+        }
+        assert!(p.server.subflow(SubflowId(1)).backup, "MP_PRIO not applied");
+        // New data must ride WiFi exclusively.
+        let lte_before = p.client.delivered_by_iface(IfaceKind::CellularLte);
+        p.server.write(500_000);
+        p.run_until_delivered(700_000, 1000);
+        let lte_after = p.client.delivered_by_iface(IfaceKind::CellularLte);
+        assert_eq!(lte_before, lte_after, "backup subflow carried new data");
+    }
+
+    #[test]
+    fn idle_detection() {
+        let mut p = Pair::new(&[IfaceKind::Wifi]);
+        p.server.write(10_000);
+        p.run_until_delivered(10_000, 200);
+        assert!(!p.client.is_idle(p.now, SimDuration::from_secs(10)));
+        let later = p.now + SimDuration::from_secs(60);
+        assert!(p.client.is_idle(later, SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn uncoupled_mode_flag() {
+        let mut c = MpConnection::new(Role::Client, TcpConfig::default());
+        c.set_coupled(false);
+        // Just exercising the flag; behaviour is covered by cc tests.
+        assert_eq!(c.role(), Role::Client);
+    }
+
+    #[test]
+    fn established_requires_handshake() {
+        let mut p = Pair::new(&[IfaceKind::Wifi]);
+        assert!(!p.client.established());
+        Pair::flow(&mut p.now, &mut p.client, &mut p.server); // SYN
+        Pair::flow(&mut p.now, &mut p.server, &mut p.client); // SYN-ACK
+        assert!(p.client.established());
+    }
+
+    /// Blackhole subflow 1 after warm-up; return the completion time.
+    fn blackhole_run(opportunistic: bool) -> SimTime {
+        let mut p = Pair::new(&[IfaceKind::Wifi, IfaceKind::CellularLte]);
+        p.client.set_opportunistic(opportunistic);
+        p.server.set_opportunistic(opportunistic);
+        p.server.write(1_000_000);
+        for _ in 0..6 {
+            Pair::flow(&mut p.now, &mut p.server, &mut p.client);
+            Pair::flow(&mut p.now, &mut p.client, &mut p.server);
+        }
+        let mut rounds = 0;
+        while p.client.bytes_delivered() < 1_000_000 && rounds < 6000 {
+            rounds += 1;
+            p.server.on_deadline(p.now);
+            let mut segs = Vec::new();
+            while let Some(pair) = p.server.poll_transmit(p.now) {
+                segs.push(pair);
+            }
+            p.now += HALF;
+            for (id, seg) in segs {
+                if id != SubflowId(1) {
+                    p.client.on_segment(p.now, id, seg);
+                }
+            }
+            p.client.on_deadline(p.now);
+            let mut acks = Vec::new();
+            while let Some(pair) = p.client.poll_transmit(p.now) {
+                acks.push(pair);
+            }
+            p.now += HALF;
+            for (id, seg) in acks {
+                if id != SubflowId(1) {
+                    p.server.on_segment(p.now, id, seg);
+                }
+            }
+        }
+        assert_eq!(p.client.bytes_delivered(), 1_000_000, "stalled");
+        p.now
+    }
+
+    #[test]
+    fn opportunistic_reinjection_beats_rto_only() {
+        let with = blackhole_run(true);
+        let without = blackhole_run(false);
+        assert!(
+            with <= without,
+            "opportunistic {with} should not be slower than RTO-only {without}"
+        );
+    }
+
+    #[test]
+    fn graceful_close_exchanges_fins() {
+        let mut p = Pair::new(&[IfaceKind::Wifi, IfaceKind::CellularLte]);
+        p.server.write(300_000);
+        p.server.close();
+        p.client.close();
+        p.run_until_delivered(300_000, 1000);
+        // A few extra rounds for the data-acks and FINs to settle.
+        for _ in 0..30 {
+            Pair::flow(&mut p.now, &mut p.client, &mut p.server);
+            Pair::flow(&mut p.now, &mut p.server, &mut p.client);
+        }
+        assert!(p.server.close_sent());
+        assert!(p.client.peer_closed(), "client never saw the server FINs");
+        assert!(p.server.peer_closed(), "server never saw the client FINs");
+    }
+
+    #[test]
+    #[should_panic(expected = "write after close")]
+    fn write_after_close_rejected() {
+        let mut c = MpConnection::new(Role::Server, TcpConfig::default());
+        c.close();
+        c.write(1);
+    }
+
+    #[test]
+    fn reinjection_rescues_stuck_data() {
+        let mut p = Pair::new(&[IfaceKind::Wifi, IfaceKind::CellularLte]);
+        p.server.write(1_000_000);
+        // Run a few rounds so both subflows carry data.
+        for _ in 0..6 {
+            Pair::flow(&mut p.now, &mut p.server, &mut p.client);
+            Pair::flow(&mut p.now, &mut p.client, &mut p.server);
+        }
+        // Kill the LTE subflow: drop everything it emits from now on.
+        let mut rounds = 0;
+        while p.client.bytes_delivered() < 1_000_000 && rounds < 4000 {
+            rounds += 1;
+            p.server.on_deadline(p.now);
+            let mut segs = Vec::new();
+            while let Some(pair) = p.server.poll_transmit(p.now) {
+                segs.push(pair);
+            }
+            p.now += HALF;
+            for (id, seg) in segs {
+                if id == SubflowId(1) {
+                    continue; // blackhole LTE
+                }
+                p.client.on_segment(p.now, id, seg);
+            }
+            // Client replies (its LTE acks are also dropped).
+            p.client.on_deadline(p.now);
+            let mut acks = Vec::new();
+            while let Some(pair) = p.client.poll_transmit(p.now) {
+                acks.push(pair);
+            }
+            p.now += HALF;
+            for (id, seg) in acks {
+                if id == SubflowId(1) {
+                    continue;
+                }
+                p.server.on_segment(p.now, id, seg);
+            }
+        }
+        assert_eq!(
+            p.client.bytes_delivered(),
+            1_000_000,
+            "reinjection failed to rescue LTE-stuck data after {rounds} rounds"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! MPTCP operating modes (§2.1 of the paper).
+//!
+//! These govern *subflow establishment and usage policy* at the client:
+//!
+//! * **Full-MPTCP** — open subflows over every interface and let the
+//!   scheduler use them all; the paper's "standard MPTCP" baseline.
+//! * **Single-Path** — one subflow at a time; a new subflow is established
+//!   only after the active subflow's interface goes down.
+//! * **Backup** — open subflows over all interfaces but mark some backup;
+//!   backup subflows carry data only when no regular subflow is available.
+//!   "MPTCP with WiFi-First" (Raiciu et al., discussed in §4.6) is Backup
+//!   mode with the cellular subflow marked backup.
+//!
+//! eMPTCP itself is none of these: it opens the cellular subflow lazily
+//! (§3.5) and flips priorities dynamically from the EIB (§3.4).
+
+use serde::{Deserialize, Serialize};
+
+/// Subflow usage policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum OperatingMode {
+    /// All interfaces, all subflows active (standard MPTCP).
+    FullMptcp,
+    /// One subflow at a time; failover on interface loss.
+    SinglePath,
+    /// All subflows open, some marked backup.
+    Backup,
+}
+
+impl OperatingMode {
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OperatingMode::FullMptcp => "Full-MPTCP",
+            OperatingMode::SinglePath => "Single-Path",
+            OperatingMode::Backup => "Backup",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(OperatingMode::FullMptcp.label(), "Full-MPTCP");
+        assert_eq!(OperatingMode::SinglePath.label(), "Single-Path");
+        assert_eq!(OperatingMode::Backup.label(), "Backup");
+    }
+}

@@ -1,0 +1,132 @@
+//! The minRTT subflow scheduler.
+//!
+//! The Linux MPTCP scheduler picks, among subflows with congestion-window
+//! space, the one with the lowest smoothed RTT (§2.1, \[29\]). Two details
+//! matter to eMPTCP:
+//!
+//! * a subflow whose RTT estimate is zero/unknown sorts *first* — §3.6's
+//!   resume tweak zeroes the RTT precisely to get a renewed subflow probed
+//!   immediately;
+//! * **backup** subflows (MP_PRIO) are only considered when no regular
+//!   subflow is established at all — a window-full regular subflow does
+//!   *not* spill traffic onto backups.
+
+use crate::subflow::Subflow;
+use emptcp_tcp::TcpState;
+
+/// Index of the subflow the scheduler would hand the next chunk of data to,
+/// or `None` if nothing can take data right now.
+pub fn pick_subflow(subflows: &[Subflow]) -> Option<usize> {
+    let any_regular_alive = subflows
+        .iter()
+        .any(|sf| !sf.backup && !sf.link_down && sf.tcp.state() == TcpState::Established);
+    // A backup subflow is a candidate only when no regular subflow is alive.
+    subflows
+        .iter()
+        .enumerate()
+        .filter(|(_, sf)| sf.can_take_data() && (!sf.backup || !any_regular_alive))
+        .min_by_key(|(idx, sf)| (sf.tcp.rtt().srtt_or_zero(), *idx))
+        .map(|(idx, _)| idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subflow::SubflowId;
+    use emptcp_phy::IfaceKind;
+    use emptcp_sim::{SimDuration, SimTime};
+    use emptcp_tcp::{Segment, TcpConfig};
+
+    /// Build an established client subflow by replaying a handshake.
+    fn established(id: u8, iface: IfaceKind, rtt_ms: u64) -> Subflow {
+        let mut sf = Subflow::client(SubflowId(id), iface, TcpConfig::default());
+        let t0 = SimTime::ZERO;
+        sf.tcp.connect(t0);
+        let _syn = sf.tcp.poll_transmit(t0).expect("syn");
+        let mut synack = Segment::empty(t0);
+        synack.flags.syn = true;
+        synack.flags.ack = true;
+        synack.ack = 1;
+        synack.rwnd = 4 * 1024 * 1024;
+        let arrival = t0 + SimDuration::from_millis(rtt_ms);
+        sf.tcp.on_segment(arrival, synack);
+        assert_eq!(sf.tcp.state(), TcpState::Established);
+        while sf.tcp.poll_transmit(arrival).is_some() {}
+        sf
+    }
+
+    #[test]
+    fn picks_lowest_rtt() {
+        let flows = vec![
+            established(0, IfaceKind::Wifi, 20),
+            established(1, IfaceKind::CellularLte, 60),
+        ];
+        assert_eq!(pick_subflow(&flows), Some(0));
+    }
+
+    #[test]
+    fn zero_rtt_probed_first() {
+        let mut flows = vec![
+            established(0, IfaceKind::Wifi, 20),
+            established(1, IfaceKind::CellularLte, 60),
+        ];
+        flows[1].prepare_resume(); // zeroes srtt
+        assert_eq!(pick_subflow(&flows), Some(1));
+    }
+
+    #[test]
+    fn backup_ignored_while_regular_alive() {
+        let mut flows = vec![
+            established(0, IfaceKind::Wifi, 60),
+            established(1, IfaceKind::CellularLte, 10),
+        ];
+        flows[1].backup = true;
+        assert_eq!(pick_subflow(&flows), Some(0));
+    }
+
+    #[test]
+    fn backup_used_when_no_regular_established() {
+        let mut flows = vec![
+            Subflow::client(SubflowId(0), IfaceKind::Wifi, TcpConfig::default()),
+            established(1, IfaceKind::CellularLte, 60),
+        ];
+        // Subflow 0 never completed its handshake; subflow 1 is backup.
+        flows[1].backup = true;
+        assert_eq!(pick_subflow(&flows), Some(1));
+    }
+
+    #[test]
+    fn window_full_regular_does_not_spill_to_backup() {
+        let mut flows = vec![
+            established(0, IfaceKind::Wifi, 20),
+            established(1, IfaceKind::CellularLte, 60),
+        ];
+        flows[1].backup = true;
+        // Exhaust subflow 0's window.
+        let room = flows[0].send_room();
+        flows[0].push_data(0, room as u32);
+        let now = SimTime::from_secs(1);
+        while flows[0].tcp.poll_transmit(now).is_some() {}
+        assert!(!flows[0].can_take_data());
+        assert_eq!(pick_subflow(&flows), None, "must wait, not use backup");
+    }
+
+    #[test]
+    fn nothing_pickable_when_all_closed() {
+        let flows = vec![Subflow::client(
+            SubflowId(0),
+            IfaceKind::Wifi,
+            TcpConfig::default(),
+        )];
+        assert_eq!(pick_subflow(&flows), None);
+    }
+
+    #[test]
+    fn tie_breaks_by_index() {
+        let flows = vec![
+            established(0, IfaceKind::Wifi, 30),
+            established(1, IfaceKind::CellularLte, 30),
+        ];
+        assert_eq!(pick_subflow(&flows), Some(0));
+    }
+}

@@ -1,0 +1,337 @@
+//! One subflow: a TCP endpoint plus MPTCP bookkeeping.
+//!
+//! A subflow owns its [`TcpEndpoint`] and the two mapping tables that tie
+//! the subflow byte stream to the connection-level data stream:
+//!
+//! * `tx_mappings` — mappings this side created when scheduling data onto
+//!   the subflow (consulted when a segment is emitted, to attach its DSS);
+//! * `rx_mappings` — mappings received in DSS options (consulted when the
+//!   TCP layer delivers subflow bytes in order, to translate them back to
+//!   data sequence space).
+
+use emptcp_phy::IfaceKind;
+use emptcp_sim::SimTime;
+use emptcp_tcp::{Dss, Segment, TcpConfig, TcpEndpoint};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a subflow within one MPTCP connection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct SubflowId(pub u8);
+
+impl fmt::Display for SubflowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sf{}", self.0)
+    }
+}
+
+/// One side's view of one subflow.
+#[derive(Clone, Debug)]
+pub struct Subflow {
+    /// Subflow identity (same on both ends).
+    pub id: SubflowId,
+    /// The interface this subflow rides on (device side).
+    pub iface: IfaceKind,
+    /// The TCP machinery.
+    pub tcp: TcpEndpoint,
+    /// Local view of the subflow's priority: backup subflows receive no new
+    /// data while a regular subflow is available.
+    pub backup: bool,
+    /// The underlying interface is down (e.g. the WiFi association was
+    /// lost). A down subflow is never scheduled; its in-flight data is
+    /// rescued by RTO-triggered reinjection.
+    pub link_down: bool,
+    /// Sender-side: subflow-seq → (data-seq, len) for data scheduled here.
+    tx_mappings: BTreeMap<u64, (u64, u32)>,
+    /// Receiver-side: mappings learned from arriving DSS options.
+    rx_mappings: BTreeMap<u64, (u64, u32)>,
+    /// Next subflow stream position for newly scheduled data
+    /// (1 = first byte after the SYN).
+    push_seq: u64,
+    /// Timeout count last observed by the connection (reinjection edge
+    /// detector).
+    pub(crate) seen_timeouts: u64,
+    /// Stall tracking for opportunistic reinjection: the `snd_una` last
+    /// observed, when it last advanced, and the `snd_una` at which a
+    /// reinjection was already issued (once per stall).
+    pub(crate) stall_una: u64,
+    pub(crate) stall_since: SimTime,
+    pub(crate) reinjected_una: Option<u64>,
+}
+
+impl Subflow {
+    /// A client-side (active-open) subflow.
+    pub fn client(id: SubflowId, iface: IfaceKind, cfg: TcpConfig) -> Self {
+        Self::new(id, iface, TcpEndpoint::client(cfg))
+    }
+
+    /// A server-side (passive-open) subflow.
+    pub fn listener(id: SubflowId, iface: IfaceKind, cfg: TcpConfig) -> Self {
+        Self::new(id, iface, TcpEndpoint::listener(cfg))
+    }
+
+    fn new(id: SubflowId, iface: IfaceKind, tcp: TcpEndpoint) -> Self {
+        Subflow {
+            id,
+            iface,
+            tcp,
+            backup: false,
+            link_down: false,
+            tx_mappings: BTreeMap::new(),
+            rx_mappings: BTreeMap::new(),
+            push_seq: 1,
+            seen_timeouts: 0,
+            stall_una: 0,
+            stall_since: SimTime::ZERO,
+            reinjected_una: None,
+        }
+    }
+
+    /// Schedule `len` connection bytes starting at `data_seq` onto this
+    /// subflow; the TCP layer will emit them as soon as its window allows.
+    pub fn push_data(&mut self, data_seq: u64, len: u32) {
+        self.tx_mappings.insert(self.push_seq, (data_seq, len));
+        self.push_seq += len as u64;
+        self.tcp.write(len as u64);
+    }
+
+    /// Record a mapping received in a DSS option.
+    pub fn learn_mapping(&mut self, subflow_seq: u64, dss: Dss) {
+        if dss.len > 0 {
+            self.rx_mappings.insert(subflow_seq, (dss.data_seq, dss.len));
+        }
+    }
+
+    /// Translate a delivered subflow range into data-sequence space.
+    /// Reassembly can coalesce adjacent segments, so one delivered range
+    /// may span several mappings; the result is one data range per mapping
+    /// crossed. Bytes with no known mapping are skipped (protocol error,
+    /// reported by the caller's debug assertions).
+    pub fn translate_delivered(&self, seq: u64, len: u32) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        let mut pos = seq;
+        let end = seq + len as u64;
+        while pos < end {
+            let Some((&start, &(data_seq, map_len))) =
+                self.rx_mappings.range(..=pos).next_back()
+            else {
+                break;
+            };
+            let map_end = start + map_len as u64;
+            if pos >= map_end {
+                break; // hole in the mapping table
+            }
+            let take = (end.min(map_end) - pos) as u32;
+            out.push((data_seq + (pos - start), take));
+            pos += take as u64;
+        }
+        out
+    }
+
+    /// The DSS for an outgoing data segment covering `[seq, seq+len)`.
+    pub fn dss_for_tx(&self, seq: u64, len: u32, data_ack: u64) -> Option<Dss> {
+        let (&start, &(data_seq, map_len)) = self.tx_mappings.range(..=seq).next_back()?;
+        if seq + len as u64 > start + map_len as u64 {
+            return None;
+        }
+        Some(Dss {
+            data_seq: data_seq + (seq - start),
+            len,
+            data_ack,
+        })
+    }
+
+    /// Data ranges scheduled here but not yet acknowledged at the subflow
+    /// level — the candidates for reinjection when this subflow times out.
+    pub fn unacked_data_ranges(&self) -> Vec<(u64, u32)> {
+        let una = self.tcp.snd_una();
+        self.tx_mappings
+            .iter()
+            .filter_map(|(&start, &(data_seq, len))| {
+                let end = start + len as u64;
+                if end <= una {
+                    None
+                } else if start >= una {
+                    Some((data_seq, len))
+                } else {
+                    let skip = una - start;
+                    Some((data_seq + skip, (len as u64 - skip) as u32))
+                }
+            })
+            .collect()
+    }
+
+    /// Drop sender mappings fully acknowledged at the subflow level, and
+    /// receiver mappings fully delivered.
+    pub fn gc_mappings(&mut self) {
+        let una = self.tcp.snd_una();
+        while let Some((&start, &(_, len))) = self.tx_mappings.first_key_value() {
+            if start + len as u64 <= una {
+                self.tx_mappings.remove(&start);
+            } else {
+                break;
+            }
+        }
+        let delivered_to = 1 + self.tcp.bytes_delivered_total();
+        while let Some((&start, &(_, len))) = self.rx_mappings.first_key_value() {
+            if start + len as u64 <= delivered_to {
+                self.rx_mappings.remove(&start);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Total bytes this side has scheduled onto the subflow.
+    pub fn bytes_scheduled(&self) -> u64 {
+        self.push_seq - 1
+    }
+
+    /// Window room: how many more bytes TCP could take right now.
+    pub fn send_room(&self) -> u64 {
+        let window = self.tcp.cc().cwnd();
+        window.saturating_sub(self.tcp.bytes_in_flight())
+    }
+
+    /// Eligible to be handed new data: established, its scheduled backlog
+    /// fully emitted, and window room available.
+    pub fn can_take_data(&self) -> bool {
+        !self.link_down
+            && self.tcp.state() == emptcp_tcp::TcpState::Established
+            && self.tcp.send_backlog() == 0
+            && self.send_room() > 0
+    }
+
+    /// Apply the §3.6 resume tweaks to this side's endpoint.
+    pub fn prepare_resume(&mut self) {
+        self.tcp.prepare_resume();
+    }
+
+    /// Decorate an outgoing segment: attach the DSS (mapping for data, or a
+    /// bare data-ack), honoring `mp_prio` already set by the TCP layer.
+    pub fn decorate(&mut self, seg: &mut Segment, data_ack: u64) {
+        if seg.payload > 0 {
+            seg.dss = self.dss_for_tx(seg.seq, seg.payload, data_ack);
+            debug_assert!(
+                seg.dss.is_some() || seg.flags.syn,
+                "data segment without a mapping: seq={} len={}",
+                seg.seq,
+                seg.payload
+            );
+        } else if !seg.flags.syn {
+            // Pure ACKs still carry the connection-level data ack.
+            seg.dss = Some(Dss {
+                data_seq: 0,
+                len: 0,
+                data_ack,
+            });
+        }
+    }
+
+    /// Timestamp of the last TCP-level activity.
+    pub fn last_activity(&self) -> SimTime {
+        self.tcp.last_activity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subflow() -> Subflow {
+        Subflow::client(SubflowId(0), IfaceKind::Wifi, TcpConfig::default())
+    }
+
+    #[test]
+    fn push_creates_contiguous_mappings() {
+        let mut sf = subflow();
+        sf.push_data(0, 1000);
+        sf.push_data(1000, 500);
+        assert_eq!(sf.bytes_scheduled(), 1500);
+        let dss = sf.dss_for_tx(1, 1000, 7).unwrap();
+        assert_eq!(dss.data_seq, 0);
+        assert_eq!(dss.data_ack, 7);
+        let dss2 = sf.dss_for_tx(1001, 500, 7).unwrap();
+        assert_eq!(dss2.data_seq, 1000);
+    }
+
+    #[test]
+    fn tx_lookup_with_offset() {
+        let mut sf = subflow();
+        sf.push_data(5000, 1428);
+        // A partial segment in the middle of the mapping.
+        let dss = sf.dss_for_tx(1 + 400, 500, 0).unwrap();
+        assert_eq!(dss.data_seq, 5400);
+        assert_eq!(dss.len, 500);
+        // Beyond the mapping: None.
+        assert!(sf.dss_for_tx(1 + 1000, 1000, 0).is_none());
+    }
+
+    #[test]
+    fn rx_translation() {
+        let mut sf = subflow();
+        sf.learn_mapping(
+            1,
+            Dss {
+                data_seq: 9000,
+                len: 1428,
+                data_ack: 0,
+            },
+        );
+        assert_eq!(sf.translate_delivered(1, 1428), vec![(9000, 1428)]);
+        assert_eq!(sf.translate_delivered(101, 100), vec![(9100, 100)]);
+        assert!(sf.translate_delivered(2000, 10).is_empty());
+    }
+
+    #[test]
+    fn rx_translation_spans_mappings() {
+        let mut sf = subflow();
+        sf.learn_mapping(
+            1,
+            Dss { data_seq: 9000, len: 1000, data_ack: 0 },
+        );
+        // Non-contiguous data sequence for the adjacent subflow range
+        // (e.g. a reinjected chunk).
+        sf.learn_mapping(
+            1001,
+            Dss { data_seq: 50_000, len: 500, data_ack: 0 },
+        );
+        let ranges = sf.translate_delivered(1, 1500);
+        assert_eq!(ranges, vec![(9000, 1000), (50_000, 500)]);
+    }
+
+    #[test]
+    fn zero_length_dss_not_learned() {
+        let mut sf = subflow();
+        sf.learn_mapping(
+            1,
+            Dss {
+                data_seq: 0,
+                len: 0,
+                data_ack: 55,
+            },
+        );
+        assert!(sf.translate_delivered(1, 1).is_empty());
+    }
+
+    #[test]
+    fn unacked_ranges_track_snd_una() {
+        let mut sf = subflow();
+        sf.push_data(0, 1000);
+        sf.push_data(1000, 1000);
+        // Nothing sent yet: snd_una = 0 (pre-handshake), everything unacked.
+        let ranges = sf.unacked_data_ranges();
+        assert_eq!(ranges, vec![(0, 1000), (1000, 1000)]);
+    }
+
+    #[test]
+    fn decorate_pure_ack_carries_data_ack() {
+        let mut sf = subflow();
+        let mut seg = Segment::empty(SimTime::ZERO);
+        seg.flags.ack = true;
+        sf.decorate(&mut seg, 12345);
+        assert_eq!(seg.dss.unwrap().data_ack, 12345);
+        assert_eq!(seg.dss.unwrap().len, 0);
+    }
+}

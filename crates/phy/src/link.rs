@@ -1,0 +1,333 @@
+//! A rate-limited, queueing, lossy point-to-point link.
+//!
+//! Each direction of a network path is one `Link`: packets are serialized at
+//! the link's current rate behind a drop-tail queue, then experience the
+//! propagation delay. Random (wireless) loss is applied on entry, congestion
+//! loss comes from the finite queue — which is what makes the TCP models
+//! upstairs regulate themselves realistically.
+//!
+//! The link is poll-less: [`Link::enqueue`] immediately returns the delivery
+//! time (or the drop), and the host schedules the arrival event. Rate changes
+//! apply to subsequently enqueued packets; with the paper's modulation
+//! periods (tens of seconds) the error from in-flight packets draining at the
+//! old rate is bounded by one queue's worth of bytes.
+
+use emptcp_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Static configuration of a link.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Serialization rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay.
+    pub prop_delay: SimDuration,
+    /// Drop-tail queue capacity in bytes (wire bytes awaiting serialization).
+    pub queue_capacity: u64,
+    /// Probability that an entering packet is lost to the channel
+    /// (independent of queue state).
+    pub loss_prob: f64,
+}
+
+impl LinkConfig {
+    /// A generous wired backbone hop: used for the server's Ethernet side
+    /// and for ACK-carrying reverse channels that are never the bottleneck.
+    pub fn backbone(prop_delay: SimDuration) -> Self {
+        LinkConfig {
+            rate_bps: 1_000_000_000,
+            prop_delay,
+            queue_capacity: 4 * 1024 * 1024,
+            loss_prob: 0.0,
+        }
+    }
+}
+
+/// Why a packet failed to enter the link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// Lost to random channel error.
+    Channel,
+    /// Tail-dropped by the full queue.
+    QueueFull,
+    /// The link is administratively down (zero rate / out of range).
+    LinkDown,
+}
+
+/// Result of offering a packet to the link.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EnqueueOutcome {
+    /// Accepted; the packet arrives at the far end at this time.
+    Delivered(SimTime),
+    /// Dropped.
+    Dropped(DropReason),
+}
+
+/// One direction of a point-to-point pipe.
+#[derive(Clone, Debug)]
+pub struct Link {
+    rate_bps: u64,
+    prop_delay: SimDuration,
+    queue_capacity: u64,
+    loss_prob: f64,
+    /// When the serializer frees up.
+    busy_until: SimTime,
+    /// Wire bytes whose serialization completes in the future, for backlog
+    /// accounting: `(serialization_end, bytes)`.
+    backlog: VecDeque<(SimTime, u64)>,
+    backlog_bytes: u64,
+    /// Counters for diagnostics and tests.
+    delivered_packets: u64,
+    dropped_channel: u64,
+    dropped_queue: u64,
+}
+
+impl Link {
+    /// A link with the given configuration, idle at time zero.
+    pub fn new(config: LinkConfig) -> Self {
+        Link {
+            rate_bps: config.rate_bps,
+            prop_delay: config.prop_delay,
+            queue_capacity: config.queue_capacity,
+            loss_prob: config.loss_prob,
+            busy_until: SimTime::ZERO,
+            backlog: VecDeque::new(),
+            backlog_bytes: 0,
+            delivered_packets: 0,
+            dropped_channel: 0,
+            dropped_queue: 0,
+        }
+    }
+
+    /// Current serialization rate.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Change the serialization rate (bandwidth modulation, contention,
+    /// mobility). Zero means the link is down.
+    pub fn set_rate_bps(&mut self, rate_bps: u64) {
+        self.rate_bps = rate_bps;
+    }
+
+    /// Change the random loss probability (contention raises it).
+    pub fn set_loss_prob(&mut self, p: f64) {
+        self.loss_prob = p.clamp(0.0, 1.0);
+    }
+
+    /// Current random loss probability.
+    pub fn loss_prob(&self) -> f64 {
+        self.loss_prob
+    }
+
+    /// One-way propagation delay.
+    pub fn prop_delay(&self) -> SimDuration {
+        self.prop_delay
+    }
+
+    /// Change the propagation delay (e.g. a different server location).
+    pub fn set_prop_delay(&mut self, d: SimDuration) {
+        self.prop_delay = d;
+    }
+
+    /// Bytes queued ahead of a packet arriving at `now`.
+    pub fn backlog_bytes(&mut self, now: SimTime) -> u64 {
+        while let Some(&(end, bytes)) = self.backlog.front() {
+            if end <= now {
+                self.backlog.pop_front();
+                self.backlog_bytes -= bytes;
+            } else {
+                break;
+            }
+        }
+        self.backlog_bytes
+    }
+
+    /// Offer a packet of `wire_bytes` to the link at `now`.
+    pub fn enqueue(&mut self, now: SimTime, wire_bytes: u64, rng: &mut SimRng) -> EnqueueOutcome {
+        if self.rate_bps == 0 {
+            return EnqueueOutcome::Dropped(DropReason::LinkDown);
+        }
+        if self.loss_prob > 0.0 && rng.chance(self.loss_prob) {
+            self.dropped_channel += 1;
+            return EnqueueOutcome::Dropped(DropReason::Channel);
+        }
+        if self.backlog_bytes(now) + wire_bytes > self.queue_capacity {
+            self.dropped_queue += 1;
+            return EnqueueOutcome::Dropped(DropReason::QueueFull);
+        }
+        let start = self.busy_until.max(now);
+        let tx = SimDuration::transmission(wire_bytes, self.rate_bps);
+        let serialized = start + tx;
+        self.busy_until = serialized;
+        self.backlog.push_back((serialized, wire_bytes));
+        self.backlog_bytes += wire_bytes;
+        self.delivered_packets += 1;
+        EnqueueOutcome::Delivered(serialized + self.prop_delay)
+    }
+
+    /// Packets accepted so far.
+    pub fn delivered_packets(&self) -> u64 {
+        self.delivered_packets
+    }
+
+    /// Packets lost to channel error so far.
+    pub fn dropped_channel(&self) -> u64 {
+        self.dropped_channel
+    }
+
+    /// Packets tail-dropped so far.
+    pub fn dropped_queue(&self) -> u64 {
+        self.dropped_queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossless(rate_bps: u64, delay_ms: u64) -> Link {
+        Link::new(LinkConfig {
+            rate_bps,
+            prop_delay: SimDuration::from_millis(delay_ms),
+            queue_capacity: 64 * 1024,
+            loss_prob: 0.0,
+        })
+    }
+
+    #[test]
+    fn single_packet_latency() {
+        let mut link = lossless(12_000_000, 10); // 1500 B = 1 ms serialization
+        let mut rng = SimRng::new(1);
+        match link.enqueue(SimTime::ZERO, 1500, &mut rng) {
+            EnqueueOutcome::Delivered(t) => assert_eq!(t, SimTime::from_millis(11)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serialization_queues_back_to_back() {
+        let mut link = lossless(12_000_000, 0);
+        let mut rng = SimRng::new(1);
+        let t1 = match link.enqueue(SimTime::ZERO, 1500, &mut rng) {
+            EnqueueOutcome::Delivered(t) => t,
+            _ => unreachable!(),
+        };
+        let t2 = match link.enqueue(SimTime::ZERO, 1500, &mut rng) {
+            EnqueueOutcome::Delivered(t) => t,
+            _ => unreachable!(),
+        };
+        assert_eq!(t1, SimTime::from_millis(1));
+        assert_eq!(t2, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut link = Link::new(LinkConfig {
+            rate_bps: 1_000_000,
+            prop_delay: SimDuration::ZERO,
+            queue_capacity: 3000,
+            loss_prob: 0.0,
+        });
+        let mut rng = SimRng::new(1);
+        assert!(matches!(
+            link.enqueue(SimTime::ZERO, 1500, &mut rng),
+            EnqueueOutcome::Delivered(_)
+        ));
+        assert!(matches!(
+            link.enqueue(SimTime::ZERO, 1500, &mut rng),
+            EnqueueOutcome::Delivered(_)
+        ));
+        assert_eq!(
+            link.enqueue(SimTime::ZERO, 1500, &mut rng),
+            EnqueueOutcome::Dropped(DropReason::QueueFull)
+        );
+        assert_eq!(link.dropped_queue(), 1);
+    }
+
+    #[test]
+    fn backlog_drains_over_time() {
+        let mut link = Link::new(LinkConfig {
+            rate_bps: 12_000_000,
+            prop_delay: SimDuration::ZERO,
+            queue_capacity: 4500,
+            loss_prob: 0.0,
+        });
+        let mut rng = SimRng::new(1);
+        for _ in 0..3 {
+            assert!(matches!(
+                link.enqueue(SimTime::ZERO, 1500, &mut rng),
+                EnqueueOutcome::Delivered(_)
+            ));
+        }
+        assert_eq!(link.backlog_bytes(SimTime::ZERO), 4500);
+        // After 2 ms, two packets have serialized.
+        assert_eq!(link.backlog_bytes(SimTime::from_millis(2)), 1500);
+        assert!(matches!(
+            link.enqueue(SimTime::from_millis(2), 1500, &mut rng),
+            EnqueueOutcome::Delivered(_)
+        ));
+    }
+
+    #[test]
+    fn channel_loss_rate_is_respected() {
+        let mut link = Link::new(LinkConfig {
+            rate_bps: 1_000_000_000,
+            prop_delay: SimDuration::ZERO,
+            queue_capacity: u64::MAX,
+            loss_prob: 0.1,
+        });
+        let mut rng = SimRng::new(5);
+        let mut t = SimTime::ZERO;
+        let mut lost = 0;
+        for _ in 0..50_000 {
+            if matches!(
+                link.enqueue(t, 1500, &mut rng),
+                EnqueueOutcome::Dropped(DropReason::Channel)
+            ) {
+                lost += 1;
+            }
+            t += SimDuration::from_micros(100);
+        }
+        let rate = lost as f64 / 50_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "loss rate {rate}");
+    }
+
+    #[test]
+    fn zero_rate_means_down() {
+        let mut link = lossless(1_000_000, 0);
+        link.set_rate_bps(0);
+        let mut rng = SimRng::new(1);
+        assert_eq!(
+            link.enqueue(SimTime::ZERO, 100, &mut rng),
+            EnqueueOutcome::Dropped(DropReason::LinkDown)
+        );
+    }
+
+    #[test]
+    fn rate_change_affects_new_packets() {
+        let mut link = lossless(12_000_000, 0);
+        let mut rng = SimRng::new(1);
+        link.enqueue(SimTime::ZERO, 1500, &mut rng); // serializes by 1 ms
+        link.set_rate_bps(1_200_000); // 10x slower
+        match link.enqueue(SimTime::ZERO, 1500, &mut rng) {
+            // 1 ms (waiting) + 10 ms serialization
+            EnqueueOutcome::Delivered(t) => assert_eq!(t, SimTime::from_millis(11)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backbone_config_is_forgiving() {
+        let cfg = LinkConfig::backbone(SimDuration::from_millis(5));
+        let mut link = Link::new(cfg);
+        let mut rng = SimRng::new(1);
+        for _ in 0..1000 {
+            assert!(matches!(
+                link.enqueue(SimTime::ZERO, 1500, &mut rng),
+                EnqueueOutcome::Delivered(_)
+            ));
+        }
+        assert_eq!(link.dropped_queue() + link.dropped_channel(), 0);
+    }
+}

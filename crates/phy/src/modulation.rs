@@ -1,0 +1,186 @@
+//! Two-state Markov on-off processes.
+//!
+//! The controlled-lab evaluation uses these twice:
+//!
+//! * §4.3 modulates the AP's link bandwidth between a low state (≤ 1 Mbps)
+//!   and a high state (≥ 10 Mbps) with exponentially distributed holding
+//!   times of mean 40 s;
+//! * §4.4 turns each interfering WiFi node's UDP traffic on and off with
+//!   rates λ_on = 0.05 (mean 20 s bursts) and λ_off ∈ {0.025, 0.05}.
+//!
+//! Holding times are exponential with the rate of the *current* state, i.e.
+//! the process stays On for `Exp(rate_on)` then Off for `Exp(rate_off)`.
+
+use emptcp_sim::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// State of an on-off process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum OnOff {
+    /// The "on" state (traffic flowing / high bandwidth).
+    On,
+    /// The "off" state.
+    Off,
+}
+
+impl OnOff {
+    /// The other state.
+    pub fn flipped(self) -> OnOff {
+        match self {
+            OnOff::On => OnOff::Off,
+            OnOff::Off => OnOff::On,
+        }
+    }
+}
+
+/// A two-state process with exponential holding times, advanced lazily.
+#[derive(Clone, Debug)]
+pub struct OnOffProcess {
+    state: OnOff,
+    /// Mean-1/rate exponential holding rate while On.
+    rate_on: f64,
+    /// Holding rate while Off.
+    rate_off: f64,
+    next_toggle: SimTime,
+    rng: SimRng,
+    toggles: u64,
+}
+
+impl OnOffProcess {
+    /// Create a process in `initial` state at time `start`; the first
+    /// holding time is drawn immediately.
+    pub fn new(
+        start: SimTime,
+        initial: OnOff,
+        rate_on: f64,
+        rate_off: f64,
+        mut rng: SimRng,
+    ) -> Self {
+        assert!(rate_on > 0.0 && rate_off > 0.0, "rates must be positive");
+        let rate = match initial {
+            OnOff::On => rate_on,
+            OnOff::Off => rate_off,
+        };
+        let next_toggle = start + rng.exponential_duration(rate);
+        OnOffProcess {
+            state: initial,
+            rate_on,
+            rate_off,
+            next_toggle,
+            rng,
+            toggles: 0,
+        }
+    }
+
+    /// Current state (without advancing).
+    pub fn state(&self) -> OnOff {
+        self.state
+    }
+
+    /// When the next toggle is due.
+    pub fn next_toggle(&self) -> SimTime {
+        self.next_toggle
+    }
+
+    /// Number of toggles performed so far.
+    pub fn toggles(&self) -> u64 {
+        self.toggles
+    }
+
+    /// Advance to `now`, flipping through any due toggles; returns `true`
+    /// if the observable state changed since the last call.
+    pub fn poll(&mut self, now: SimTime) -> bool {
+        let before = self.state;
+        while self.next_toggle <= now {
+            self.state = self.state.flipped();
+            self.toggles += 1;
+            let rate = match self.state {
+                OnOff::On => self.rate_on,
+                OnOff::Off => self.rate_off,
+            };
+            let hold = self.rng.exponential_duration(rate);
+            self.next_toggle = self.next_toggle + hold;
+        }
+        self.state != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emptcp_sim::SimDuration;
+
+    #[test]
+    fn starts_in_initial_state() {
+        let p = OnOffProcess::new(SimTime::ZERO, OnOff::Off, 0.05, 0.025, SimRng::new(1));
+        assert_eq!(p.state(), OnOff::Off);
+        assert!(p.next_toggle() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn poll_before_toggle_is_noop() {
+        let mut p = OnOffProcess::new(SimTime::ZERO, OnOff::On, 1.0, 1.0, SimRng::new(2));
+        let t = p.next_toggle();
+        assert!(!p.poll(t.checked_sub(SimDuration::from_nanos(1)).unwrap()));
+        assert_eq!(p.state(), OnOff::On);
+    }
+
+    #[test]
+    fn poll_through_single_toggle() {
+        let mut p = OnOffProcess::new(SimTime::ZERO, OnOff::On, 1.0, 1.0, SimRng::new(3));
+        let t = p.next_toggle();
+        assert!(p.poll(t));
+        assert_eq!(p.state(), OnOff::Off);
+        assert_eq!(p.toggles(), 1);
+        assert!(p.next_toggle() > t);
+    }
+
+    #[test]
+    fn poll_through_many_toggles_lands_on_parity() {
+        let mut p = OnOffProcess::new(SimTime::ZERO, OnOff::On, 10.0, 10.0, SimRng::new(4));
+        p.poll(SimTime::from_secs(1000));
+        let expected = if p.toggles() % 2 == 0 { OnOff::On } else { OnOff::Off };
+        assert_eq!(p.state(), expected);
+        assert!(p.toggles() > 5000, "got {}", p.toggles());
+    }
+
+    #[test]
+    fn mean_holding_times_match_rates() {
+        // lambda_on = 0.05 (mean 20 s on), lambda_off = 0.025 (mean 40 s off):
+        // fraction of time On should approach 20 / (20 + 40) = 1/3.
+        let mut p = OnOffProcess::new(SimTime::ZERO, OnOff::Off, 0.05, 0.025, SimRng::new(5));
+        let horizon = SimTime::from_secs(2_000_000);
+        let step = SimDuration::from_secs(7);
+        let mut t = SimTime::ZERO;
+        let (mut on, mut total) = (0u64, 0u64);
+        while t < horizon {
+            p.poll(t);
+            if p.state() == OnOff::On {
+                on += 1;
+            }
+            total += 1;
+            t += step;
+        }
+        let frac = on as f64 / total as f64;
+        assert!((frac - 1.0 / 3.0).abs() < 0.01, "on-fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = OnOffProcess::new(SimTime::ZERO, OnOff::On, 0.05, 0.05, SimRng::new(9));
+        let mut b = OnOffProcess::new(SimTime::ZERO, OnOff::On, 0.05, 0.05, SimRng::new(9));
+        for s in (0..10_000).step_by(13) {
+            let t = SimTime::from_secs(s);
+            a.poll(t);
+            b.poll(t);
+            assert_eq!(a.state(), b.state());
+            assert_eq!(a.next_toggle(), b.next_toggle());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be positive")]
+    fn zero_rate_rejected() {
+        OnOffProcess::new(SimTime::ZERO, OnOff::On, 0.0, 1.0, SimRng::new(1));
+    }
+}

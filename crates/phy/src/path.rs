@@ -1,0 +1,176 @@
+//! A bidirectional end-to-end path between the mobile device and a server.
+//!
+//! Each MPTCP subflow rides one `Path`: the **down** link models the
+//! bottleneck wireless hop plus internet path toward the device, the **up**
+//! link carries requests and ACKs (never the bottleneck in the paper's
+//! download-dominated workloads, but still rate-limited and delayed so
+//! ACK-clocking behaves).
+
+use crate::iface::IfaceKind;
+use crate::link::{EnqueueOutcome, Link, LinkConfig};
+use emptcp_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Direction of travel on a path, seen from the mobile device.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Direction {
+    /// Server → device.
+    Down,
+    /// Device → server.
+    Up,
+}
+
+/// Configuration of a path.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PathConfig {
+    /// Radio kind the device-side interface uses.
+    pub iface: IfaceKind,
+    /// Downlink (bottleneck) configuration.
+    pub down: LinkConfig,
+    /// Uplink configuration.
+    pub up: LinkConfig,
+}
+
+impl PathConfig {
+    /// A WiFi path: the downlink bottleneck is the AP's deliverable goodput,
+    /// `rtt` is the full base round-trip to the server.
+    pub fn wifi(down_bps: u64, rtt: SimDuration) -> Self {
+        PathConfig {
+            iface: IfaceKind::Wifi,
+            down: LinkConfig {
+                rate_bps: down_bps,
+                prop_delay: rtt / 2,
+                queue_capacity: 128 * 1024,
+                loss_prob: 0.0005,
+            },
+            up: LinkConfig {
+                rate_bps: down_bps.max(10_000_000),
+                prop_delay: rtt / 2,
+                queue_capacity: 256 * 1024,
+                loss_prob: 0.0,
+            },
+        }
+    }
+
+    /// A cellular path (3G or LTE) with the given downlink capacity and base
+    /// RTT. Cellular queues are deeper (carrier buffers).
+    pub fn cellular(kind: IfaceKind, down_bps: u64, rtt: SimDuration) -> Self {
+        assert!(kind.is_cellular(), "cellular path needs a cellular kind");
+        PathConfig {
+            iface: kind,
+            down: LinkConfig {
+                rate_bps: down_bps,
+                prop_delay: rtt / 2,
+                queue_capacity: 256 * 1024,
+                loss_prob: 0.0002,
+            },
+            up: LinkConfig {
+                rate_bps: down_bps.max(5_000_000),
+                prop_delay: rtt / 2,
+                queue_capacity: 256 * 1024,
+                loss_prob: 0.0,
+            },
+        }
+    }
+}
+
+/// A live path: two links plus identity.
+#[derive(Clone, Debug)]
+pub struct Path {
+    /// Radio kind of the device-side interface.
+    pub iface: IfaceKind,
+    down: Link,
+    up: Link,
+}
+
+impl Path {
+    /// Instantiate the links from a config.
+    pub fn new(config: PathConfig) -> Self {
+        Path {
+            iface: config.iface,
+            down: Link::new(config.down),
+            up: Link::new(config.up),
+        }
+    }
+
+    /// Offer a packet to the given direction.
+    pub fn enqueue(
+        &mut self,
+        dir: Direction,
+        now: SimTime,
+        wire_bytes: u64,
+        rng: &mut SimRng,
+    ) -> EnqueueOutcome {
+        match dir {
+            Direction::Down => self.down.enqueue(now, wire_bytes, rng),
+            Direction::Up => self.up.enqueue(now, wire_bytes, rng),
+        }
+    }
+
+    /// The downlink, for rate/loss updates from channel models.
+    pub fn down_mut(&mut self) -> &mut Link {
+        &mut self.down
+    }
+
+    /// The downlink, read-only.
+    pub fn down(&self) -> &Link {
+        &self.down
+    }
+
+    /// The uplink.
+    pub fn up_mut(&mut self) -> &mut Link {
+        &mut self.up
+    }
+
+    /// The uplink, read-only.
+    pub fn up(&self) -> &Link {
+        &self.up
+    }
+
+    /// Base round-trip time implied by the two propagation delays.
+    pub fn base_rtt(&self) -> SimDuration {
+        self.down.prop_delay() + self.up.prop_delay()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wifi_path_construction() {
+        let p = Path::new(PathConfig::wifi(10_000_000, SimDuration::from_millis(30)));
+        assert_eq!(p.iface, IfaceKind::Wifi);
+        assert_eq!(p.base_rtt(), SimDuration::from_millis(30));
+        assert_eq!(p.down().rate_bps(), 10_000_000);
+    }
+
+    #[test]
+    fn cellular_path_construction() {
+        let p = Path::new(PathConfig::cellular(
+            IfaceKind::CellularLte,
+            20_000_000,
+            SimDuration::from_millis(60),
+        ));
+        assert_eq!(p.iface, IfaceKind::CellularLte);
+        assert!(p.up().rate_bps() >= 5_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cellular path needs a cellular kind")]
+    fn cellular_rejects_wifi_kind() {
+        PathConfig::cellular(IfaceKind::Wifi, 1, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut p = Path::new(PathConfig::wifi(10_000_000, SimDuration::from_millis(20)));
+        let mut rng = SimRng::new(1);
+        let down = p.enqueue(Direction::Down, SimTime::ZERO, 1500, &mut rng);
+        let up = p.enqueue(Direction::Up, SimTime::ZERO, 66, &mut rng);
+        assert!(matches!(down, EnqueueOutcome::Delivered(_)));
+        assert!(matches!(up, EnqueueOutcome::Delivered(_)));
+        assert_eq!(p.down().delivered_packets(), 1);
+        assert_eq!(p.up().delivered_packets(), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests on the PHY substrate: the RRC state machine and
+//! the link pipe must hold their invariants under arbitrary usage.
+
+use emptcp_phy::link::{EnqueueOutcome, Link, LinkConfig};
+use emptcp_phy::rrc::{RrcConfig, RrcMachine, RrcState};
+use emptcp_sim::{SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rrc_never_misorders_states(
+        seed in 0u64..u64::MAX,
+        steps in 10usize..300,
+    ) {
+        // Drive the machine with a random interleaving of activity and
+        // polls; transitions must always be legal neighbours.
+        let mut m = RrcMachine::new(RrcConfig::lte());
+        let mut rng = SimRng::new(seed);
+        let mut now = SimTime::ZERO;
+        let mut prev = m.state();
+        for _ in 0..steps {
+            now = now + SimDuration::from_millis(1 + rng.below(3000));
+            let transitions = if rng.chance(0.5) {
+                let (tr, ready) = m.on_activity(now);
+                prop_assert!(ready >= now);
+                tr
+            } else {
+                m.poll(now)
+            };
+            for t in transitions {
+                let legal = matches!(
+                    (prev, t.to),
+                    (RrcState::Idle, RrcState::Promotion)
+                        | (RrcState::Promotion, RrcState::Active)
+                        | (RrcState::Active, RrcState::Tail)
+                        | (RrcState::Tail, RrcState::Active)
+                        | (RrcState::Tail, RrcState::Idle)
+                );
+                prop_assert!(legal, "illegal transition {prev:?} -> {:?}", t.to);
+                prev = t.to;
+            }
+            prop_assert_eq!(prev, m.state());
+        }
+    }
+
+    #[test]
+    fn rrc_transition_times_monotone(
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut m = RrcMachine::new(RrcConfig::threeg());
+        let mut rng = SimRng::new(seed);
+        let mut now = SimTime::ZERO;
+        let mut last_at = SimTime::ZERO;
+        for _ in 0..100 {
+            now = now + SimDuration::from_millis(1 + rng.below(5000));
+            let (a, _) = m.on_activity(now);
+            let b = m.poll(now);
+            for t in a.into_iter().chain(b) {
+                prop_assert!(t.at >= last_at, "transition time went backwards");
+                prop_assert!(t.at <= now);
+                last_at = t.at;
+            }
+        }
+    }
+
+    #[test]
+    fn link_deliveries_are_fifo(
+        seed in 0u64..u64::MAX,
+        rate_mbps in 1u64..100,
+        n in 2usize..200,
+    ) {
+        // Same-direction deliveries must come out in enqueue order: the
+        // serializer is a FIFO.
+        let mut link = Link::new(LinkConfig {
+            rate_bps: rate_mbps * 1_000_000,
+            prop_delay: SimDuration::from_millis(10),
+            queue_capacity: u64::MAX,
+            loss_prob: 0.0,
+        });
+        let mut rng = SimRng::new(seed);
+        let mut now = SimTime::ZERO;
+        let mut last_delivery = SimTime::ZERO;
+        for _ in 0..n {
+            now = now + SimDuration::from_micros(rng.below(2000));
+            match link.enqueue(now, 60 + rng.below(1440), &mut rng) {
+                EnqueueOutcome::Delivered(at) => {
+                    prop_assert!(at >= last_delivery, "FIFO violated");
+                    prop_assert!(at > now, "delivery can't precede enqueue");
+                    last_delivery = at;
+                }
+                EnqueueOutcome::Dropped(_) => unreachable!("lossless, unbounded"),
+            }
+        }
+    }
+
+    #[test]
+    fn link_queue_never_exceeds_capacity(
+        seed in 0u64..u64::MAX,
+        cap_kb in 4u64..256,
+    ) {
+        let cap = cap_kb << 10;
+        let mut link = Link::new(LinkConfig {
+            rate_bps: 5_000_000,
+            prop_delay: SimDuration::from_millis(5),
+            queue_capacity: cap,
+            loss_prob: 0.0,
+        });
+        let mut rng = SimRng::new(seed);
+        let mut now = SimTime::ZERO;
+        for _ in 0..500 {
+            now = now + SimDuration::from_micros(rng.below(1500));
+            let _ = link.enqueue(now, 1500, &mut rng);
+            prop_assert!(link.backlog_bytes(now) <= cap);
+        }
+    }
+
+    #[test]
+    fn link_throughput_bounded_by_rate(
+        seed in 0u64..u64::MAX,
+        rate_mbps in 1u64..50,
+    ) {
+        // Offered load far above capacity: accepted bytes over the busy
+        // window can never exceed the line rate.
+        let mut link = Link::new(LinkConfig {
+            rate_bps: rate_mbps * 1_000_000,
+            prop_delay: SimDuration::ZERO,
+            queue_capacity: 64 << 10,
+            loss_prob: 0.0,
+        });
+        let mut rng = SimRng::new(seed);
+        let mut accepted = 0u64;
+        let mut last = SimTime::ZERO;
+        let mut t = SimTime::ZERO;
+        for _ in 0..2000 {
+            t = t + SimDuration::from_micros(50);
+            if let EnqueueOutcome::Delivered(at) = link.enqueue(t, 1500, &mut rng) {
+                accepted += 1500;
+                last = last.max(at);
+            }
+        }
+        let horizon = last.as_secs_f64();
+        prop_assert!(
+            (accepted as f64) * 8.0 <= rate_mbps as f64 * 1e6 * horizon * 1.01,
+            "throughput above line rate"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! The deterministic event queue at the heart of the simulator.
+//!
+//! Events are ordered by `(time, sequence-number)`: events scheduled for the
+//! same instant fire in the order they were scheduled, which makes runs
+//! reproducible regardless of heap internals or platform.
+//!
+//! Protocol crates in this workspace are written as poll-style state machines
+//! (in the spirit of smoltcp): they never touch the queue directly, they
+//! return deadlines and emissions, and a host drives them from the queue via
+//! a single-threaded loop.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle to a scheduled event, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(u64);
+
+#[derive(Clone, Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A priority queue of timestamped events with stable same-time ordering and
+/// O(log n) cancellation (tombstones resolved lazily at pop time).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`. Scheduling in the past is a
+    /// logic error; the event is clamped to `now` in release builds.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> TimerId {
+        debug_assert!(at >= self.now, "scheduling into the past ({at:?} < {:?})", self.now);
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+        TimerId(seq)
+    }
+
+    /// Schedule `event` after a relative delay.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> TimerId {
+        self.schedule(self.now + delay, event)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, id: TimerId) {
+        if id.0 < self.next_seq {
+            self.cancelled.insert(id.0);
+        }
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.now = entry.at;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Number of live events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A thin driver over [`EventQueue`] that runs a handler until the queue
+/// drains or a horizon is reached. Most experiments bound their runs with
+/// [`Scheduler::run_until`].
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// A scheduler with an empty queue.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Access the underlying queue (for scheduling from the handler's
+    /// environment between steps).
+    pub fn queue(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedule an event at an absolute time.
+    pub fn at(&mut self, t: SimTime, event: E) -> TimerId {
+        self.queue.schedule(t, event)
+    }
+
+    /// Schedule an event after a delay.
+    pub fn after(&mut self, d: SimDuration, event: E) -> TimerId {
+        self.queue.schedule_after(d, event)
+    }
+
+    /// Run events in order until the queue empties or the next event would
+    /// fire after `horizon`; events exactly at the horizon still fire.
+    /// The handler may schedule further events through the supplied queue.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F)
+    where
+        F: FnMut(&mut EventQueue<E>, SimTime, E),
+    {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (at, ev) = self.queue.pop().expect("peeked event vanished");
+            handler(&mut self.queue, at, ev);
+        }
+    }
+
+    /// Run until the queue is fully drained.
+    pub fn run_to_completion<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut EventQueue<E>, SimTime, E),
+    {
+        while let Some((at, ev)) = self.queue.pop() {
+            handler(&mut self.queue, at, ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn same_time_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        let b = q.schedule(SimTime::from_secs(2), "b");
+        q.schedule(SimTime::from_secs(3), "c");
+        q.cancel(b);
+        q.cancel(b); // double-cancel is a no-op
+        assert_eq!(q.len(), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "c"]);
+        q.cancel(a); // cancelling a fired event is a no-op
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "x");
+        q.pop();
+        q.schedule_after(SimDuration::from_secs(5), "y");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn scheduler_run_until_horizon() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 1..=10u32 {
+            s.at(SimTime::from_secs(i as u64), i);
+        }
+        let mut fired = Vec::new();
+        s.run_until(SimTime::from_secs(5), |_, _, e| fired.push(e));
+        assert_eq!(fired, vec![1, 2, 3, 4, 5]);
+        assert_eq!(s.queue().len(), 5);
+    }
+
+    #[test]
+    fn scheduler_handler_can_reschedule() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.at(SimTime::from_secs(0), 0);
+        let mut count = 0;
+        s.run_until(SimTime::from_secs(10), |q, t, _| {
+            count += 1;
+            q.schedule(t + SimDuration::from_secs(1), 0);
+        });
+        // Fires at t = 0..=10 inclusive.
+        assert_eq!(count, 11);
+    }
+
+    #[test]
+    fn run_to_completion_drains() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.at(SimTime::from_secs(1), "a");
+        s.at(SimTime::from_secs(2), "b");
+        let mut n = 0;
+        s.run_to_completion(|_, _, _| n += 1);
+        assert_eq!(n, 2);
+        assert!(s.queue().is_empty());
+    }
+}

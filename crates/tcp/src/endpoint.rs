@@ -1,0 +1,1440 @@
+//! The TCP endpoint state machine.
+//!
+//! One [`TcpEndpoint`] is one side of one (sub)flow. It is driven entirely
+//! by the host:
+//!
+//! ```text
+//! host event                 endpoint call                 emissions
+//! ------------------------   ---------------------------   -----------------
+//! packet arrives             on_segment(now, seg)          -> delivered ranges
+//! timer fires                on_deadline(now)
+//! app writes                 write(bytes)
+//! any of the above           poll_transmit(now) until None -> segments to send
+//! (re-arm timers from next_deadline())
+//! ```
+//!
+//! Segments carry byte counts, not bytes. Sequence space: the SYN occupies
+//! seq 0, stream byte `i` occupies seq `1 + i`, the FIN occupies
+//! `1 + app_bytes`.
+
+use crate::cc::{CcAlgorithm, CongestionCtrl};
+use crate::rtt::RttEstimator;
+use crate::segment::{Segment, DEFAULT_MSS};
+use emptcp_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Endpoint configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes).
+    pub mss: u32,
+    /// Initial congestion window in segments (Linux IW10).
+    pub init_cwnd_segments: u32,
+    /// Receive buffer: the advertised window ceiling.
+    pub rwnd_bytes: u64,
+    /// Delayed ACKs (every second full segment or timeout).
+    pub delayed_ack: bool,
+    /// Delayed-ACK timeout.
+    pub delack_timeout: SimDuration,
+    /// RFC 2861 congestion-window validation after idle. eMPTCP disables
+    /// this on resumed subflows (§3.6).
+    pub cwnd_validation: bool,
+    /// Congestion-avoidance increase rule.
+    pub algorithm: CcAlgorithm,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: DEFAULT_MSS,
+            init_cwnd_segments: 10,
+            rwnd_bytes: 4 * 1024 * 1024,
+            delayed_ack: true,
+            delack_timeout: SimDuration::from_millis(40),
+            cwnd_validation: true,
+            algorithm: CcAlgorithm::Reno,
+        }
+    }
+}
+
+/// Connection state (handshake-centric; teardown is tracked by flags).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TcpState {
+    /// Not yet started.
+    Closed,
+    /// Passive open, waiting for a SYN.
+    Listen,
+    /// Active open, SYN sent.
+    SynSent,
+    /// SYN received, SYN-ACK sent.
+    SynRcvd,
+    /// Handshake complete; data flows.
+    Established,
+}
+
+/// A contiguous run of payload delivered in order to the application (or to
+/// the MPTCP reassembly layer above).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeliveredRange {
+    /// Subflow sequence of the first byte.
+    pub seq: u64,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// What [`TcpEndpoint::on_segment`] observed.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentOutcome {
+    /// Payload newly delivered in order by this segment (including any
+    /// out-of-order backlog it unlocked).
+    pub delivered: Vec<DeliveredRange>,
+    /// An MP_PRIO option arrived: the peer asks that this subflow be
+    /// treated as backup (`true`) or normal (`false`).
+    pub mp_prio: Option<bool>,
+    /// The handshake completed during this call.
+    pub established_now: bool,
+    /// The peer's FIN has now been fully received.
+    pub fin_received: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct SentSeg {
+    payload: u32,
+    syn: bool,
+    fin: bool,
+    ts: SimTime,
+    retransmitted: bool,
+    /// Selectively acknowledged (RFC 2018): delivered but not yet covered
+    /// by the cumulative ack.
+    sacked: bool,
+    /// Deemed lost (RFC 6675 IsLost): excluded from the pipe estimate
+    /// until retransmitted.
+    lost: bool,
+}
+
+impl SentSeg {
+    fn space(&self) -> u64 {
+        self.payload as u64 + self.syn as u64 + self.fin as u64
+    }
+}
+
+/// One side of a TCP (sub)flow.
+#[derive(Clone, Debug)]
+pub struct TcpEndpoint {
+    cfg: TcpConfig,
+    state: TcpState,
+
+    // --- send side ---
+    snd_una: u64,
+    snd_nxt: u64,
+    app_bytes: u64,
+    fin_queued: bool,
+    fin_sent: bool,
+    inflight: BTreeMap<u64, SentSeg>,
+    /// Sequences awaiting retransmission, in sequence order.
+    retx_queue: BTreeSet<u64>,
+    cc: CongestionCtrl,
+    rtt: RttEstimator,
+    rto_deadline: Option<SimTime>,
+    dupacks: u32,
+    recovery_high: Option<u64>,
+    /// Bytes currently SACKed (subtracted from the pipe estimate).
+    sacked_bytes: u64,
+    /// Bytes deemed lost and not yet retransmitted (also excluded from
+    /// the pipe).
+    lost_bytes: u64,
+    /// Highest sequence covered by any SACK block seen this recovery.
+    high_sacked: u64,
+    peer_rwnd: u64,
+    last_send_time: SimTime,
+    syn_sent_at: Option<SimTime>,
+    bytes_acked_total: u64,
+    retransmissions: u64,
+    timeouts: u64,
+
+    // --- receive side ---
+    rcv_nxt: u64,
+    /// Out-of-order payload, coalesced: `start -> end` (exclusive).
+    ooo: BTreeMap<u64, u64>,
+    ooo_bytes: u64,
+    fin_rcv_seq: Option<u64>,
+    fin_received: bool,
+    bytes_delivered_total: u64,
+    pending_acks: u32,
+    delack_deadline: Option<SimTime>,
+    ts_to_echo: Option<SimTime>,
+    /// Rotation cursor (a sequence number) over the out-of-order ranges
+    /// reported in SACK blocks, so successive ACKs cover the whole
+    /// scoreboard (real stacks achieve this by reporting the newest block
+    /// first; rotation has the same coverage effect).
+    sack_cursor: u64,
+
+    // --- emissions & options ---
+    out: VecDeque<Segment>,
+    pending_mp_prio: Option<bool>,
+    last_activity: SimTime,
+}
+
+impl TcpEndpoint {
+    fn new(cfg: TcpConfig, state: TcpState) -> Self {
+        TcpEndpoint {
+            cfg,
+            state,
+            snd_una: 0,
+            snd_nxt: 0,
+            app_bytes: 0,
+            fin_queued: false,
+            fin_sent: false,
+            inflight: BTreeMap::new(),
+            retx_queue: BTreeSet::new(),
+            cc: CongestionCtrl::new(cfg.algorithm, cfg.mss, cfg.init_cwnd_segments),
+            rtt: RttEstimator::new(),
+            rto_deadline: None,
+            dupacks: 0,
+            recovery_high: None,
+            sacked_bytes: 0,
+            lost_bytes: 0,
+            high_sacked: 0,
+            peer_rwnd: 64 * 1024,
+            last_send_time: SimTime::ZERO,
+            syn_sent_at: None,
+            bytes_acked_total: 0,
+            retransmissions: 0,
+            timeouts: 0,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            ooo_bytes: 0,
+            fin_rcv_seq: None,
+            fin_received: false,
+            bytes_delivered_total: 0,
+            pending_acks: 0,
+            delack_deadline: None,
+            ts_to_echo: None,
+            sack_cursor: 0,
+            out: VecDeque::new(),
+            pending_mp_prio: None,
+            last_activity: SimTime::ZERO,
+        }
+    }
+
+    /// An active opener; call [`connect`](Self::connect) to start.
+    pub fn client(cfg: TcpConfig) -> Self {
+        Self::new(cfg, TcpState::Closed)
+    }
+
+    /// A passive opener, waiting for a SYN.
+    pub fn listener(cfg: TcpConfig) -> Self {
+        Self::new(cfg, TcpState::Listen)
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    /// Connection state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TcpConfig {
+        &self.cfg
+    }
+
+    /// RTT estimator (srtt, rto, handshake RTT).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// Congestion controller.
+    pub fn cc(&self) -> &CongestionCtrl {
+        &self.cc
+    }
+
+    /// Refresh LIA coupling (forwarded from the MPTCP connection).
+    pub fn set_lia(&mut self, alpha: f64, total_cwnd: u64) {
+        self.cc.set_lia(alpha, total_cwnd);
+    }
+
+    /// Total payload bytes cumulatively acknowledged by the peer.
+    pub fn bytes_acked_total(&self) -> u64 {
+        self.bytes_acked_total
+    }
+
+    /// Total payload bytes delivered in order to the layer above.
+    pub fn bytes_delivered_total(&self) -> u64 {
+        self.bytes_delivered_total
+    }
+
+    /// Count of retransmitted segments.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Count of retransmission timeouts; the MPTCP layer watches this to
+    /// trigger opportunistic reinjection on another subflow.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// First unacknowledged sequence number.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Bytes currently unacknowledged.
+    pub fn bytes_in_flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// RFC 6675-style pipe estimate: unacknowledged bytes minus those the
+    /// peer has selectively acknowledged and those deemed lost (lost bytes
+    /// re-enter the pipe when retransmitted).
+    pub fn pipe(&self) -> u64 {
+        self.bytes_in_flight()
+            .saturating_sub(self.sacked_bytes)
+            .saturating_sub(self.lost_bytes)
+    }
+
+    /// Bytes written by the application but not yet sent.
+    pub fn send_backlog(&self) -> u64 {
+        (1 + self.app_bytes).saturating_sub(self.snd_nxt)
+    }
+
+    /// True once our FIN is queued/sent and all data plus FIN are acked and
+    /// the peer's FIN arrived.
+    pub fn fully_closed(&self) -> bool {
+        self.fin_sent && self.inflight.is_empty() && self.fin_received
+    }
+
+    /// Peer FIN received.
+    pub fn fin_received(&self) -> bool {
+        self.fin_received
+    }
+
+    /// Last send-or-receive activity; eMPTCP's idle test (§3.5) compares
+    /// this against an estimated RTT.
+    pub fn last_activity(&self) -> SimTime {
+        self.last_activity
+    }
+
+    /// §3.6 resume tweaks: zero the measured RTT (so the minRTT scheduler
+    /// probes this subflow) and disable RFC 2861 cwnd validation (so the
+    /// window survives the suspension).
+    pub fn prepare_resume(&mut self) {
+        self.rtt.reset_for_resume();
+        self.cfg.cwnd_validation = false;
+    }
+
+    /// Queue an MP_PRIO option onto the next outgoing segment; if nothing
+    /// else is pending a pure carrier segment is emitted.
+    pub fn send_mp_prio(&mut self, now: SimTime, backup: bool) {
+        self.pending_mp_prio = Some(backup);
+        // Ensure something leaves soon: schedule a pure ACK carrier.
+        if self.out.is_empty() {
+            let seg = self.make_ack(now);
+            self.out.push_back(seg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // application interface
+    // ------------------------------------------------------------------
+
+    /// Begin the active open.
+    pub fn connect(&mut self, now: SimTime) {
+        assert_eq!(self.state, TcpState::Closed, "connect() once, from Closed");
+        self.state = TcpState::SynSent;
+        self.syn_sent_at = Some(now);
+        let mut seg = Segment::empty(now);
+        seg.seq = 0;
+        seg.flags.syn = true;
+        seg.rwnd = self.advertised_rwnd();
+        self.inflight.insert(
+            0,
+            SentSeg {
+                payload: 0,
+                syn: true,
+                fin: false,
+                ts: now,
+                retransmitted: false,
+                sacked: false,
+                lost: false,
+            },
+        );
+        self.snd_nxt = 1;
+        self.out.push_back(seg);
+        self.arm_rto(now);
+        self.last_activity = now;
+    }
+
+    /// Append `bytes` of application data to the send stream.
+    pub fn write(&mut self, bytes: u64) {
+        assert!(!self.fin_queued, "write after close");
+        self.app_bytes += bytes;
+    }
+
+    /// Queue a FIN after all written data.
+    pub fn close(&mut self) {
+        self.fin_queued = true;
+    }
+
+    /// True once [`close`](Self::close) was called.
+    pub fn fin_queued(&self) -> bool {
+        self.fin_queued
+    }
+
+    // ------------------------------------------------------------------
+    // timers
+    // ------------------------------------------------------------------
+
+    /// Earliest pending timer, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        match (self.rto_deadline, self.delack_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fire any timers due at `now`.
+    pub fn on_deadline(&mut self, now: SimTime) {
+        if let Some(d) = self.delack_deadline {
+            if now >= d {
+                self.delack_deadline = None;
+                self.pending_acks = 0;
+                let seg = self.make_ack(now);
+                self.out.push_back(seg);
+            }
+        }
+        if let Some(d) = self.rto_deadline {
+            if now >= d && !self.inflight.is_empty() {
+                // Retransmission timeout (RFC 5681 §5): every unacked,
+                // un-SACKed segment is presumed lost and re-sent in order,
+                // clocked by slow start from one MSS (go-back-N). The
+                // once-per-recovery retransmission marks are cleared so a
+                // hole whose retransmission is lost again can be requeued.
+                self.cc.on_timeout();
+                self.rtt.backoff();
+                self.timeouts += 1;
+                self.dupacks = 0;
+                self.recovery_high = None;
+                self.high_sacked = 0;
+                self.lost_bytes = 0;
+                self.retx_queue.clear();
+                for (&seq, entry) in self.inflight.iter_mut() {
+                    entry.retransmitted = false;
+                    entry.lost = !entry.sacked;
+                    if entry.lost {
+                        self.lost_bytes += entry.space();
+                        self.retx_queue.insert(seq);
+                    }
+                }
+                self.arm_rto(now);
+            } else if now >= d {
+                self.rto_deadline = None;
+            }
+        }
+    }
+
+    fn arm_rto(&mut self, now: SimTime) {
+        self.rto_deadline = if self.inflight.is_empty() {
+            None
+        } else {
+            Some(now + self.rtt.rto())
+        };
+    }
+
+    // ------------------------------------------------------------------
+    // receive path
+    // ------------------------------------------------------------------
+
+    /// Process an arriving segment.
+    pub fn on_segment(&mut self, now: SimTime, seg: Segment) -> SegmentOutcome {
+        let mut outcome = SegmentOutcome {
+            mp_prio: seg.mp_prio,
+            ..SegmentOutcome::default()
+        };
+        self.last_activity = now;
+        self.peer_rwnd = seg.rwnd;
+
+        match self.state {
+            TcpState::Listen => {
+                if seg.flags.syn {
+                    self.rcv_nxt = 1;
+                    self.ts_to_echo = Some(seg.ts_val);
+                    self.state = TcpState::SynRcvd;
+                    let mut synack = Segment::empty(now);
+                    synack.seq = 0;
+                    synack.flags.syn = true;
+                    synack.flags.ack = true;
+                    synack.ack = 1;
+                    synack.ts_ecr = Some(seg.ts_val);
+                    synack.rwnd = self.advertised_rwnd();
+                    self.inflight.insert(
+                        0,
+                        SentSeg {
+                            payload: 0,
+                            syn: true,
+                            fin: false,
+                            ts: now,
+                            retransmitted: false,
+                            sacked: false,
+                            lost: false,
+                        },
+                    );
+                    self.snd_nxt = 1;
+                    self.out.push_back(synack);
+                    self.arm_rto(now);
+                }
+                return outcome;
+            }
+            TcpState::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == 1 {
+                    self.snd_una = 1;
+                    self.inflight.remove(&0);
+                    self.rto_deadline = None;
+                    self.rcv_nxt = 1;
+                    if let Some(sent) = self.syn_sent_at {
+                        self.rtt.on_handshake(now.saturating_since(sent));
+                    }
+                    self.ts_to_echo = Some(seg.ts_val);
+                    self.state = TcpState::Established;
+                    outcome.established_now = true;
+                    let ack = self.make_ack(now);
+                    self.out.push_back(ack);
+                }
+                return outcome;
+            }
+            TcpState::SynRcvd => {
+                if seg.flags.ack && seg.ack >= 1 {
+                    self.snd_una = 1;
+                    self.inflight.remove(&0);
+                    self.rto_deadline = None;
+                    if let Some(sent) = self.inflight_handshake_ts() {
+                        let _ = sent; // timestamp echo below is authoritative
+                    }
+                    if let Some(ecr) = seg.ts_ecr {
+                        self.rtt.on_handshake(now.saturating_since(ecr));
+                    }
+                    self.state = TcpState::Established;
+                    outcome.established_now = true;
+                    // Fall through: the completing ACK may carry data.
+                } else {
+                    return outcome;
+                }
+            }
+            TcpState::Closed => return outcome,
+            TcpState::Established => {}
+        }
+
+        // --- ACK processing (send side) ---
+        if seg.flags.ack {
+            self.process_ack(now, &seg);
+        }
+
+        // --- data processing (receive side) ---
+        if seg.seq_space() > 0 {
+            self.process_data(now, &seg, &mut outcome);
+        }
+        outcome.fin_received = self.fin_received;
+        outcome
+    }
+
+    fn inflight_handshake_ts(&self) -> Option<SimTime> {
+        self.inflight.get(&0).map(|s| s.ts)
+    }
+
+    /// Mark inflight segments covered by the ACK's SACK blocks.
+    fn apply_sack(&mut self, seg: &Segment) {
+        for block in seg.sack.iter().flatten() {
+            let (start, end) = *block;
+            self.high_sacked = self.high_sacked.max(end);
+            let to_mark: Vec<u64> = self
+                .inflight
+                .range(start..end)
+                .filter(|(&s, e)| !e.sacked && s + e.space() <= end)
+                .map(|(&s, _)| s)
+                .collect();
+            for s in to_mark {
+                if let Some(e) = self.inflight.get_mut(&s) {
+                    e.sacked = true;
+                    self.sacked_bytes += e.space();
+                    if e.lost {
+                        e.lost = false;
+                        self.lost_bytes -= e.space();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Queue every un-SACKed hole below the highest SACKed sequence for
+    /// retransmission (the core of SACK-based loss recovery).
+    fn queue_sack_holes(&mut self) {
+        let high = self.high_sacked;
+        // Each hole is retransmitted at most once per recovery; a
+        // retransmission that is itself lost falls back to the RTO.
+        let holes: Vec<u64> = self
+            .inflight
+            .range(..high)
+            .filter(|(_, e)| !e.sacked && !e.retransmitted)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in holes {
+            if self.retx_queue.insert(s) {
+                if let Some(e) = self.inflight.get_mut(&s) {
+                    if !e.lost {
+                        e.lost = true;
+                        self.lost_bytes += e.space();
+                    }
+                }
+            }
+        }
+    }
+
+    fn enter_recovery(&mut self) {
+        self.cc.on_fast_retransmit();
+        self.recovery_high = Some(self.snd_nxt);
+        if self.high_sacked > self.snd_una {
+            self.queue_sack_holes();
+        } else if let Some(e) = self.inflight.get_mut(&self.snd_una) {
+            if !e.lost {
+                e.lost = true;
+                self.lost_bytes += e.space();
+            }
+            self.retx_queue.insert(self.snd_una);
+        }
+    }
+
+    fn process_ack(&mut self, now: SimTime, seg: &Segment) {
+        self.apply_sack(seg);
+        if seg.ack > self.snd_una {
+            let newly_acked = seg.ack - self.snd_una;
+            // Drop fully-acked segments from the retransmission store.
+            let gone: Vec<u64> = self
+                .inflight
+                .range(..seg.ack)
+                .filter(|(&s, e)| s + e.space() <= seg.ack)
+                .map(|(&s, _)| s)
+                .collect();
+            let mut payload_acked = 0u64;
+            for s in gone {
+                if let Some(e) = self.inflight.remove(&s) {
+                    payload_acked += e.payload as u64;
+                    if e.sacked {
+                        self.sacked_bytes -= e.space();
+                    }
+                    if e.lost {
+                        self.lost_bytes -= e.space();
+                    }
+                }
+            }
+            self.snd_una = seg.ack;
+            self.bytes_acked_total += payload_acked;
+            self.dupacks = 0;
+            self.retx_queue = self.retx_queue.split_off(&seg.ack);
+
+            // RTT sample via timestamp echo.
+            if let Some(ecr) = seg.ts_ecr {
+                self.rtt.on_sample(now.saturating_since(ecr));
+            }
+
+            match self.recovery_high {
+                Some(high) if seg.ack < high => {
+                    // Partial ACK during recovery: fill the remaining holes
+                    // (SACK-guided if blocks were seen, else the next hole)
+                    // without growing the window.
+                    if self.high_sacked > self.snd_una {
+                        self.queue_sack_holes();
+                    } else if self.inflight.contains_key(&self.snd_una) {
+                        self.retx_queue.insert(self.snd_una);
+                    }
+                }
+                Some(_) => {
+                    self.recovery_high = None;
+                    self.high_sacked = 0;
+                    self.cc.on_ack(newly_acked);
+                }
+                None => {
+                    self.cc.on_ack(newly_acked);
+                }
+            }
+            self.arm_rto(now);
+        } else if seg.ack == self.snd_una
+            && !self.inflight.is_empty()
+            && seg.is_pure_ack()
+        {
+            self.dupacks += 1;
+            // RFC 6675: enter recovery on three dupacks or once SACK shows
+            // more than three segments' worth of out-of-order delivery.
+            let sack_trigger = self.sacked_bytes > 3 * self.cfg.mss as u64;
+            if self.recovery_high.is_none() && (self.dupacks >= 3 || sack_trigger) {
+                self.enter_recovery();
+            } else if self.recovery_high.is_some() && self.high_sacked > self.snd_una {
+                // More SACK information arrived mid-recovery.
+                self.queue_sack_holes();
+            }
+        }
+    }
+
+    fn process_data(&mut self, now: SimTime, seg: &Segment, outcome: &mut SegmentOutcome) {
+        if seg.flags.fin {
+            self.fin_rcv_seq = Some(seg.seq + seg.payload as u64);
+        }
+        let seg_end = seg.seq_end();
+        if seg_end <= self.rcv_nxt {
+            // Stale duplicate: re-ACK immediately so the peer converges.
+            self.ts_to_echo = Some(seg.ts_val);
+            let ack = self.make_ack(now);
+            self.out.push_back(ack);
+            return;
+        }
+        if seg.seq == self.rcv_nxt {
+            self.ts_to_echo = Some(seg.ts_val);
+            let had_ooo = !self.ooo.is_empty();
+            if seg.payload > 0 {
+                outcome.delivered.push(DeliveredRange {
+                    seq: seg.seq,
+                    len: seg.payload,
+                });
+                self.bytes_delivered_total += seg.payload as u64;
+            }
+            // Advance past the payload only; the FIN (if any) is consumed
+            // below once the stream is contiguous up to it.
+            self.rcv_nxt = seg.seq + seg.payload as u64;
+            // Drain any out-of-order backlog now contiguous.
+            while let Some((&s, &end)) = self.ooo.first_key_value() {
+                if s > self.rcv_nxt {
+                    break;
+                }
+                self.ooo.remove(&s);
+                self.ooo_bytes -= end - s;
+                if end > self.rcv_nxt {
+                    let fresh = (end - self.rcv_nxt) as u32;
+                    outcome.delivered.push(DeliveredRange {
+                        seq: self.rcv_nxt,
+                        len: fresh,
+                    });
+                    self.bytes_delivered_total += fresh as u64;
+                    self.rcv_nxt = end;
+                }
+            }
+            // FIN consumption.
+            if let Some(fs) = self.fin_rcv_seq {
+                if self.rcv_nxt == fs {
+                    self.rcv_nxt += 1;
+                    self.fin_received = true;
+                }
+            }
+            // Filling a hole must be acknowledged at once (RFC 5681 §4.2) so
+            // the sender exits recovery promptly.
+            if had_ooo {
+                self.pending_acks = 0;
+                self.delack_deadline = None;
+                let ack = self.make_ack(now);
+                self.out.push_back(ack);
+            } else {
+                self.schedule_ack(now, seg.payload);
+            }
+        } else {
+            // Out of order: buffer (coalescing) and send an immediate
+            // duplicate ACK.
+            if seg.payload > 0 {
+                self.insert_ooo(seg.seq, seg.seq + seg.payload as u64);
+            }
+            let ack = self.make_ack(now);
+            self.out.push_back(ack);
+        }
+    }
+
+    /// Insert `[start, end)` into the coalesced out-of-order store.
+    fn insert_ooo(&mut self, mut start: u64, mut end: u64) {
+        debug_assert!(start < end);
+        // Absorb any range beginning at or before `start` that reaches it.
+        if let Some((&ps, &pe)) = self.ooo.range(..=start).next_back() {
+            if pe >= start {
+                if pe >= end {
+                    return; // fully covered
+                }
+                self.ooo.remove(&ps);
+                self.ooo_bytes -= pe - ps;
+                start = ps;
+            }
+        }
+        // Absorb following ranges that overlap or touch.
+        while let Some((&ns, &ne)) = self.ooo.range(start..).next() {
+            if ns > end {
+                break;
+            }
+            self.ooo.remove(&ns);
+            self.ooo_bytes -= ne - ns;
+            end = end.max(ne);
+        }
+        self.ooo.insert(start, end);
+        self.ooo_bytes += end - start;
+    }
+
+    fn schedule_ack(&mut self, now: SimTime, _payload: u32) {
+        self.pending_acks += 1;
+        let force = !self.cfg.delayed_ack
+            || self.pending_acks >= 2
+            || self.fin_received
+            || self.state != TcpState::Established;
+        if force {
+            self.pending_acks = 0;
+            self.delack_deadline = None;
+            let ack = self.make_ack(now);
+            self.out.push_back(ack);
+        } else if self.delack_deadline.is_none() {
+            self.delack_deadline = Some(now + self.cfg.delack_timeout);
+        }
+    }
+
+    fn advertised_rwnd(&self) -> u64 {
+        self.cfg.rwnd_bytes.saturating_sub(self.ooo_bytes)
+    }
+
+    /// Pick three SACK ranges from the (already coalesced) out-of-order
+    /// store, rotating a sequence-number cursor across ACKs so the sender's
+    /// scoreboard converges even when the store holds many more ranges than
+    /// fit in the option space.
+    fn sack_blocks(&mut self) -> [Option<(u64, u64)>; 3] {
+        let mut blocks: [Option<(u64, u64)>; 3] = [None; 3];
+        if self.ooo.is_empty() {
+            return blocks;
+        }
+        let mut cursor = self.sack_cursor;
+        for i in 0..3 {
+            let next = self
+                .ooo
+                .range(cursor..)
+                .next()
+                .or_else(|| self.ooo.iter().next())
+                .map(|(&s, &e)| (s, e));
+            match next {
+                Some((s, e)) => {
+                    // Wrapped onto a range already picked: fewer than three
+                    // distinct ranges exist.
+                    if blocks.iter().flatten().any(|&(bs, _)| bs == s) {
+                        break;
+                    }
+                    blocks[i] = Some((s, e));
+                    cursor = e + 1;
+                }
+                None => break,
+            }
+        }
+        self.sack_cursor = cursor;
+        blocks
+    }
+
+    fn make_ack(&mut self, now: SimTime) -> Segment {
+        let mut seg = Segment::empty(now);
+        seg.seq = self.snd_nxt;
+        seg.flags.ack = true;
+        seg.ack = self.rcv_nxt;
+        seg.rwnd = self.advertised_rwnd();
+        seg.ts_ecr = self.ts_to_echo;
+        seg.sack = self.sack_blocks();
+        seg
+    }
+
+    // ------------------------------------------------------------------
+    // transmit path
+    // ------------------------------------------------------------------
+
+    /// Next segment to put on the wire, or `None` when the endpoint has
+    /// nothing (sendable) pending. Call repeatedly after every event.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<Segment> {
+        // 1. Queued control segments (ACKs, handshake).
+        if let Some(mut seg) = self.out.pop_front() {
+            seg.rwnd = self.advertised_rwnd();
+            if seg.mp_prio.is_none() {
+                seg.mp_prio = self.pending_mp_prio.take();
+            }
+            return Some(seg);
+        }
+        // 2. Retransmissions — including SYN/SYN-ACK retransmissions while
+        //    the handshake is still in flight. The first hole always goes
+        //    out; the rest respect the SACK pipe so a large recovery
+        //    doesn't re-burst into the bottleneck queue.
+        while let Some(seq) = self.retx_queue.pop_first() {
+            if seq < self.snd_una {
+                continue;
+            }
+            if self.inflight.get(&seq).is_some_and(|e| e.sacked) {
+                continue;
+            }
+            if seq > self.snd_una && self.pipe() >= self.cc.cwnd() {
+                self.retx_queue.insert(seq);
+                break;
+            }
+            if let Some(entry) = self.inflight.get_mut(&seq) {
+                entry.retransmitted = true;
+                if entry.lost {
+                    entry.lost = false;
+                    self.lost_bytes -= entry.space();
+                }
+                entry.ts = now;
+                let mut seg = Segment::empty(now);
+                seg.seq = seq;
+                seg.payload = entry.payload;
+                seg.flags.syn = entry.syn;
+                seg.flags.fin = entry.fin;
+                seg.flags.ack = true;
+                seg.ack = self.rcv_nxt;
+                seg.rwnd = self.advertised_rwnd();
+                seg.ts_ecr = self.ts_to_echo;
+                seg.retransmit = true;
+                seg.mp_prio = self.pending_mp_prio.take();
+                self.retransmissions += 1;
+                self.last_send_time = now;
+                self.last_activity = now;
+                if self.rto_deadline.is_none() {
+                    self.arm_rto(now);
+                }
+                return Some(seg);
+            }
+        }
+
+        if self.state != TcpState::Established {
+            return None;
+        }
+
+        // 3. New data, within min(cwnd, peer window).
+        self.maybe_validate_cwnd(now);
+        let stream_end = 1 + self.app_bytes;
+        let window = self.cc.cwnd().min(self.peer_rwnd);
+        let in_flight = self.pipe();
+        let can_send_fin =
+            self.fin_queued && !self.fin_sent && self.snd_nxt == stream_end;
+        if self.snd_nxt < stream_end || can_send_fin {
+            if in_flight >= window && !can_send_fin {
+                return None;
+            }
+            let budget = window.saturating_sub(in_flight);
+            let available = stream_end - self.snd_nxt;
+            let payload = available.min(self.cfg.mss as u64).min(budget.max(0)) as u32;
+            let fin_now = self.fin_queued
+                && !self.fin_sent
+                && self.snd_nxt + payload as u64 == stream_end;
+            if payload == 0 && !fin_now {
+                return None;
+            }
+            let mut seg = Segment::empty(now);
+            seg.seq = self.snd_nxt;
+            seg.payload = payload;
+            seg.flags.ack = true;
+            seg.flags.fin = fin_now;
+            seg.ack = self.rcv_nxt;
+            seg.rwnd = self.advertised_rwnd();
+            seg.ts_ecr = self.ts_to_echo;
+            seg.mp_prio = self.pending_mp_prio.take();
+            self.inflight.insert(
+                self.snd_nxt,
+                SentSeg {
+                    payload,
+                    syn: false,
+                    fin: fin_now,
+                    ts: now,
+                    retransmitted: false,
+                    sacked: false,
+                    lost: false,
+                },
+            );
+            self.snd_nxt += seg.seq_space();
+            if fin_now {
+                self.fin_sent = true;
+            }
+            if self.rto_deadline.is_none() {
+                self.arm_rto(now);
+            }
+            self.last_send_time = now;
+            self.last_activity = now;
+            return Some(seg);
+        }
+        None
+    }
+
+    fn maybe_validate_cwnd(&mut self, now: SimTime) {
+        if !self.cfg.cwnd_validation || !self.inflight.is_empty() {
+            return;
+        }
+        let idle = now.saturating_since(self.last_send_time.max(self.last_activity));
+        let rto = self.rtt.rto();
+        if self.last_send_time > SimTime::ZERO && idle > rto {
+            let periods = (idle.as_nanos() / rto.as_nanos().max(1)).min(u32::MAX as u64);
+            self.cc.restart_after_idle(periods as u32);
+            // Don't re-trigger until there's new activity.
+            self.last_send_time = now;
+        }
+    }
+
+    /// Allow the host (MPTCP layer) to toggle RFC 2861 validation.
+    pub fn set_cwnd_validation(&mut self, enabled: bool) {
+        self.cfg.cwnd_validation = enabled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deliver every pending segment of `from` into `to`, stepping time by
+    /// `half_rtt` per direction; returns segments moved.
+    fn pump(
+        now: &mut SimTime,
+        half_rtt: SimDuration,
+        from: &mut TcpEndpoint,
+        to: &mut TcpEndpoint,
+    ) -> usize {
+        let mut moved = 0;
+        from.on_deadline(*now);
+        let mut segs = Vec::new();
+        while let Some(seg) = from.poll_transmit(*now) {
+            segs.push(seg);
+        }
+        *now += half_rtt;
+        to.on_deadline(*now);
+        for seg in segs {
+            to.on_segment(*now, seg);
+            moved += 1;
+        }
+        moved
+    }
+
+    fn handshake(now: &mut SimTime, client: &mut TcpEndpoint, server: &mut TcpEndpoint) {
+        let half = SimDuration::from_millis(10);
+        client.connect(*now);
+        pump(now, half, client, server); // SYN
+        pump(now, half, server, client); // SYN-ACK
+        pump(now, half, client, server); // ACK
+        assert_eq!(client.state(), TcpState::Established);
+        assert_eq!(server.state(), TcpState::Established);
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let mut now = SimTime::ZERO;
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        // Handshake RTT (20 ms round trip) recorded at the client.
+        let hs = c.rtt().handshake_rtt().unwrap();
+        assert_eq!(hs, SimDuration::from_millis(20));
+        assert!(s.rtt().handshake_rtt().is_some());
+    }
+
+    #[test]
+    fn bulk_transfer_delivers_everything() {
+        let mut now = SimTime::ZERO;
+        let half = SimDuration::from_millis(10);
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+
+        let total: u64 = 1_000_000;
+        s.write(total);
+        let mut delivered = 0u64;
+        for _ in 0..200 {
+            s.on_deadline(now);
+            c.on_deadline(now);
+            let mut segs = Vec::new();
+            while let Some(seg) = s.poll_transmit(now) {
+                segs.push(seg);
+            }
+            now += half;
+            for seg in segs {
+                let out = c.on_segment(now, seg);
+                delivered += out.delivered.iter().map(|r| r.len as u64).sum::<u64>();
+            }
+            pump(&mut now, half, &mut c, &mut s); // ACKs back
+            if delivered == total {
+                break;
+            }
+        }
+        // Flush the final delayed ACK.
+        now += SimDuration::from_millis(50);
+        pump(&mut now, half, &mut c, &mut s);
+        assert_eq!(delivered, total);
+        assert_eq!(c.bytes_delivered_total(), total);
+        assert_eq!(s.bytes_acked_total(), total);
+        assert_eq!(s.retransmissions(), 0);
+    }
+
+    #[test]
+    fn slow_start_growth_visible() {
+        let mut now = SimTime::ZERO;
+        let half = SimDuration::from_millis(10);
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        s.write(10_000_000);
+        let w0 = s.cc().cwnd();
+        for _ in 0..6 {
+            pump(&mut now, half, &mut s, &mut c);
+            pump(&mut now, half, &mut c, &mut s);
+        }
+        assert!(s.cc().cwnd() > 4 * w0, "cwnd didn't grow in slow start");
+    }
+
+    #[test]
+    fn fast_retransmit_recovers_single_loss() {
+        let mut now = SimTime::ZERO;
+        let half = SimDuration::from_millis(5);
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        s.write(200_000);
+
+        let mut first_data = true;
+        let mut delivered = 0u64;
+        for _round in 0..400 {
+            s.on_deadline(now);
+            c.on_deadline(now);
+            let mut segs = Vec::new();
+            while let Some(seg) = s.poll_transmit(now) {
+                segs.push(seg);
+            }
+            now += half;
+            for seg in segs {
+                if first_data && seg.payload > 0 {
+                    first_data = false; // drop the very first data segment
+                    continue;
+                }
+                let out = c.on_segment(now, seg);
+                delivered += out.delivered.iter().map(|r| r.len as u64).sum::<u64>();
+            }
+            pump(&mut now, half, &mut c, &mut s);
+            if delivered == 200_000 {
+                break;
+            }
+        }
+        assert_eq!(delivered, 200_000);
+        assert!(s.retransmissions() >= 1);
+    }
+
+    #[test]
+    fn rto_recovers_total_blackout_of_window() {
+        let mut now = SimTime::ZERO;
+        let half = SimDuration::from_millis(5);
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        s.write(20_000);
+
+        // Drop the entire first flight.
+        while s.poll_transmit(now).is_some() {}
+        // Let the RTO fire.
+        let deadline = s.next_deadline().expect("rto armed");
+        now = deadline;
+        s.on_deadline(now);
+        let mut delivered = 0u64;
+        for _ in 0..400 {
+            s.on_deadline(now);
+            c.on_deadline(now);
+            let mut segs = Vec::new();
+            while let Some(seg) = s.poll_transmit(now) {
+                segs.push(seg);
+            }
+            now += half;
+            for seg in segs {
+                let out = c.on_segment(now, seg);
+                delivered += out.delivered.iter().map(|r| r.len as u64).sum::<u64>();
+            }
+            pump(&mut now, half, &mut c, &mut s);
+            if delivered == 20_000 {
+                break;
+            }
+            // Fire timers if the connection stalls.
+            if let Some(d) = s.next_deadline() {
+                if d > now {
+                    now = d;
+                }
+                s.on_deadline(now);
+            }
+        }
+        assert_eq!(delivered, 20_000);
+        assert!(s.retransmissions() >= 1);
+    }
+
+    #[test]
+    fn out_of_order_reassembly() {
+        let mut now = SimTime::ZERO;
+        let half = SimDuration::from_millis(5);
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        s.write(5 * 1428);
+        let mut segs = Vec::new();
+        while let Some(seg) = s.poll_transmit(now) {
+            segs.push(seg);
+        }
+        assert!(segs.len() >= 3);
+        segs.reverse(); // deliver in reverse order
+        now += half;
+        let mut delivered = 0u64;
+        for seg in segs {
+            let out = c.on_segment(now, seg);
+            delivered += out.delivered.iter().map(|r| r.len as u64).sum::<u64>();
+        }
+        assert_eq!(delivered, 5 * 1428);
+    }
+
+    #[test]
+    fn fin_closes_cleanly() {
+        let mut now = SimTime::ZERO;
+        let half = SimDuration::from_millis(5);
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        s.write(1000);
+        s.close();
+        c.close();
+        for _ in 0..20 {
+            pump(&mut now, half, &mut s, &mut c);
+            pump(&mut now, half, &mut c, &mut s);
+        }
+        assert!(c.fin_received());
+        assert_eq!(c.bytes_delivered_total(), 1000);
+        assert!(s.fully_closed());
+    }
+
+    #[test]
+    fn mp_prio_rides_next_segment() {
+        let mut now = SimTime::ZERO;
+        let half = SimDuration::from_millis(5);
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        c.send_mp_prio(now, true);
+        let seg = c.poll_transmit(now).expect("carrier segment");
+        assert_eq!(seg.mp_prio, Some(true));
+        now += half;
+        let out = s.on_segment(now, seg);
+        assert_eq!(out.mp_prio, Some(true));
+    }
+
+    /// Run a 500 kB transfer and stop the instant everything is acked,
+    /// returning the grown congestion window.
+    fn transfer_until_acked(
+        now: &mut SimTime,
+        c: &mut TcpEndpoint,
+        s: &mut TcpEndpoint,
+        total: u64,
+    ) -> u64 {
+        let half = SimDuration::from_millis(10);
+        s.write(total);
+        for _ in 0..500 {
+            pump(now, half, s, c);
+            pump(now, half, c, s);
+            if s.bytes_acked_total() == total {
+                break;
+            }
+        }
+        assert_eq!(s.bytes_acked_total(), total, "transfer must finish");
+        s.cc().cwnd()
+    }
+
+    #[test]
+    fn cwnd_validation_resets_after_idle() {
+        let mut now = SimTime::ZERO;
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        let grown = transfer_until_acked(&mut now, &mut c, &mut s, 500_000);
+        assert!(grown > s.cc().initial_cwnd());
+        // Idle for much longer than the RTO, then offer new data.
+        now += SimDuration::from_secs(30);
+        s.write(1428);
+        let _ = s.poll_transmit(now);
+        assert_eq!(s.cc().cwnd(), s.cc().initial_cwnd(), "cwnd restarted");
+    }
+
+    #[test]
+    fn resume_disables_validation_and_zeroes_rtt() {
+        let mut now = SimTime::ZERO;
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        let grown = transfer_until_acked(&mut now, &mut c, &mut s, 500_000);
+        assert!(grown > s.cc().initial_cwnd());
+        s.prepare_resume();
+        assert_eq!(s.rtt().srtt_or_zero(), SimDuration::ZERO);
+        now += SimDuration::from_secs(30);
+        s.write(1428);
+        let _ = s.poll_transmit(now);
+        assert_eq!(s.cc().cwnd(), grown, "cwnd preserved across idle");
+    }
+
+    #[test]
+    fn receiver_window_respected() {
+        let mut now = SimTime::ZERO;
+        let _half = SimDuration::from_millis(10);
+        let mut cfg_small = TcpConfig::default();
+        cfg_small.rwnd_bytes = 10_000;
+        let mut c = TcpEndpoint::client(cfg_small);
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        s.write(1_000_000);
+        let mut burst = 0u64;
+        while let Some(seg) = s.poll_transmit(now) {
+            burst += seg.payload as u64;
+        }
+        assert!(burst <= 10_000 + 1428, "sender overran peer window: {burst}");
+    }
+
+    #[test]
+    fn delayed_ack_coalesces() {
+        let mut now = SimTime::ZERO;
+        let mut cfg = TcpConfig::default();
+        cfg.delayed_ack = true;
+        let mut c = TcpEndpoint::client(cfg);
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        let half = SimDuration::from_millis(5);
+        handshake(&mut now, &mut c, &mut s);
+        s.write(2 * 1428);
+        let mut segs = Vec::new();
+        while let Some(seg) = s.poll_transmit(now) {
+            segs.push(seg);
+        }
+        now += half;
+        for seg in segs {
+            c.on_segment(now, seg);
+        }
+        // Two full segments ⇒ exactly one ACK.
+        let mut acks = 0;
+        while let Some(seg) = c.poll_transmit(now) {
+            assert!(seg.is_pure_ack());
+            acks += 1;
+        }
+        assert_eq!(acks, 1);
+    }
+
+    /// Drive a transfer where a known run of segments is dropped, then
+    /// inspect the SACK-level mechanics directly.
+    #[test]
+    fn sack_blocks_report_coalesced_ranges() {
+        let mut now = SimTime::ZERO;
+        let half = SimDuration::from_millis(5);
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        s.write(8 * 1428);
+        let mut segs = Vec::new();
+        while let Some(seg) = s.poll_transmit(now) {
+            segs.push(seg);
+        }
+        assert_eq!(segs.len(), 8);
+        now += half;
+        // Deliver segments 2,3 and 6 only: two out-of-order islands.
+        for idx in [2usize, 3, 6] {
+            c.on_segment(now, segs[idx]);
+        }
+        // One duplicate ACK per out-of-order arrival; the last one carries
+        // the complete picture.
+        let mut last_ack = None;
+        while let Some(a) = c.poll_transmit(now) {
+            last_ack = Some(a);
+        }
+        let ack = last_ack.expect("dup acks");
+        let mut blocks: Vec<(u64, u64)> = ack.sack.iter().flatten().copied().collect();
+        blocks.sort_unstable();
+        // Segments 2..=3 coalesce into one block; 6 stands alone. (The
+        // rotation cursor means the on-wire order varies.)
+        assert_eq!(
+            blocks,
+            vec![(1 + 2 * 1428, 1 + 4 * 1428), (1 + 6 * 1428, 1 + 7 * 1428)]
+        );
+    }
+
+    #[test]
+    fn sack_marks_and_pipe_shrink() {
+        let mut now = SimTime::ZERO;
+        let half = SimDuration::from_millis(5);
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        s.write(6 * 1428);
+        let mut segs = Vec::new();
+        while let Some(seg) = s.poll_transmit(now) {
+            segs.push(seg);
+        }
+        let inflight = s.bytes_in_flight();
+        assert_eq!(s.pipe(), inflight);
+        now += half;
+        // Lose segment 0; deliver 1..=5.
+        for seg in &segs[1..] {
+            c.on_segment(now, *seg);
+        }
+        let mut acks = Vec::new();
+        while let Some(a) = c.poll_transmit(now) {
+            acks.push(a);
+        }
+        now += half;
+        for a in acks {
+            s.on_segment(now, a);
+        }
+        // Everything but the lost head is SACKed; recovery marked the head
+        // lost, so the pipe excludes both.
+        assert!(s.pipe() < inflight / 3, "pipe {} of {}", s.pipe(), inflight);
+        assert!(s.bytes_in_flight() == inflight, "cumulative ack must not move");
+    }
+
+    #[test]
+    fn sack_recovery_retransmits_only_the_hole() {
+        let mut now = SimTime::ZERO;
+        let half = SimDuration::from_millis(5);
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        handshake(&mut now, &mut c, &mut s);
+        s.write(6 * 1428);
+        let mut segs = Vec::new();
+        while let Some(seg) = s.poll_transmit(now) {
+            segs.push(seg);
+        }
+        now += half;
+        for seg in &segs[1..] {
+            c.on_segment(now, *seg);
+        }
+        let mut acks = Vec::new();
+        while let Some(a) = c.poll_transmit(now) {
+            acks.push(a);
+        }
+        now += half;
+        for a in acks {
+            s.on_segment(now, a);
+        }
+        // The retransmission must be exactly the missing head segment.
+        let retx = s.poll_transmit(now).expect("hole retransmission");
+        assert!(retx.retransmit);
+        assert_eq!(retx.seq, segs[0].seq);
+        assert_eq!(retx.payload, segs[0].payload);
+        // And nothing else needs retransmitting.
+        let next = s.poll_transmit(now);
+        assert!(
+            next.is_none() || !next.unwrap().retransmit,
+            "spurious extra retransmission"
+        );
+        assert_eq!(s.retransmissions(), 1);
+    }
+
+    #[test]
+    fn single_segment_ack_is_delayed_until_timer() {
+        let mut now = SimTime::ZERO;
+        let mut c = TcpEndpoint::client(TcpConfig::default());
+        let mut s = TcpEndpoint::listener(TcpConfig::default());
+        let half = SimDuration::from_millis(5);
+        handshake(&mut now, &mut c, &mut s);
+        s.write(100);
+        let seg = s.poll_transmit(now).unwrap();
+        now += half;
+        c.on_segment(now, seg);
+        assert!(c.poll_transmit(now).is_none(), "ack must be delayed");
+        let d = c.next_deadline().expect("delack timer armed");
+        c.on_deadline(d);
+        let ack = c.poll_transmit(d).expect("delayed ack fires");
+        assert!(ack.is_pure_ack());
+    }
+}

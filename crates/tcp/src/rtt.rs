@@ -1,0 +1,191 @@
+//! Round-trip-time estimation (RFC 6298, Jacobson/Karn).
+//!
+//! Two eMPTCP-specific hooks live here:
+//!
+//! * the handshake RTT (SYN → SYN-ACK) is recorded separately because the
+//!   bandwidth predictor derives its sampling interval δ from "the measured
+//!   round-trip time during subflow establishment" (§3.2);
+//! * [`RttEstimator::reset_for_resume`] implements §3.6's "eMPTCP sets the
+//!   measured RTT of the new subflow to zero", which makes the minRTT
+//!   scheduler probe a resumed subflow immediately.
+
+use emptcp_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Smoothed RTT state.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RttEstimator {
+    /// Smoothed RTT; `None` until the first sample (or after a resume reset).
+    srtt: Option<SimDuration>,
+    /// RTT variance.
+    rttvar: SimDuration,
+    /// Current retransmission timeout.
+    rto: SimDuration,
+    /// RTT measured during connection establishment, if any.
+    handshake_rtt: Option<SimDuration>,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+}
+
+impl RttEstimator {
+    /// Linux-like clamp bounds: 200 ms floor, 60 s ceiling.
+    pub fn new() -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: SimDuration::from_secs(1),
+            handshake_rtt: None,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Incorporate a new sample (RFC 6298 §2).
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                // rttvar := 3/4 rttvar + 1/4 |delta| ; srtt := 7/8 srtt + 1/8 rtt
+                self.rttvar = (self.rttvar * 3 + delta) / 4;
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        let var_term = (self.rttvar * 4).max(SimDuration::from_millis(1));
+        self.rto = (srtt + var_term).clamp(self.min_rto, self.max_rto);
+    }
+
+    /// Record the handshake RTT (also feeds the estimator as first sample).
+    pub fn on_handshake(&mut self, rtt: SimDuration) {
+        self.handshake_rtt = Some(rtt);
+        self.on_sample(rtt);
+    }
+
+    /// RTT measured during establishment, if the handshake completed.
+    pub fn handshake_rtt(&self) -> Option<SimDuration> {
+        self.handshake_rtt
+    }
+
+    /// Smoothed RTT; zero when unknown — matching the kernel convention the
+    /// minRTT scheduler exploits ("a subflow with `srtt == 0` is probed
+    /// first").
+    pub fn srtt_or_zero(&self) -> SimDuration {
+        self.srtt.unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Smoothed RTT if a sample exists.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Current RTO.
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// Exponential backoff after a retransmission timeout.
+    pub fn backoff(&mut self) {
+        self.rto = (self.rto * 2).clamp(self.min_rto, self.max_rto);
+    }
+
+    /// §3.6: zero the RTT of a resumed subflow so the scheduler probes it.
+    /// The RTO is left alone (retransmission safety is unaffected).
+    pub fn reset_for_resume(&mut self) {
+        self.srtt = None;
+        self.rttvar = SimDuration::ZERO;
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new();
+        assert_eq!(e.srtt(), None);
+        assert_eq!(e.srtt_or_zero(), SimDuration::ZERO);
+        e.on_sample(ms(100));
+        assert_eq!(e.srtt(), Some(ms(100)));
+        // rto = srtt + 4*rttvar = 100 + 200 = 300 ms.
+        assert_eq!(e.rto(), ms(300));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = RttEstimator::new();
+        for _ in 0..100 {
+            e.on_sample(ms(80));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_millis_f64() - 80.0).abs() < 1.0);
+        // Variance collapses, so RTO clamps to the floor.
+        assert_eq!(e.rto(), ms(200));
+    }
+
+    #[test]
+    fn variance_grows_with_jitter() {
+        let mut stable = RttEstimator::new();
+        let mut jittery = RttEstimator::new();
+        for i in 0..50 {
+            stable.on_sample(ms(100));
+            jittery.on_sample(ms(if i % 2 == 0 { 50 } else { 150 }));
+        }
+        assert!(jittery.rto() > stable.rto());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = RttEstimator::new();
+        e.on_sample(ms(100));
+        let r0 = e.rto();
+        e.backoff();
+        assert_eq!(e.rto(), r0 * 2);
+        for _ in 0..20 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn handshake_rtt_recorded_and_seeds_estimate() {
+        let mut e = RttEstimator::new();
+        e.on_handshake(ms(42));
+        assert_eq!(e.handshake_rtt(), Some(ms(42)));
+        assert_eq!(e.srtt(), Some(ms(42)));
+    }
+
+    #[test]
+    fn resume_reset_zeroes_srtt_keeps_rto() {
+        let mut e = RttEstimator::new();
+        e.on_sample(ms(100));
+        let rto = e.rto();
+        e.reset_for_resume();
+        assert_eq!(e.srtt_or_zero(), SimDuration::ZERO);
+        assert_eq!(e.rto(), rto);
+        // Next sample re-initializes rather than smoothing into stale state.
+        e.on_sample(ms(500));
+        assert_eq!(e.srtt(), Some(ms(500)));
+    }
+
+    #[test]
+    fn rto_floor_respected() {
+        let mut e = RttEstimator::new();
+        e.on_sample(SimDuration::from_micros(500));
+        assert_eq!(e.rto(), ms(200));
+    }
+}

@@ -1,0 +1,138 @@
+//! Chaos testing: the TCP endpoint pair must deliver the exact byte stream
+//! through any combination of loss, reordering and duplication the network
+//! can produce.
+
+use emptcp_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use emptcp_tcp::{Segment, TcpConfig, TcpEndpoint};
+use proptest::prelude::*;
+
+/// A two-endpoint rig whose "network" drops, delays and duplicates.
+struct ChaosNet {
+    queue: EventQueue<(bool, Segment)>, // (to_client, segment)
+    rng: SimRng,
+    loss: f64,
+    dup: f64,
+    /// Extra random delay up to this many ms (reordering source).
+    jitter_ms: u64,
+    base_delay: SimDuration,
+}
+
+impl ChaosNet {
+    fn send(&mut self, now: SimTime, to_client: bool, seg: Segment) {
+        if self.rng.chance(self.loss) {
+            return;
+        }
+        let copies = if self.rng.chance(self.dup) { 2 } else { 1 };
+        for _ in 0..copies {
+            let jitter = SimDuration::from_millis(self.rng.below(self.jitter_ms + 1));
+            self.queue
+                .schedule(now + self.base_delay + jitter, (to_client, seg));
+        }
+    }
+}
+
+/// Run a transfer through the chaotic network; returns bytes delivered at
+/// the client.
+fn run_chaos(total: u64, loss: f64, dup: f64, jitter_ms: u64, seed: u64) -> (u64, u64) {
+    let mut net = ChaosNet {
+        queue: EventQueue::new(),
+        rng: SimRng::new(seed),
+        loss,
+        dup,
+        jitter_ms,
+        base_delay: SimDuration::from_millis(10),
+    };
+    let mut client = TcpEndpoint::client(TcpConfig::default());
+    let mut server = TcpEndpoint::listener(TcpConfig::default());
+    client.connect(SimTime::ZERO);
+    server.write(total);
+
+    let drain =
+        |now: SimTime, c: &mut TcpEndpoint, s: &mut TcpEndpoint, net: &mut ChaosNet| {
+            while let Some(seg) = c.poll_transmit(now) {
+                net.send(now, false, seg);
+            }
+            while let Some(seg) = s.poll_transmit(now) {
+                net.send(now, true, seg);
+            }
+        };
+    drain(SimTime::ZERO, &mut client, &mut server, &mut net);
+
+    let mut guard = 0u64;
+    loop {
+        guard += 1;
+        if guard > 2_000_000 {
+            break;
+        }
+        // Next event: packet delivery or the earliest endpoint timer.
+        let timer = client
+            .next_deadline()
+            .into_iter()
+            .chain(server.next_deadline())
+            .min();
+        let next_packet = net.queue.peek_time();
+        let now = match (next_packet, timer) {
+            (Some(p), Some(t)) => p.min(t),
+            (Some(p), None) => p,
+            (None, Some(t)) => t,
+            (None, None) => break,
+        };
+        if now > SimTime::from_secs(600) {
+            break;
+        }
+        if Some(now) == next_packet {
+            let (_, (to_client, seg)) = net.queue.pop().expect("peeked");
+            if to_client {
+                client.on_segment(now, seg);
+            } else {
+                server.on_segment(now, seg);
+            }
+        }
+        client.on_deadline(now);
+        server.on_deadline(now);
+        drain(now, &mut client, &mut server, &mut net);
+        if client.bytes_delivered_total() >= total && server.bytes_acked_total() >= total {
+            break;
+        }
+    }
+    (client.bytes_delivered_total(), server.bytes_acked_total())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn delivers_exactly_through_chaos(
+        total_kb in 16u64..256,
+        loss in 0.0f64..0.15,
+        dup in 0.0f64..0.1,
+        jitter_ms in 0u64..40,
+        seed in 0u64..u64::MAX,
+    ) {
+        let total = total_kb << 10;
+        let (delivered, acked) = run_chaos(total, loss, dup, jitter_ms, seed);
+        prop_assert_eq!(delivered, total, "under-/over-delivery");
+        prop_assert_eq!(acked, total, "sender never learnt of completion");
+    }
+}
+
+#[test]
+fn survives_heavy_loss() {
+    let (delivered, acked) = run_chaos(64 << 10, 0.30, 0.05, 20, 7);
+    assert_eq!(delivered, 64 << 10);
+    assert_eq!(acked, 64 << 10);
+}
+
+#[test]
+fn survives_pure_reordering() {
+    let (delivered, acked) = run_chaos(256 << 10, 0.0, 0.0, 60, 11);
+    assert_eq!(delivered, 256 << 10);
+    assert_eq!(acked, 256 << 10);
+}
+
+#[test]
+fn survives_heavy_duplication() {
+    let (delivered, acked) = run_chaos(128 << 10, 0.02, 0.5, 10, 13);
+    assert_eq!(delivered, 128 << 10);
+    assert_eq!(acked, 128 << 10);
+}

@@ -1,0 +1,150 @@
+//! Background WiFi interferers (§4.4).
+//!
+//! "We utilize n = 2 or n = 3 interfering nodes, which use the same WiFi
+//! channel as the mobile device. Each node generates UDP traffic according
+//! to a two state Markov on-off process, with rates (per second) λ_on and
+//! λ_off. We fix λ_on = 0.05, and then perform experiments with
+//! λ_off = 0.025 and λ_off = 0.05."
+//!
+//! The observable effect is the number of *currently active* stations,
+//! which the host pushes into [`emptcp_phy::WifiChannel`].
+
+use emptcp_phy::modulation::{OnOff, OnOffProcess};
+use emptcp_sim::{SimRng, SimTime};
+
+/// The paper's fixed λ_on.
+pub const LAMBDA_ON: f64 = 0.05;
+
+/// A set of independent on-off interfering stations.
+#[derive(Clone, Debug)]
+pub struct InterfererSet {
+    stations: Vec<OnOffProcess>,
+}
+
+impl InterfererSet {
+    /// `n` stations with the given rates, each starting Off with its own
+    /// RNG stream forked from `rng`.
+    pub fn new(
+        start: SimTime,
+        n: usize,
+        lambda_on: f64,
+        lambda_off: f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        let stations = (0..n)
+            .map(|i| {
+                OnOffProcess::new(
+                    start,
+                    OnOff::Off,
+                    lambda_on,
+                    lambda_off,
+                    rng.fork(0x1F00 + i as u64),
+                )
+            })
+            .collect();
+        InterfererSet { stations }
+    }
+
+    /// Advance all stations to `now`; returns `true` if the active count
+    /// changed.
+    pub fn poll(&mut self, now: SimTime) -> bool {
+        let before = self.active(now);
+        let mut changed = false;
+        for st in &mut self.stations {
+            changed |= st.poll(now);
+        }
+        changed && self.active(now) != before
+    }
+
+    /// Number of stations currently transmitting. (Stations must already be
+    /// polled to `now`; this is a pure read.)
+    pub fn active(&self, _now: SimTime) -> u32 {
+        self.stations
+            .iter()
+            .filter(|s| s.state() == OnOff::On)
+            .count() as u32
+    }
+
+    /// The earliest upcoming toggle across stations.
+    pub fn next_toggle(&self) -> Option<SimTime> {
+        self.stations.iter().map(|s| s.next_toggle()).min()
+    }
+
+    /// Station count.
+    pub fn len(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// True when the set is empty (no background traffic scenario).
+    pub fn is_empty(&self) -> bool {
+        self.stations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emptcp_sim::SimDuration;
+
+    #[test]
+    fn starts_all_off() {
+        let mut rng = SimRng::new(1);
+        let set = InterfererSet::new(SimTime::ZERO, 3, LAMBDA_ON, 0.025, &mut rng);
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.active(SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn activity_fraction_matches_rates() {
+        // λ_on = 0.05 (mean 20 s on), λ_off = 0.025 (mean 40 s off):
+        // long-run on-fraction = 20/60 = 1/3 per station.
+        let mut rng = SimRng::new(2);
+        let mut set = InterfererSet::new(SimTime::ZERO, 2, LAMBDA_ON, 0.025, &mut rng);
+        let mut on_station_seconds = 0.0;
+        let step = SimDuration::from_secs(5);
+        let mut t = SimTime::ZERO;
+        let horizon = SimTime::from_secs(400_000);
+        let mut samples = 0u64;
+        while t < horizon {
+            set.poll(t);
+            on_station_seconds += set.active(t) as f64;
+            samples += 1;
+            t += step;
+        }
+        let frac = on_station_seconds / (samples as f64 * 2.0);
+        assert!((frac - 1.0 / 3.0).abs() < 0.02, "on fraction {frac}");
+    }
+
+    #[test]
+    fn next_toggle_advances() {
+        let mut rng = SimRng::new(3);
+        let mut set = InterfererSet::new(SimTime::ZERO, 2, LAMBDA_ON, 0.05, &mut rng);
+        let first = set.next_toggle().unwrap();
+        set.poll(first);
+        let second = set.next_toggle().unwrap();
+        assert!(second > first);
+    }
+
+    #[test]
+    fn empty_set() {
+        let mut rng = SimRng::new(4);
+        let set = InterfererSet::new(SimTime::ZERO, 0, LAMBDA_ON, 0.05, &mut rng);
+        assert!(set.is_empty());
+        assert_eq!(set.next_toggle(), None);
+    }
+
+    #[test]
+    fn stations_are_independent() {
+        let mut rng = SimRng::new(5);
+        let mut set = InterfererSet::new(SimTime::ZERO, 3, 1.0, 1.0, &mut rng);
+        // With fast rates, after a while the station states should differ
+        // at least sometimes (i.e. not be in lockstep).
+        let mut counts_seen = std::collections::HashSet::new();
+        for s in 1..200 {
+            let t = SimTime::from_millis(s * 500);
+            set.poll(t);
+            counts_seen.insert(set.active(t));
+        }
+        assert!(counts_seen.len() >= 3, "states in lockstep: {counts_seen:?}");
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! Workload generators for the eMPTCP evaluation.
+//!
+//! * [`download`] — fixed-size file downloads (the 256 KB / 16 MB / 256 MB
+//!   transfers of §4 and §5);
+//! * [`web`] — the §5.4 web-browsing case study: a CNN-like page of 107
+//!   objects fetched over six parallel persistent connections;
+//! * [`interference`] — the §4.4 background stations: `n` interferers whose
+//!   UDP traffic follows two-state Markov on-off processes;
+//! * [`bwplan`] — the §4.3 bandwidth modulation: AP capacity flipping
+//!   between a low (≤ 1 Mbps) and a high (≥ 10 Mbps) state with
+//!   exponentially distributed holding times.
+
+pub mod bwplan;
+pub mod download;
+pub mod interference;
+pub mod web;
+
+pub use bwplan::BandwidthModulator;
+pub use download::DownloadSpec;
+pub use interference::InterfererSet;
+pub use web::WebPage;

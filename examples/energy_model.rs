@@ -1,0 +1,77 @@
+//! Explore the energy model: power curves, the Energy Information Base
+//! (Table 2), the Fig 3 V-region, and the Fig 4 finite-transfer regions.
+//!
+//! ```text
+//! cargo run --release --example energy_model
+//! ```
+//!
+//! No simulation runs here — this is the offline computation the paper
+//! performs to populate the EIB on the device.
+
+use emptcp_repro::energy::region::{best_usage_for_size, mptcp_region};
+use emptcp_repro::energy::{DeviceProfile, Eib, EnergyModel, PathUsage};
+
+fn main() {
+    for profile in [DeviceProfile::galaxy_s3(), DeviceProfile::nexus_5()] {
+        let (wifi, threeg, lte) = profile.fixed_overheads_j();
+        println!(
+            "{:<20} fixed overheads: WiFi {wifi:.2} J, 3G {threeg:.1} J, LTE {lte:.1} J",
+            profile.name
+        );
+    }
+
+    let model = EnergyModel::galaxy_s3_lte();
+    println!("\nGalaxy S3 power draw (W) while transferring:");
+    println!("  {:<6} {:>8} {:>8}", "Mbps", "WiFi", "LTE");
+    for mbps in [0.5, 1.0, 2.0, 5.0, 10.0, 20.0] {
+        println!(
+            "  {:<6} {:>8.3} {:>8.3}",
+            mbps,
+            model.profile().wifi_curve.power_w(mbps),
+            model.cellular().curve.power_w(mbps)
+        );
+    }
+
+    let eib = Eib::generate_default(&model);
+    println!("\nEnergy Information Base (Table 2): WiFi-throughput transition points");
+    println!("  {:<10} {:>15} {:>18}", "LTE Mbps", "LTE-only below", "WiFi-only at/above");
+    for cell in [0.5, 1.0, 1.5, 2.0, 4.0, 8.0] {
+        let (t1, t2) = eib.thresholds(cell);
+        println!("  {:<10} {:>15.3} {:>18.3}", cell, t1, t2);
+    }
+
+    println!("\nFig 3's V-region: the EIB verdict over the throughput plane");
+    println!("  (rows: LTE 10 -> 0.5 Mbps; cols: WiFi 0.25 -> 6 Mbps; B=both, W=wifi-only, C=lte-only)");
+    let mut lte = 10.0;
+    while lte >= 0.5 {
+        let mut row = String::from("  ");
+        let mut wifi = 0.25;
+        while wifi <= 6.0 {
+            row.push(match eib.choose(wifi, lte) {
+                PathUsage::Both => 'B',
+                PathUsage::WifiOnly => 'W',
+                PathUsage::CellularOnly => 'C',
+            });
+            wifi += 0.25;
+        }
+        println!("{row}   LTE={lte:.2}");
+        lte /= 1.6;
+    }
+
+    println!("\nFig 4: where completing an entire transfer is cheapest on both interfaces");
+    let cell_grid: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+    for size_mb in [1u64, 4, 16] {
+        let rows = mptcp_region(&model, size_mb << 20, &cell_grid, 6.0, 0.05);
+        let covered = rows.iter().filter(|r| r.wifi_range.is_some()).count();
+        println!(
+            "  {size_mb:>2} MB: both-interfaces region exists at {covered}/{} LTE rates",
+            rows.len()
+        );
+    }
+
+    let (usage, energy) = best_usage_for_size(&model, 16 << 20, 0.8, 8.0);
+    println!(
+        "\nExample: 16 MB at WiFi 0.8 Mbps / LTE 8 Mbps -> {} ({energy:.1} J)",
+        usage.label()
+    );
+}

@@ -1,0 +1,44 @@
+//! Handover: a 64 MB download across a 30 s WiFi association outage,
+//! comparing every strategy's reaction (the §4.6 discussion made
+//! runnable).
+//!
+//! ```text
+//! cargo run --release --example handover
+//! ```
+
+use emptcp_repro::expr::scenario::Scenario;
+use emptcp_repro::expr::{host, Strategy};
+
+fn main() {
+    println!(
+        "64 MB download; the WiFi association drops at t=20 s and returns at t=50 s.\n"
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>9} {:>11}  note",
+        "strategy", "energy (J)", "time (s)", "LTE MB", "promotions"
+    );
+    for (strategy, note) in [
+        (Strategy::Mptcp, "LTE open from the start"),
+        (Strategy::emptcp_default(), "wakes LTE when the link dies, re-suspends after"),
+        (Strategy::TcpWifi, "stalls for the whole outage"),
+        (Strategy::WifiFirst, "backup engages on link loss (plus the setup activation)"),
+        (Strategy::SinglePath, "opens LTE only after the interface goes down"),
+    ] {
+        let r = host::run(Scenario::wifi_outage(), strategy, 3);
+        assert!(r.completed, "{} stalled", r.strategy);
+        println!(
+            "{:<18} {:>10.1} {:>10.1} {:>9.1} {:>11}  {note}",
+            r.strategy,
+            r.energy_j,
+            r.download_time_s,
+            r.cell_bytes as f64 / (1 << 20) as f64,
+            r.promotions,
+        );
+    }
+    println!(
+        "\nThe outage is where the §4.6 baselines earn their keep — and where \
+         their costs show: WiFi-First pays an extra promotion+tail at connection \
+         setup for a backup it may never need, while eMPTCP activates LTE only \
+         once the link-down signal (or collapsing throughput) demands it."
+    );
+}

@@ -1,0 +1,76 @@
+//! The §4.5 mobile scenario: walk a route past an access point and watch
+//! eMPTCP adapt path usage as WiFi comes and goes.
+//!
+//! ```text
+//! cargo run --release --example mobility_walk
+//! ```
+//!
+//! Prints a timeline of WiFi capacity versus per-interface goodput for an
+//! eMPTCP run, then the Fig 13 comparison (energy per byte and amount
+//! downloaded in 250 s) across strategies.
+
+use emptcp_repro::expr::scenario::Scenario;
+use emptcp_repro::expr::{host, Strategy};
+use emptcp_repro::sim::SimTime;
+
+fn main() {
+    let walk = Scenario::umass_walk();
+    println!("The walk (Fig 11): distance from the AP over time");
+    for t in (0..=250).step_by(25) {
+        let at = SimTime::from_secs(t);
+        println!(
+            "  t={t:>3}s  distance {:>5.1} m  {}  wifi capacity {:>5.1} Mbps",
+            walk.distance_at(at),
+            if walk.in_usable_range(at) { "in range " } else { "OUT OF RANGE" },
+            walk.wifi_goodput_bps(at) as f64 / 1e6,
+        );
+    }
+
+    println!("\neMPTCP through the walk (timeline, 25 s buckets):");
+    let r = host::run(Scenario::mobility(), Strategy::emptcp_default(), 7);
+    let bucket = |trace: &emptcp_repro::sim::trace::TimeSeries, lo: u64, hi: u64| -> f64 {
+        let pts: Vec<f64> = trace
+            .points()
+            .iter()
+            .filter(|(t, _)| (lo..hi).contains(&(t.as_nanos() / 1_000_000_000)))
+            .map(|&(_, v)| v)
+            .collect();
+        if pts.is_empty() {
+            0.0
+        } else {
+            pts.iter().sum::<f64>() / pts.len() as f64
+        }
+    };
+    println!("  {:<10} {:>12} {:>12} {:>12}", "window", "wifi Mbps", "LTE Mbps", "energy J");
+    for lo in (0..250).step_by(25) {
+        let hi = lo + 25;
+        println!(
+            "  {:>3}-{:<3}s   {:>12.2} {:>12.2} {:>12.1}",
+            lo,
+            hi,
+            bucket(&r.wifi_thpt_trace, lo, hi),
+            bucket(&r.cell_thpt_trace, lo, hi),
+            r.energy_trace
+                .value_at(SimTime::from_secs(hi))
+                .unwrap_or(0.0),
+        );
+    }
+    println!(
+        "\n  eMPTCP: {:.0} MB in 250 s, {:.2} uJ/byte, {} usage switches, {} LTE promotions",
+        r.bytes_delivered as f64 / (1 << 20) as f64,
+        r.joules_per_byte * 1e6,
+        r.usage_switches,
+        r.promotions
+    );
+
+    println!("\nFig 13 comparison (one run each):");
+    for strategy in [Strategy::Mptcp, Strategy::emptcp_default(), Strategy::TcpWifi] {
+        let r = host::run(Scenario::mobility(), strategy, 7);
+        println!(
+            "  {:<16} {:>7.0} MB downloaded, {:>6.2} uJ/byte",
+            r.strategy,
+            r.bytes_delivered as f64 / (1 << 20) as f64,
+            r.joules_per_byte * 1e6
+        );
+    }
+}

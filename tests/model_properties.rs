@@ -1,0 +1,247 @@
+//! Property-based tests on the energy model and EIB, across both device
+//! profiles and the whole throughput plane.
+
+use emptcp_repro::energy::region::{best_usage_for_size, transfer_energy_j, transfer_time_s};
+use emptcp_repro::energy::{DeviceProfile, Eib, EnergyModel, PathUsage, PowerCurve};
+use emptcp_repro::phy::IfaceKind;
+use proptest::prelude::*;
+
+/// Build a random—but physically sensible—device profile: monotone power
+/// curves, WiFi cheaper than cellular at every rate, a sharing discount
+/// below every base power.
+fn random_profile(
+    wifi_base: f64,
+    wifi_steps: [f64; 3],
+    cell_gap: f64,
+    cell_steps: [f64; 3],
+    discount_frac: f64,
+) -> DeviceProfile {
+    let mut profile = DeviceProfile::galaxy_s3();
+    let knots_w = vec![
+        (0.0, wifi_base),
+        (2.0, wifi_base + wifi_steps[0]),
+        (8.0, wifi_base + wifi_steps[0] + wifi_steps[1]),
+        (25.0, wifi_base + wifi_steps[0] + wifi_steps[1] + wifi_steps[2]),
+    ];
+    let cell_base = wifi_base + cell_gap;
+    let knots_c = vec![
+        (0.0, cell_base),
+        (2.0, cell_base + wifi_steps[0] + cell_steps[0]),
+        (
+            8.0,
+            cell_base + wifi_steps[0] + wifi_steps[1] + cell_steps[0] + cell_steps[1],
+        ),
+        (
+            25.0,
+            cell_base
+                + wifi_steps[0]
+                + wifi_steps[1]
+                + wifi_steps[2]
+                + cell_steps[0]
+                + cell_steps[1]
+                + cell_steps[2],
+        ),
+    ];
+    profile.wifi_curve = PowerCurve::from_points(knots_w);
+    profile.lte.curve = PowerCurve::from_points(knots_c);
+    profile.sharing_discount_w = discount_frac * wifi_base;
+    profile
+}
+
+fn models() -> Vec<EnergyModel> {
+    vec![
+        EnergyModel::new(DeviceProfile::galaxy_s3(), IfaceKind::CellularLte),
+        EnergyModel::new(DeviceProfile::galaxy_s3(), IfaceKind::Cellular3g),
+        EnergyModel::new(DeviceProfile::nexus_5(), IfaceKind::CellularLte),
+        EnergyModel::new(DeviceProfile::nexus_5(), IfaceKind::Cellular3g),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn efficiency_of_both_bounded_by_singles(
+        wifi in 0.05f64..25.0,
+        cell in 0.05f64..25.0,
+    ) {
+        for model in models() {
+            let w = model.joules_per_byte(PathUsage::WifiOnly, wifi, cell);
+            let c = model.joules_per_byte(PathUsage::CellularOnly, wifi, cell);
+            let b = model.joules_per_byte(PathUsage::Both, wifi, cell);
+            // "Both" can beat the best single path (the sharing discount)
+            // but never the impossible: it is at most the worse single.
+            prop_assert!(b <= w.max(c) + 1e-12);
+            prop_assert!(b > 0.0);
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_throughput(
+        lo in 0.0f64..20.0,
+        delta in 0.01f64..10.0,
+    ) {
+        for model in models() {
+            let hi = lo + delta;
+            prop_assert!(
+                model.profile().wifi_curve.power_w(hi)
+                    >= model.profile().wifi_curve.power_w(lo) - 1e-12
+            );
+            prop_assert!(
+                model.cellular().curve.power_w(hi)
+                    >= model.cellular().curve.power_w(lo) - 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn eib_choice_agrees_with_exhaustive_search(
+        wifi in 0.1f64..20.0,
+        cell in 0.3f64..20.0,
+    ) {
+        // The EIB is a compressed representation of best_usage; away from
+        // the (interpolated) boundaries they must agree. Near a boundary,
+        // tolerate the tie.
+        let model = EnergyModel::galaxy_s3_lte();
+        let eib = Eib::generate_default(&model);
+        let by_eib = eib.choose(wifi, cell);
+        let (by_model, best) = model.best_usage(wifi, cell);
+        if by_eib != by_model {
+            let eib_eff = model.joules_per_byte(by_eib, wifi, cell);
+            prop_assert!(
+                eib_eff <= best * 1.05,
+                "EIB pick {:?} is {:.1}% worse than optimal at ({wifi:.2}, {cell:.2})",
+                by_eib,
+                100.0 * (eib_eff / best - 1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn finite_transfer_energy_scales_with_size(
+        wifi in 0.2f64..15.0,
+        cell in 0.5f64..15.0,
+        size_mb in 1u64..64,
+    ) {
+        let model = EnergyModel::galaxy_s3_lte();
+        for usage in PathUsage::ALL {
+            let small = transfer_energy_j(&model, usage, size_mb << 20, wifi, cell);
+            let large = transfer_energy_j(&model, usage, (size_mb * 2) << 20, wifi, cell);
+            prop_assert!(large > small, "{usage:?} at ({wifi}, {cell})");
+            // Fixed costs amortize: doubling the size less than doubles the
+            // energy of cellular-involving usages... unless fixed costs are
+            // already negligible; either way it never MORE than doubles.
+            prop_assert!(large <= small * 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn best_usage_for_size_converges_to_steady_state(
+        wifi in 0.3f64..10.0,
+        cell in 0.5f64..10.0,
+    ) {
+        let model = EnergyModel::galaxy_s3_lte();
+        let (huge, _) = best_usage_for_size(&model, 4 << 30, wifi, cell);
+        let (steady, steady_eff) = model.best_usage(wifi, cell);
+        if huge != steady {
+            // Boundary tie tolerance.
+            let eff = model.joules_per_byte(huge, wifi, cell);
+            prop_assert!(eff <= steady_eff * 1.02);
+        }
+    }
+
+    #[test]
+    fn transfer_time_consistent_with_rates(
+        wifi in 0.2f64..20.0,
+        cell in 0.2f64..20.0,
+        size_mb in 1u64..32,
+    ) {
+        let model = EnergyModel::galaxy_s3_lte();
+        let size = size_mb << 20;
+        let t_wifi = transfer_time_s(&model, PathUsage::WifiOnly, size, wifi, cell);
+        let t_both = transfer_time_s(&model, PathUsage::Both, size, wifi, cell);
+        prop_assert!(t_both < t_wifi, "both must be faster than wifi-only");
+    }
+}
+
+#[test]
+fn eib_thresholds_monotone_for_all_models() {
+    for model in models() {
+        let eib = Eib::generate_default(&model);
+        let mut last = (0.0f64, 0.0f64);
+        for row in eib.rows() {
+            assert!(row.cell_only_below >= last.0 - 1e-9);
+            assert!(row.wifi_only_at_or_above >= last.1 - 1e-9);
+            assert!(row.cell_only_below <= row.wifi_only_at_or_above + 1e-9);
+            last = (row.cell_only_below, row.wifi_only_at_or_above);
+        }
+    }
+}
+
+#[test]
+fn v_region_exists_for_every_profile() {
+    for model in models() {
+        let mut found = false;
+        let mut wifi = 0.1;
+        'outer: while wifi < 5.0 {
+            let mut cell = 0.5;
+            while cell < 15.0 {
+                if model.both_vs_best_single(wifi, cell) < 1.0 {
+                    found = true;
+                    break 'outer;
+                }
+                cell += 0.5;
+            }
+            wifi += 0.1;
+        }
+        assert!(found, "no V-region for {}", model.profile().name);
+    }
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn eib_generation_robust_over_random_profiles(
+        wifi_base in 0.05f64..0.6,
+        w0 in 0.01f64..0.5,
+        w1 in 0.01f64..0.5,
+        w2 in 0.01f64..0.5,
+        cell_gap in 0.1f64..1.5,
+        c0 in 0.0f64..0.5,
+        c1 in 0.0f64..0.5,
+        c2 in 0.0f64..0.5,
+        discount_frac in 0.05f64..0.95,
+    ) {
+        // Whatever the (sensible) device, the generated EIB must be a
+        // well-formed, monotone threshold table that never prescribes a
+        // usage much worse than optimal.
+        let profile = random_profile(
+            wifi_base,
+            [w0, w1, w2],
+            cell_gap,
+            [c0, c1, c2],
+            discount_frac,
+        );
+        let model = EnergyModel::new(profile, IfaceKind::CellularLte);
+        let eib = Eib::generate_default(&model);
+        let mut last = (0.0f64, 0.0f64);
+        for row in eib.rows() {
+            prop_assert!(row.cell_only_below.is_finite());
+            prop_assert!(row.wifi_only_at_or_above.is_finite());
+            prop_assert!(row.cell_only_below <= row.wifi_only_at_or_above + 1e-9);
+            prop_assert!(row.cell_only_below >= last.0 - 1e-6);
+            prop_assert!(row.wifi_only_at_or_above >= last.1 - 1e-6);
+            last = (row.cell_only_below, row.wifi_only_at_or_above);
+        }
+        for (wifi, cell) in [(0.3, 1.0), (2.0, 5.0), (9.0, 3.0), (0.8, 12.0)] {
+            let chosen = eib.choose(wifi, cell);
+            let eff = model.joules_per_byte(chosen, wifi, cell);
+            let (_, best) = model.best_usage(wifi, cell);
+            prop_assert!(
+                eff <= best * 1.10 + 1e-12,
+                "EIB pick {:.1}% off optimal at ({wifi}, {cell})",
+                100.0 * (eff / best - 1.0)
+            );
+        }
+    }
+}
