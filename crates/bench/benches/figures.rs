@@ -20,8 +20,12 @@ fn quick() -> Config {
 fn model_exhibits(c: &mut Criterion) {
     let mut g = c.benchmark_group("model_exhibits");
     g.sample_size(10);
-    g.bench_function("table1_devices", |b| b.iter(|| black_box(figures::table1())));
-    g.bench_function("fig01_fixed_overhead", |b| b.iter(|| black_box(figures::fig1())));
+    g.bench_function("table1_devices", |b| {
+        b.iter(|| black_box(figures::table1()))
+    });
+    g.bench_function("fig01_fixed_overhead", |b| {
+        b.iter(|| black_box(figures::fig1()))
+    });
     g.bench_function("table2_eib", |b| b.iter(|| black_box(figures::table2())));
     g.bench_function("fig03_heatmap", |b| b.iter(|| black_box(figures::fig3())));
     g.bench_function("fig04_region", |b| b.iter(|| black_box(figures::fig4())));
@@ -33,12 +37,24 @@ fn lab_experiments(c: &mut Criterion) {
     let cfg = quick();
     let mut g = c.benchmark_group("lab_experiments");
     g.sample_size(10);
-    g.bench_function("fig05_static_good", |b| b.iter(|| black_box(figures::fig5(&cfg))));
-    g.bench_function("fig06_static_bad", |b| b.iter(|| black_box(figures::fig6(&cfg))));
-    g.bench_function("fig07_bwchange_trace", |b| b.iter(|| black_box(figures::fig7(&cfg))));
-    g.bench_function("fig08_bwchange", |b| b.iter(|| black_box(figures::fig8(&cfg))));
-    g.bench_function("fig09_background_trace", |b| b.iter(|| black_box(figures::fig9(&cfg))));
-    g.bench_function("fig10_background", |b| b.iter(|| black_box(figures::fig10(&cfg))));
+    g.bench_function("fig05_static_good", |b| {
+        b.iter(|| black_box(figures::fig5(&cfg)))
+    });
+    g.bench_function("fig06_static_bad", |b| {
+        b.iter(|| black_box(figures::fig6(&cfg)))
+    });
+    g.bench_function("fig07_bwchange_trace", |b| {
+        b.iter(|| black_box(figures::fig7(&cfg)))
+    });
+    g.bench_function("fig08_bwchange", |b| {
+        b.iter(|| black_box(figures::fig8(&cfg)))
+    });
+    g.bench_function("fig09_background_trace", |b| {
+        b.iter(|| black_box(figures::fig9(&cfg)))
+    });
+    g.bench_function("fig10_background", |b| {
+        b.iter(|| black_box(figures::fig10(&cfg)))
+    });
     g.finish();
 }
 
@@ -46,9 +62,15 @@ fn mobility_experiments(c: &mut Criterion) {
     let cfg = quick();
     let mut g = c.benchmark_group("mobility_experiments");
     g.sample_size(10);
-    g.bench_function("fig12_mobility_trace", |b| b.iter(|| black_box(figures::fig12(&cfg))));
-    g.bench_function("fig13_mobility", |b| b.iter(|| black_box(figures::fig13(&cfg))));
-    g.bench_function("sec46_baselines", |b| b.iter(|| black_box(figures::sec46(&cfg))));
+    g.bench_function("fig12_mobility_trace", |b| {
+        b.iter(|| black_box(figures::fig12(&cfg)))
+    });
+    g.bench_function("fig13_mobility", |b| {
+        b.iter(|| black_box(figures::fig13(&cfg)))
+    });
+    g.bench_function("sec46_baselines", |b| {
+        b.iter(|| black_box(figures::sec46(&cfg)))
+    });
     g.finish();
 }
 
@@ -66,7 +88,9 @@ fn wild_experiments(c: &mut Criterion) {
             black_box(out)
         })
     });
-    g.bench_function("fig17_web_browsing", |b| b.iter(|| black_box(figures::fig17(&cfg))));
+    g.bench_function("fig17_web_browsing", |b| {
+        b.iter(|| black_box(figures::fig17(&cfg)))
+    });
     g.finish();
 }
 

@@ -74,7 +74,7 @@ fn controller(c: &mut Criterion) {
         let mut now = SimTime::ZERO;
         b.iter(|| {
             w = (w + 0.29) % 10.0;
-            now = now + SimDuration::from_secs(5);
+            now += SimDuration::from_secs(5);
             black_box(ctl.decide(now, &eib, black_box(w), black_box(3.0)))
         })
     });
@@ -97,7 +97,7 @@ fn simulator(c: &mut Criterion) {
         b.iter(|| {
             t += 1;
             q.schedule(SimTime::from_nanos(t * 1000), t);
-            if t % 2 == 0 {
+            if t.is_multiple_of(2) {
                 black_box(q.pop());
             }
         })

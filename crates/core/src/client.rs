@@ -139,6 +139,12 @@ impl EmptcpClient {
         }
     }
 
+    /// Attach a telemetry scope (forwarded to the path usage controller,
+    /// whose decisions are the engine's externally visible actions).
+    pub fn set_telemetry(&mut self, scope: emptcp_telemetry::TelemetryScope) {
+        self.controller.set_telemetry(scope);
+    }
+
     /// The EIB in use.
     pub fn eib(&self) -> &Eib {
         &self.eib
@@ -234,9 +240,7 @@ impl EmptcpClient {
         }
         if self.cellular_id.is_some() {
             let cell_bytes = totals.cell_bytes;
-            let settling = self
-                .cell_settle_until
-                .is_some_and(|t| now < t);
+            let settling = self.cell_settle_until.is_some_and(|t| now < t);
             if self.cellular_suspended || settling || idle {
                 // Suspension is policy and slow start is not evidence:
                 // skip the window, keeping the previous forecast.
@@ -263,8 +267,7 @@ impl EmptcpClient {
                         sf.tcp.cc().initial_cwnd(),
                     );
                 }
-                let wifi_only_best =
-                    self.eib.choose(wifi_pred, cell_pred) == PathUsage::WifiOnly;
+                let wifi_only_best = self.eib.choose(wifi_pred, cell_pred) == PathUsage::WifiOnly;
                 let idle = conn.is_idle(now, self.idle_window(conn));
                 if self
                     .delay
@@ -348,8 +351,10 @@ mod tests {
         /// weak WiFi path by capping the client's receive window.
         fn with_client_rwnd(rwnd: u64) -> Rig {
             let eib = Eib::generate_default(&EnergyModel::galaxy_s3_lte());
-            let mut client_cfg = TcpConfig::default();
-            client_cfg.rwnd_bytes = rwnd;
+            let client_cfg = TcpConfig {
+                rwnd_bytes: rwnd,
+                ..TcpConfig::default()
+            };
             let mut client = MpConnection::new(Role::Client, client_cfg);
             let mut server = MpConnection::new(Role::Server, TcpConfig::default());
             let now = SimTime::ZERO;
@@ -359,11 +364,7 @@ mod tests {
                 now,
                 client,
                 server,
-                engine: EmptcpClient::new(
-                    EmptcpConfig::default(),
-                    eib,
-                    IfaceKind::CellularLte,
-                ),
+                engine: EmptcpClient::new(EmptcpConfig::default(), eib, IfaceKind::CellularLte),
             }
         }
 
@@ -494,8 +495,7 @@ mod tests {
     #[test]
     fn resume_emits_tweaks_before_priority() {
         let eib = Eib::generate_default(&EnergyModel::galaxy_s3_lte());
-        let mut engine =
-            EmptcpClient::new(EmptcpConfig::default(), eib, IfaceKind::CellularLte);
+        let mut engine = EmptcpClient::new(EmptcpConfig::default(), eib, IfaceKind::CellularLte);
         // Wire a minimal rig to get both subflows registered.
         let mut rig = Rig::new();
         rig.establish();
@@ -515,9 +515,11 @@ mod tests {
             .register_iface(rig.now, IfaceKind::Wifi, None);
         let actions = loop {
             rig.now += SimDuration::from_millis(300);
-            engine
-                .predictor
-                .offer(rig.now, IfaceKind::Wifi, rig.client.delivered_by_iface(IfaceKind::Wifi));
+            engine.predictor.offer(
+                rig.now,
+                IfaceKind::Wifi,
+                rig.client.delivered_by_iface(IfaceKind::Wifi),
+            );
             let acts = engine.on_tick(
                 rig.now,
                 &rig.client,

@@ -15,6 +15,7 @@
 
 use emptcp_energy::{Eib, PathUsage};
 use emptcp_sim::{SimDuration, SimTime};
+use emptcp_telemetry::{TelemetryScope, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// Controller tunables.
@@ -48,6 +49,7 @@ pub struct PathUsageController {
     usage: PathUsage,
     switches: u64,
     last_switch_at: Option<SimTime>,
+    scope: TelemetryScope,
 }
 
 impl PathUsageController {
@@ -58,7 +60,26 @@ impl PathUsageController {
             usage: PathUsage::WifiOnly,
             switches: 0,
             last_switch_at: None,
+            scope: TelemetryScope::disabled(),
         }
+    }
+
+    /// Attach a telemetry scope; usage switches emit
+    /// [`TraceEvent::PathUsage`] and count under `controller.switches`.
+    pub fn set_telemetry(&mut self, scope: TelemetryScope) {
+        self.scope = scope;
+    }
+
+    fn switch_to(&mut self, now: SimTime, usage: PathUsage) {
+        self.usage = usage;
+        self.switches += 1;
+        self.last_switch_at = Some(now);
+        self.scope.emit(now, |s| TraceEvent::PathUsage {
+            conn: s.conn,
+            decision: usage.label(),
+        });
+        self.scope
+            .with_metrics(|_, m| m.counter_add("controller.switches", 1));
     }
 
     /// Current usage.
@@ -75,9 +96,7 @@ impl PathUsageController {
     /// the cellular subflow up and traffic starts flowing on both).
     pub fn force_usage(&mut self, now: SimTime, usage: PathUsage) {
         if self.usage != usage {
-            self.usage = usage;
-            self.switches += 1;
-            self.last_switch_at = Some(now);
+            self.switch_to(now, usage);
         }
     }
 
@@ -127,9 +146,7 @@ impl PathUsageController {
             raw
         };
         if target != self.usage {
-            self.usage = target;
-            self.switches += 1;
-            self.last_switch_at = Some(now);
+            self.switch_to(now, target);
         }
         self.usage
     }
@@ -156,7 +173,7 @@ mod tests {
             Clock(SimTime::ZERO)
         }
         fn tick(&mut self) -> SimTime {
-            self.0 = self.0 + SimDuration::from_secs(10);
+            self.0 += SimDuration::from_secs(10);
             self.0
         }
     }
@@ -203,9 +220,15 @@ mod tests {
         assert_eq!(c.decide(clk.tick(), &e, t2, 1.0), PathUsage::Both);
         assert_eq!(c.decide(clk.tick(), &e, t2 * 1.05, 1.0), PathUsage::Both);
         // Past the +10% mark: switch.
-        assert_eq!(c.decide(clk.tick(), &e, t2 * 1.11, 1.0), PathUsage::WifiOnly);
+        assert_eq!(
+            c.decide(clk.tick(), &e, t2 * 1.11, 1.0),
+            PathUsage::WifiOnly
+        );
         // Dropping just below the threshold again: stay (needs -10%).
-        assert_eq!(c.decide(clk.tick(), &e, t2 * 0.95, 1.0), PathUsage::WifiOnly);
+        assert_eq!(
+            c.decide(clk.tick(), &e, t2 * 0.95, 1.0),
+            PathUsage::WifiOnly
+        );
         assert_eq!(c.decide(clk.tick(), &e, t2 * 0.85, 1.0), PathUsage::Both);
     }
 
@@ -220,10 +243,16 @@ mod tests {
         let mut clk = Clock::new();
         c.force_usage(clk.tick(), PathUsage::Both);
         assert_eq!(c.decide(clk.tick(), &e, t2 * 1.09, 1.0), PathUsage::Both);
-        assert_eq!(c.decide(clk.tick(), &e, t2 * 1.10, 1.0), PathUsage::WifiOnly);
+        assert_eq!(
+            c.decide(clk.tick(), &e, t2 * 1.10, 1.0),
+            PathUsage::WifiOnly
+        );
         let mut c2 = controller();
         let mut clk2 = Clock::new();
-        assert_eq!(c2.decide(clk2.tick(), &e, t2 * 0.91, 1.0), PathUsage::WifiOnly);
+        assert_eq!(
+            c2.decide(clk2.tick(), &e, t2 * 0.91, 1.0),
+            PathUsage::WifiOnly
+        );
         assert_eq!(c2.decide(clk2.tick(), &e, t2 * 0.89, 1.0), PathUsage::Both);
     }
 

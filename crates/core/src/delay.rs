@@ -192,12 +192,7 @@ mod tests {
         // §4.1: "the estimated condition based on equation (1) to guarantee
         // ten bandwidth samples is tau >= 2.67 s" — for their WiFi setup.
         // With RTT 25 ms, IW10 (14280 B), 10 Mbps and phi = 10:
-        let tau = min_tau(
-            10.0,
-            SimDuration::from_millis(25),
-            14_280,
-            10,
-        );
+        let tau = min_tau(10.0, SimDuration::from_millis(25), 14_280, 10);
         let secs = tau.as_secs_f64();
         assert!(secs > 0.25 && secs < 0.5, "tau {secs}");
         // Their ~2.67 s arises from a larger RTT; with RTT 190 ms the

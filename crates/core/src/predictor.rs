@@ -35,7 +35,7 @@ impl HoltWinters {
     /// A forecaster with the given smoothing factors in `(0, 1]`.
     pub fn new(alpha: f64, beta: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range");
-        assert!(beta >= 0.0 && beta <= 1.0, "beta out of range");
+        assert!((0.0..=1.0).contains(&beta), "beta out of range");
         HoltWinters {
             alpha,
             beta,
@@ -127,7 +127,12 @@ impl BandwidthPredictor {
     /// would oversample — windows shorter than a typical request/response
     /// turnaround read application pauses as bandwidth collapse — and very
     /// long ones starve the controller).
-    pub fn register_iface(&mut self, now: SimTime, iface: IfaceKind, handshake_rtt: Option<SimDuration>) {
+    pub fn register_iface(
+        &mut self,
+        now: SimTime,
+        iface: IfaceKind,
+        handshake_rtt: Option<SimDuration>,
+    ) {
         let delta = handshake_rtt
             .unwrap_or(self.default_delta)
             .clamp(SimDuration::from_millis(250), SimDuration::from_secs(1));
@@ -264,7 +269,10 @@ mod tests {
         let mut p = BandwidthPredictor::new();
         let t0 = SimTime::ZERO;
         p.register_iface(t0, IfaceKind::Wifi, Some(SimDuration::from_millis(400)));
-        assert_eq!(p.delta(IfaceKind::Wifi), Some(SimDuration::from_millis(400)));
+        assert_eq!(
+            p.delta(IfaceKind::Wifi),
+            Some(SimDuration::from_millis(400))
+        );
         // Too early: no sample.
         assert!(!p.offer(t0 + SimDuration::from_millis(200), IfaceKind::Wifi, 10_000));
         // At delta: sampled.
@@ -276,9 +284,20 @@ mod tests {
     #[test]
     fn delta_clamped() {
         let mut p = BandwidthPredictor::new();
-        p.register_iface(SimTime::ZERO, IfaceKind::Wifi, Some(SimDuration::from_millis(1)));
-        assert_eq!(p.delta(IfaceKind::Wifi), Some(SimDuration::from_millis(250)));
-        p.register_iface(SimTime::ZERO, IfaceKind::CellularLte, Some(SimDuration::from_secs(9)));
+        p.register_iface(
+            SimTime::ZERO,
+            IfaceKind::Wifi,
+            Some(SimDuration::from_millis(1)),
+        );
+        assert_eq!(
+            p.delta(IfaceKind::Wifi),
+            Some(SimDuration::from_millis(250))
+        );
+        p.register_iface(
+            SimTime::ZERO,
+            IfaceKind::CellularLte,
+            Some(SimDuration::from_secs(9)),
+        );
         assert_eq!(
             p.delta(IfaceKind::CellularLte),
             Some(SimDuration::from_secs(1))
@@ -289,7 +308,11 @@ mod tests {
     fn skip_preserves_old_forecast() {
         let mut p = BandwidthPredictor::new();
         let mut now = SimTime::ZERO;
-        p.register_iface(now, IfaceKind::CellularLte, Some(SimDuration::from_millis(400)));
+        p.register_iface(
+            now,
+            IfaceKind::CellularLte,
+            Some(SimDuration::from_millis(400)),
+        );
         let mut bytes = 0u64;
         for _ in 0..20 {
             now += SimDuration::from_millis(400);
@@ -321,7 +344,11 @@ mod tests {
         // toward the 5 Mbps assumption so the path gets re-probed.
         let mut p = BandwidthPredictor::new();
         let mut now = SimTime::ZERO;
-        p.register_iface(now, IfaceKind::CellularLte, Some(SimDuration::from_millis(400)));
+        p.register_iface(
+            now,
+            IfaceKind::CellularLte,
+            Some(SimDuration::from_millis(400)),
+        );
         now += SimDuration::from_millis(400);
         p.offer(now, IfaceKind::CellularLte, 10_000); // ~0.2 Mbps crash
         assert!(p.predict(IfaceKind::CellularLte) < 0.5);
@@ -364,6 +391,9 @@ mod tests {
         let before = p.predict(IfaceKind::Wifi);
         p.register_iface(t0, IfaceKind::Wifi, Some(SimDuration::from_millis(500)));
         assert_eq!(p.predict(IfaceKind::Wifi), before);
-        assert_eq!(p.delta(IfaceKind::Wifi), Some(SimDuration::from_millis(300)));
+        assert_eq!(
+            p.delta(IfaceKind::Wifi),
+            Some(SimDuration::from_millis(300))
+        );
     }
 }

@@ -295,11 +295,7 @@ mod tests {
         let map = efficiency_heatmap(&model, &wifi, &cell);
         assert_eq!(map.len(), cell.len());
         assert_eq!(map[0].len(), wifi.len());
-        let dark = map
-            .iter()
-            .flatten()
-            .filter(|&&v| v < 1.0)
-            .count();
+        let dark = map.iter().flatten().filter(|&&v| v < 1.0).count();
         let bright = map.iter().flatten().filter(|&&v| v > 1.0).count();
         assert!(dark > 0, "no V-region found");
         assert!(bright > dark, "V-region should be a minority of the plane");

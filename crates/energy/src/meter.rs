@@ -10,6 +10,7 @@ use crate::model::EnergyModel;
 use emptcp_phy::rrc::RrcState;
 use emptcp_sim::trace::StepSeries;
 use emptcp_sim::SimTime;
+use emptcp_telemetry::{TelemetryScope, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// Throughputs below this are treated as "not transferring" for power
@@ -60,6 +61,9 @@ pub struct EnergyMeter {
     /// — the accounting behind "where did MPTCP's extra joules go?".
     cell_state_j: [f64; 4],
     cell_state_since: SimTime,
+    /// Telemetry scope: power-level changes emit
+    /// [`TraceEvent::EnergyLevel`] per radio component.
+    scope: TelemetryScope,
 }
 
 impl EnergyMeter {
@@ -78,7 +82,13 @@ impl EnergyMeter {
             snapshot,
             cell_state_j: [0.0; 4],
             cell_state_since: t0,
+            scope: TelemetryScope::disabled(),
         }
+    }
+
+    /// Attach a telemetry scope; subsequent power-level changes are traced.
+    pub fn set_telemetry(&mut self, scope: TelemetryScope) {
+        self.scope = scope;
     }
 
     fn state_index(state: RrcState) -> usize {
@@ -139,15 +149,43 @@ impl EnergyMeter {
         }
         // Close the previous cellular-state segment.
         let dt = now.saturating_since(self.cell_state_since).as_secs_f64();
-        self.cell_state_j[Self::state_index(self.snapshot.cell_state)] +=
-            self.cell.level() * dt;
+        self.cell_state_j[Self::state_index(self.snapshot.cell_state)] += self.cell.level() * dt;
         self.cell_state_since = now;
 
         let (w, c, tot) = Self::power_of(&self.model, &snapshot, self.baseline_w);
+        if self.scope.enabled() {
+            if w != self.wifi.level() {
+                self.scope.emit(now, |_| TraceEvent::EnergyLevel {
+                    component: "wifi",
+                    watts: w,
+                });
+            }
+            if c != self.cell.level() {
+                self.scope.emit(now, |_| TraceEvent::EnergyLevel {
+                    component: "cell",
+                    watts: c,
+                });
+            }
+        }
         self.wifi.set_level(now, w);
         self.cell.set_level(now, c);
         self.total.set_level(now, tot);
         self.snapshot = snapshot;
+    }
+
+    /// Export the current energy split as gauges: total, per-radio, and the
+    /// per-RRC-state cellular breakdown.
+    pub fn export_metrics(&self, now: SimTime) {
+        self.scope.with_metrics(|_, m| {
+            m.gauge_set("energy.total_j", self.energy_j(now));
+            m.gauge_set("energy.wifi_j", self.wifi_energy_j(now));
+            m.gauge_set("energy.cell_j", self.cell_energy_j(now));
+            let (idle, promo, active, tail) = self.cell_state_energy_j();
+            m.gauge_set("energy.cell.idle_j", idle);
+            m.gauge_set("energy.cell.promotion_j", promo);
+            m.gauge_set("energy.cell.active_j", active);
+            m.gauge_set("energy.cell.tail_j", tail);
+        });
     }
 
     /// Cellular energy attributed to each RRC state up to the last update:
@@ -179,7 +217,12 @@ impl EnergyMeter {
 
     /// Energy attributed to the WiFi radio (undiscounted), up to `now`.
     pub fn wifi_energy_j(&self, now: SimTime) -> f64 {
-        self.wifi.integral_at(now) + if self.wifi_woken { self.model.profile().wifi_wake_j } else { 0.0 }
+        self.wifi.integral_at(now)
+            + if self.wifi_woken {
+                self.model.profile().wifi_wake_j
+            } else {
+                0.0
+            }
     }
 
     /// Energy attributed to the cellular radio (undiscounted), up to `now`.
@@ -361,7 +404,11 @@ mod tests {
                     RadioSnapshot {
                         wifi_on: true,
                         wifi_mbps: (t % 20) as f64,
-                        cell_state: if t % 3 == 0 { RrcState::Active } else { RrcState::Tail },
+                        cell_state: if t % 3 == 0 {
+                            RrcState::Active
+                        } else {
+                            RrcState::Tail
+                        },
                         cell_mbps: (t % 7) as f64,
                     },
                 );

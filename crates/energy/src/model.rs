@@ -24,7 +24,11 @@ pub enum PathUsage {
 
 impl PathUsage {
     /// All three usages, in a fixed order (used by exhaustive searches).
-    pub const ALL: [PathUsage; 3] = [PathUsage::WifiOnly, PathUsage::CellularOnly, PathUsage::Both];
+    pub const ALL: [PathUsage; 3] = [
+        PathUsage::WifiOnly,
+        PathUsage::CellularOnly,
+        PathUsage::Both,
+    ];
 
     /// Label used in tables.
     pub fn label(self) -> &'static str {
@@ -171,11 +175,7 @@ mod tests {
     fn fast_wifi_always_wins() {
         let m = model();
         for lte in [0.5, 2.0, 8.0, 15.0] {
-            assert_eq!(
-                m.best_usage(20.0, lte).0,
-                PathUsage::WifiOnly,
-                "lte={lte}"
-            );
+            assert_eq!(m.best_usage(20.0, lte).0, PathUsage::WifiOnly, "lte={lte}");
         }
     }
 

@@ -63,7 +63,12 @@ pub fn best_usage_for_size(
 ) -> (PathUsage, f64) {
     PathUsage::ALL
         .iter()
-        .map(|&u| (u, transfer_energy_j(model, u, size_bytes, wifi_mbps, cell_mbps)))
+        .map(|&u| {
+            (
+                u,
+                transfer_energy_j(model, u, size_bytes, wifi_mbps, cell_mbps),
+            )
+        })
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("energy is never NaN"))
         .expect("non-empty usage set")
 }

@@ -7,22 +7,80 @@
 //! repro --quick all       shrunk transfers (smoke test)
 //! repro --out results all custom output directory
 //! repro --seed 7 fig5     override the experiment seed
+//! repro --quiet fig9      tables only, no progress or metrics chatter
 //! ```
 //!
 //! Each experiment prints its tables and writes `<out>/<id>.{txt,json}`.
+//! Every experiment runs with a fresh telemetry pipeline (metrics +
+//! invariant observer, no trace sink), so a short metrics roll-up follows
+//! each one and invariant violations surface as warnings.
 
 use emptcp_expr::figures::{self, Config};
+use emptcp_telemetry::{info, log, warn, Telemetry};
 use std::path::PathBuf;
 use std::time::Instant;
 
 const IDS: &[&str] = &[
-    "table1", "fig1", "table2", "fig3", "fig4", "eq1", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig12", "fig13", "sec46", "fig14", "fig15", "fig16", "fig17", "handover", "devices", "ablations", "upload", "streaming", "breakdown", "sweep_hold", "sweep_kappa",
+    "table1",
+    "fig1",
+    "table2",
+    "fig3",
+    "fig4",
+    "eq1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig12",
+    "fig13",
+    "sec46",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "handover",
+    "devices",
+    "ablations",
+    "upload",
+    "streaming",
+    "breakdown",
+    "sweep_hold",
+    "sweep_kappa",
 ];
+
+/// `conn3` / `sf1` style path segments name an instance, not a family.
+fn is_instance_segment(seg: &str) -> bool {
+    ["conn", "sf"].iter().any(|prefix| {
+        seg.strip_prefix(prefix)
+            .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+    })
+}
+
+/// Sum every per-connection/per-subflow counter into its stack-level family
+/// (`tcp.conn3.sf1.retransmits` -> `tcp.retransmits`) so the roll-up stays
+/// a handful of lines no matter how many flows an experiment spawned.
+fn summarize_metrics(telemetry: &Telemetry) -> Vec<(String, u64)> {
+    let Some(metrics) = telemetry.metrics() else {
+        return Vec::new();
+    };
+    let mut totals: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (name, value) in metrics.counters() {
+        let family = name
+            .split('.')
+            .filter(|seg| !is_instance_segment(seg))
+            .collect::<Vec<_>>()
+            .join(".");
+        *totals.entry(family).or_insert(0) += value;
+    }
+    totals.into_iter().collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut quiet = false;
     let mut seed: Option<u64> = None;
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
@@ -36,6 +94,7 @@ fn main() {
                 return;
             }
             "--quick" => quick = true,
+            "--quiet" => quiet = true,
             "--out" => {
                 out_dir = PathBuf::from(it.next().expect("--out needs a directory"));
             }
@@ -52,11 +111,18 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: repro [--quick] [--out DIR] (all | <id>...)");
+        eprintln!("usage: repro [--quick] [--quiet] [--out DIR] (all | <id>...)");
         eprintln!("ids: {}", IDS.join(" "));
         std::process::exit(2);
     }
-    let mut cfg = if quick { Config::quick() } else { Config::full() };
+    if quiet {
+        log::set_level(log::Level::Quiet);
+    }
+    let mut cfg = if quick {
+        Config::quick()
+    } else {
+        Config::full()
+    };
     if let Some(seed) = seed {
         cfg.seed = seed;
     }
@@ -66,6 +132,10 @@ fn main() {
     let mut fig16_traces = None;
     for id in &ids {
         let started = Instant::now();
+        // A fresh pipeline per experiment: simulations pick it up through
+        // the process-global handle, so counters never bleed across ids.
+        let telemetry = Telemetry::builder().invariants(true).build();
+        emptcp_telemetry::set_global(telemetry.clone());
         let outputs = match id.as_str() {
             "table1" => vec![figures::table1()],
             "fig1" => vec![figures::fig1()],
@@ -113,12 +183,31 @@ fn main() {
                 std::process::exit(2);
             }
         };
+        emptcp_telemetry::set_global(Telemetry::disabled());
         for out in outputs {
             print!("{}", out.render());
             out.write_to(&out_dir)
                 .unwrap_or_else(|e| panic!("writing {}: {e}", out.id));
         }
-        eprintln!("[{id}] done in {:.1}s", started.elapsed().as_secs_f64());
-        println!();
+        let violations = telemetry.violations();
+        for v in &violations {
+            warn!("[{id}] {v}");
+        }
+        if !violations.is_empty() {
+            warn!("[{id}] {} invariant violation(s)", violations.len());
+        }
+        let totals = summarize_metrics(&telemetry);
+        if !totals.is_empty() {
+            let line = totals
+                .iter()
+                .map(|(name, value)| format!("{name}={value}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            info!("[{id}] metrics: {line}");
+        }
+        info!("[{id}] done in {:.1}s", started.elapsed().as_secs_f64());
+        if !quiet {
+            println!();
+        }
     }
 }

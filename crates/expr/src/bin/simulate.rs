@@ -3,18 +3,25 @@
 //! ```text
 //! simulate --strategy emptcp --wifi-mbps 3 --cell-mbps 12 --size-mb 16
 //! simulate --strategy mptcp --scenario mobility --json
+//! simulate --strategy emptcp --trace run.jsonl --metrics run.json
 //! simulate --list-strategies
 //! ```
 //!
 //! This is the downstream-user entry point: where `repro` regenerates the
 //! paper's figures, `simulate` answers "what would strategy X do in my
-//! environment?".
+//! environment?". With `--trace`/`--metrics` the run is instrumented: every
+//! stack event goes to a JSONL trace (byte-identical across runs with the
+//! same seed), a metrics snapshot is written as JSON, and the online
+//! invariant observer checks conservation properties as the run executes.
 
 use emptcp_expr::scenario::{Scenario, Workload};
 use emptcp_expr::{host, Strategy};
-use emptcp_sim::SimDuration;
+use emptcp_sim::{SimDuration, SimTime};
+use emptcp_telemetry::{info, log, warn, JsonlSink, Telemetry};
 
-const STRATEGIES: &[(&str, fn() -> Strategy)] = &[
+type StrategyEntry = (&'static str, fn() -> Strategy);
+
+const STRATEGIES: &[StrategyEntry] = &[
     ("mptcp", || Strategy::Mptcp),
     ("emptcp", Strategy::emptcp_default),
     ("tcp-wifi", || Strategy::TcpWifi),
@@ -38,6 +45,9 @@ fn usage() -> ! {
   --size-mb X          download size for 'custom'/'good'/'bad' (default 16)
   --seed N             simulation seed                     (default 42)
   --json               print the full RunResult as JSON
+  --trace PATH         write a JSONL event trace (enables invariant checks)
+  --metrics PATH       write a JSON metrics snapshot (enables invariant checks)
+  --quiet              suppress the human-readable summary and progress output
   --list-strategies    list strategy names and exit"
     );
     std::process::exit(2);
@@ -52,6 +62,9 @@ fn main() {
     let mut size_mb = 16.0f64;
     let mut seed = 42u64;
     let mut json = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +83,9 @@ fn main() {
             "--size-mb" => size_mb = value("--size-mb").parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--json" => json = true,
+            "--trace" => trace_path = Some(value("--trace")),
+            "--metrics" => metrics_path = Some(value("--metrics")),
+            "--quiet" => quiet = true,
             "--list-strategies" => {
                 for (name, _) in STRATEGIES {
                     println!("{name}");
@@ -134,7 +150,54 @@ fn main() {
         }
     };
 
-    let result = host::run(scenario, strategy, seed);
+    if quiet {
+        log::set_level(log::Level::Quiet);
+    }
+
+    // Build the telemetry pipeline when instrumentation was requested; the
+    // invariant observer rides along for free on instrumented runs.
+    let telemetry = if trace_path.is_some() || metrics_path.is_some() {
+        let mut builder = Telemetry::builder().invariants(true);
+        if let Some(path) = &trace_path {
+            let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create trace file {path}: {e}");
+                std::process::exit(2);
+            });
+            builder = builder.sink(Box::new(JsonlSink::new(file)));
+        }
+        builder.build()
+    } else {
+        Telemetry::disabled()
+    };
+
+    let result =
+        host::Simulation::new_with_telemetry(scenario, strategy, seed, telemetry.clone()).run();
+
+    // The snapshot timestamp is the workload completion time; gauges inside
+    // already reflect the end of the radio drain.
+    let snapshot_at = SimTime::from_nanos((result.download_time_s * 1e9).round() as u64);
+    if let Some(path) = &metrics_path {
+        let snap = telemetry
+            .metrics_snapshot(snapshot_at)
+            .expect("telemetry enabled when --metrics given");
+        let body = serde_json::to_string_pretty(&snap).expect("serializable snapshot");
+        std::fs::write(path, body + "\n").unwrap_or_else(|e| {
+            eprintln!("cannot write metrics file {path}: {e}");
+            std::process::exit(2);
+        });
+        info!("metrics written to {path}");
+    }
+    if let Some(path) = &trace_path {
+        info!("trace written to {path}");
+    }
+    let violations = telemetry.violations();
+    if !violations.is_empty() {
+        for v in &violations {
+            warn!("{v}");
+        }
+        warn!("{} invariant violation(s) detected", violations.len());
+    }
+
     if json {
         println!(
             "{}",
@@ -142,22 +205,24 @@ fn main() {
         );
         return;
     }
+    if quiet {
+        return;
+    }
     println!("strategy:        {}", result.strategy);
     println!("scenario:        {}", result.scenario);
     println!("completed:       {}", result.completed);
     println!("download time:   {:.2} s", result.download_time_s);
-    println!("energy:          {:.2} J ({:.2} J at completion)",
-        result.energy_j, result.energy_at_completion_j);
+    println!(
+        "energy:          {:.2} J ({:.2} J at completion)",
+        result.energy_j, result.energy_at_completion_j
+    );
     println!(
         "delivered:       {:.2} MB  (WiFi {:.2} MB, cellular {:.2} MB)",
         result.bytes_delivered as f64 / (1 << 20) as f64,
         result.wifi_bytes as f64 / (1 << 20) as f64,
         result.cell_bytes as f64 / (1 << 20) as f64
     );
-    println!(
-        "per byte:        {:.3} uJ/B",
-        result.joules_per_byte * 1e6
-    );
+    println!("per byte:        {:.3} uJ/B", result.joules_per_byte * 1e6);
     println!(
         "radio:           {} promotions, {:.2} J promotion energy, {:.2} J tail energy",
         result.promotions, result.promo_energy_j, result.tail_energy_j

@@ -19,8 +19,8 @@ use emptcp_energy::{DeviceProfile, Eib, EnergyModel};
 use emptcp_sim::stats::{MeanSem, WhiskerSummary};
 use emptcp_sim::SimDuration;
 use emptcp_workload::download::{KB, MB};
-use parking_lot::Mutex;
 use serde::Serialize;
+use std::sync::Mutex;
 
 /// Experiment scale.
 #[derive(Clone, Copy, Debug)]
@@ -68,18 +68,17 @@ where
     F: Fn() -> Scenario + Sync,
 {
     let results: Mutex<Vec<(usize, RunResult)>> = Mutex::new(Vec::new());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for i in 0..runs {
             let make = &make;
             let results = &results;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let r = run(make(), strategy, seed0.wrapping_add(i as u64 * 7919));
-                results.lock().push((i, r));
+                results.lock().expect("worker panicked").push((i, r));
             });
         }
-    })
-    .expect("worker panicked");
-    let mut out = results.into_inner();
+    });
+    let mut out = results.into_inner().expect("worker panicked");
     out.sort_by_key(|&(i, _)| i);
     out.into_iter().map(|(_, r)| r).collect()
 }
@@ -105,10 +104,8 @@ fn summarize(results: &[RunResult]) -> StrategySummary {
                 .map(|r| r.download_time_s)
                 .collect::<Vec<_>>(),
         ),
-        wifi_bytes: results.iter().map(|r| r.wifi_bytes as f64).sum::<f64>()
-            / results.len() as f64,
-        cell_bytes: results.iter().map(|r| r.cell_bytes as f64).sum::<f64>()
-            / results.len() as f64,
+        wifi_bytes: results.iter().map(|r| r.wifi_bytes as f64).sum::<f64>() / results.len() as f64,
+        cell_bytes: results.iter().map(|r| r.cell_bytes as f64).sum::<f64>() / results.len() as f64,
         completed: results.iter().filter(|r| r.completed).count(),
         runs: results.len(),
     }
@@ -171,12 +168,7 @@ pub fn fig1() -> FigureOutput {
     let mut payload = Vec::new();
     for profile in [DeviceProfile::galaxy_s3(), DeviceProfile::nexus_5()] {
         let (wifi, threeg, lte) = profile.fixed_overheads_j();
-        t.row(vec![
-            profile.name.clone(),
-            f(wifi),
-            f(threeg),
-            f(lte),
-        ]);
+        t.row(vec![profile.name.clone(), f(wifi), f(threeg), f(lte)]);
         payload.push((profile.name.clone(), wifi, threeg, lte));
     }
     FigureOutput::new("fig1", vec![t], payload)
@@ -290,7 +282,13 @@ pub fn eq1() -> FigureOutput {
         &["WiFi Mbps", "RTT (ms)", "min tau (s)"],
     );
     let mut payload = Vec::new();
-    for &(bw, rtt_ms) in &[(1.0, 25u64), (10.0, 25), (10.0, 100), (10.0, 190), (25.0, 50)] {
+    for &(bw, rtt_ms) in &[
+        (1.0, 25u64),
+        (10.0, 25),
+        (10.0, 100),
+        (10.0, 190),
+        (25.0, 50),
+    ] {
         let tau = min_tau(bw, SimDuration::from_millis(rtt_ms), 14_280, 10);
         t.row(vec![f(bw), format!("{rtt_ms}"), f(tau.as_secs_f64())]);
         payload.push((bw, rtt_ms, tau.as_secs_f64()));
@@ -303,7 +301,11 @@ pub fn eq1() -> FigureOutput {
 // ----------------------------------------------------------------------
 
 fn lab_strategies() -> [Strategy; 3] {
-    [Strategy::Mptcp, Strategy::emptcp_default(), Strategy::TcpWifi]
+    [
+        Strategy::Mptcp,
+        Strategy::emptcp_default(),
+        Strategy::TcpWifi,
+    ]
 }
 
 fn run_lab(make: impl Fn() -> Scenario + Sync, cfg: &Config) -> Vec<StrategySummary> {
@@ -317,7 +319,9 @@ fn run_lab(make: impl Fn() -> Scenario + Sync, cfg: &Config) -> Vec<StrategySumm
 pub fn fig5(cfg: &Config) -> FigureOutput {
     let make = || {
         let mut s = Scenario::static_good_wifi();
-        s.workload = Workload::Download { size: cfg.bulk_size };
+        s.workload = Workload::Download {
+            size: cfg.bulk_size,
+        };
         s
     };
     let summaries = run_lab(make, cfg);
@@ -329,7 +333,9 @@ pub fn fig5(cfg: &Config) -> FigureOutput {
 pub fn fig6(cfg: &Config) -> FigureOutput {
     let make = || {
         let mut s = Scenario::static_bad_wifi();
-        s.workload = Workload::Download { size: cfg.bulk_size };
+        s.workload = Workload::Download {
+            size: cfg.bulk_size,
+        };
         s
     };
     let summaries = run_lab(make, cfg);
@@ -342,7 +348,9 @@ pub fn fig6(cfg: &Config) -> FigureOutput {
 pub fn fig7(cfg: &Config) -> FigureOutput {
     let make = || {
         let mut s = Scenario::bandwidth_changes();
-        s.workload = Workload::Download { size: cfg.bulk_size };
+        s.workload = Workload::Download {
+            size: cfg.bulk_size,
+        };
         s
     };
     let runs: Vec<RunResult> = lab_strategies()
@@ -366,7 +374,10 @@ pub fn fig7(cfg: &Config) -> FigureOutput {
         let tag = r.strategy.to_lowercase().replace(' ', "_");
         out = out
             .with_csv(&format!("energy_{tag}"), r.energy_trace.to_csv())
-            .with_csv(&format!("wifi_capacity_{tag}"), r.wifi_capacity_trace.to_csv());
+            .with_csv(
+                &format!("wifi_capacity_{tag}"),
+                r.wifi_capacity_trace.to_csv(),
+            );
     }
     out
 }
@@ -375,13 +386,15 @@ pub fn fig7(cfg: &Config) -> FigureOutput {
 pub fn fig8(cfg: &Config) -> FigureOutput {
     let make = || {
         let mut s = Scenario::bandwidth_changes();
-        s.workload = Workload::Download { size: cfg.bulk_size };
+        s.workload = Workload::Download {
+            size: cfg.bulk_size,
+        };
         s
     };
     let runs = (cfg.runs * 2).max(2); // the paper uses 10 here
     let summaries: Vec<StrategySummary> = lab_strategies()
         .iter()
-        .map(|&st| summarize(&repeat_runs(&make, st, runs, cfg.seed)))
+        .map(|&st| summarize(&repeat_runs(make, st, runs, cfg.seed)))
         .collect();
     let t = energy_time_table("Fig 8: random WiFi bandwidth changes", &summaries);
     FigureOutput::new("fig8", vec![t], summaries)
@@ -391,7 +404,9 @@ pub fn fig8(cfg: &Config) -> FigureOutput {
 pub fn fig9(cfg: &Config) -> FigureOutput {
     let make = || {
         let mut s = Scenario::background_traffic(2, 0.025);
-        s.workload = Workload::Download { size: cfg.bulk_size };
+        s.workload = Workload::Download {
+            size: cfg.bulk_size,
+        };
         s
     };
     let mptcp = run(make(), Strategy::Mptcp, cfg.seed);
@@ -423,23 +438,20 @@ pub fn fig10(cfg: &Config) -> FigureOutput {
     let combos = [(2usize, 0.025f64), (3, 0.025), (3, 0.05)];
     let mut t = Table::new(
         "Fig 10: relative to MPTCP (100%), background traffic",
-        &[
-            "setting",
-            "strategy",
-            "energy %",
-            "time %",
-        ],
+        &["setting", "strategy", "energy %", "time %"],
     );
     let mut payload = Vec::new();
     for (n, loff) in combos {
         let make = || {
             let mut s = Scenario::background_traffic(n, loff);
-            s.workload = Workload::Download { size: cfg.bulk_size };
+            s.workload = Workload::Download {
+                size: cfg.bulk_size,
+            };
             s
         };
-        let base = summarize(&repeat_runs(&make, Strategy::Mptcp, cfg.runs, cfg.seed));
+        let base = summarize(&repeat_runs(make, Strategy::Mptcp, cfg.runs, cfg.seed));
         for st in [Strategy::emptcp_default(), Strategy::TcpWifi] {
-            let s = summarize(&repeat_runs(&make, st, cfg.runs, cfg.seed));
+            let s = summarize(&repeat_runs(make, st, cfg.runs, cfg.seed));
             let e_pct = 100.0 * s.energy.mean / base.energy.mean;
             let t_pct = 100.0 * s.time.mean / base.time.mean;
             t.row(vec![
@@ -490,7 +502,7 @@ pub fn fig13(cfg: &Config) -> FigureOutput {
     );
     let mut payload = Vec::new();
     for &st in &lab_strategies() {
-        let results = repeat_runs(&make, st, cfg.runs, cfg.seed);
+        let results = repeat_runs(make, st, cfg.runs, cfg.seed);
         let jpb = MeanSem::of(
             &results
                 .iter()
@@ -541,7 +553,7 @@ pub fn sec46(cfg: &Config) -> FigureOutput {
     );
     let mut payload = Vec::new();
     for &st in &strategies {
-        let results = repeat_runs(&make, st, cfg.runs, cfg.seed);
+        let results = repeat_runs(make, st, cfg.runs, cfg.seed);
         let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
         let dl = MeanSem::of(
             &results
@@ -577,11 +589,17 @@ pub fn handover(cfg: &Config) -> FigureOutput {
     ];
     let mut t = Table::new(
         "Extension: 64 MB download across a 30 s WiFi association outage",
-        &["strategy", "energy (J)", "time (s)", "cell MB", "promotions"],
+        &[
+            "strategy",
+            "energy (J)",
+            "time (s)",
+            "cell MB",
+            "promotions",
+        ],
     );
     let mut payload = Vec::new();
     for &st in &strategies {
-        let results = repeat_runs(&make, st, cfg.runs, cfg.seed);
+        let results = repeat_runs(make, st, cfg.runs, cfg.seed);
         let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
         let time = MeanSem::of(
             &results
@@ -592,8 +610,8 @@ pub fn handover(cfg: &Config) -> FigureOutput {
         let cell = results.iter().map(|r| r.cell_bytes as f64).sum::<f64>()
             / results.len() as f64
             / MB as f64;
-        let promos = results.iter().map(|r| r.promotions).sum::<u64>() as f64
-            / results.len() as f64;
+        let promos =
+            results.iter().map(|r| r.promotions).sum::<u64>() as f64 / results.len() as f64;
         t.row(vec![
             st.label().to_string(),
             pm(e.mean, e.sem),
@@ -617,14 +635,16 @@ fn whisker_tables(title: &str, traces: &[WildTrace]) -> (Vec<Table>, serde_json:
         let in_cat: Vec<&WildTrace> = traces.iter().filter(|t| t.category == cat).collect();
         let mut t = Table::new(
             format!("{title} — {} (n={})", cat.label(), in_cat.len()),
-            &["strategy", "median E (J)", "Q1..Q3 E", "median T (s)", "Q1..Q3 T"],
+            &[
+                "strategy",
+                "median E (J)",
+                "Q1..Q3 E",
+                "median T (s)",
+                "Q1..Q3 T",
+            ],
         );
         let mut cat_payload = serde_json::Map::new();
-        for (label, extract) in [
-            ("MPTCP", 0usize),
-            ("eMPTCP", 1),
-            ("TCP over WiFi", 2),
-        ] {
+        for (label, extract) in [("MPTCP", 0usize), ("eMPTCP", 1), ("TCP over WiFi", 2)] {
             fn pick(tr: &WildTrace, which: usize) -> &RunResult {
                 match which {
                     0 => &tr.mptcp,
@@ -632,8 +652,7 @@ fn whisker_tables(title: &str, traces: &[WildTrace]) -> (Vec<Table>, serde_json:
                     _ => &tr.tcp_wifi,
                 }
             }
-            let energies: Vec<f64> =
-                in_cat.iter().map(|tr| pick(tr, extract).energy_j).collect();
+            let energies: Vec<f64> = in_cat.iter().map(|tr| pick(tr, extract).energy_j).collect();
             let times: Vec<f64> = in_cat
                 .iter()
                 .map(|tr| pick(tr, extract).download_time_s)
@@ -717,7 +736,7 @@ pub fn fig17(cfg: &Config) -> FigureOutput {
     let make = Scenario::web_browsing;
     let summaries: Vec<StrategySummary> = lab_strategies()
         .iter()
-        .map(|&st| summarize(&repeat_runs(&make, st, cfg.runs.max(3), cfg.seed)))
+        .map(|&st| summarize(&repeat_runs(make, st, cfg.runs.max(3), cfg.seed)))
         .collect();
     let mut t = Table::new(
         "Fig 17: web browsing (107 objects, 6 connections)",
@@ -732,6 +751,342 @@ pub fn fig17(cfg: &Config) -> FigureOutput {
         ]);
     }
     FigureOutput::new("fig17", vec![t], summaries)
+}
+
+/// Extension: both Table 1 devices and both cellular radios through the
+/// same 16 MB bad-WiFi download — the device dimension the paper carries
+/// through Figs 1/3 but only evaluates on the Galaxy S3.
+pub fn devices(cfg: &Config) -> FigureOutput {
+    use emptcp_energy::DeviceProfile;
+    use emptcp_phy::IfaceKind;
+    let mut t = Table::new(
+        "Extension: device/radio grid, 16 MB download on bad WiFi",
+        &["device", "radio", "strategy", "energy (J)", "time (s)"],
+    );
+    let mut payload = Vec::new();
+    for (dev_name, profile) in [
+        ("Galaxy S3", DeviceProfile::galaxy_s3()),
+        ("Nexus 5", DeviceProfile::nexus_5()),
+    ] {
+        for kind in [IfaceKind::CellularLte, IfaceKind::Cellular3g] {
+            let make = || {
+                let mut s = Scenario::static_bad_wifi();
+                s.workload = Workload::Download { size: 16 * MB };
+                s.profile = profile.clone();
+                s.cell_kind = kind;
+                // 3G tops out far lower than LTE.
+                if kind == IfaceKind::Cellular3g {
+                    s.cell_bps = 3_000_000;
+                }
+                s
+            };
+            for st in [Strategy::Mptcp, Strategy::emptcp_default()] {
+                let results = repeat_runs(make, st, cfg.runs.min(3), cfg.seed);
+                let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
+                let time = MeanSem::of(
+                    &results
+                        .iter()
+                        .map(|r| r.download_time_s)
+                        .collect::<Vec<_>>(),
+                );
+                t.row(vec![
+                    dev_name.to_string(),
+                    kind.label().to_string(),
+                    st.label().to_string(),
+                    pm(e.mean, e.sem),
+                    pm(time.mean, time.sem),
+                ]);
+                payload.push((dev_name, kind.label(), st.label().to_string(), e, time));
+            }
+        }
+    }
+    FigureOutput::new("devices", vec![t], payload)
+}
+
+/// Extension: ablations of eMPTCP's design choices, quantifying what each
+/// mechanism buys (DESIGN.md §5/§8 call these out).
+pub fn ablations(cfg: &Config) -> FigureOutput {
+    use emptcp::EmptcpConfig;
+    use emptcp_sim::SimDuration;
+
+    let make = || {
+        let mut s = Scenario::bandwidth_changes();
+        s.workload = Workload::Download {
+            size: cfg.bulk_size,
+        };
+        s
+    };
+    let variants: Vec<(&str, EmptcpConfig)> = vec![
+        ("default", EmptcpConfig::default()),
+        ("no hysteresis", {
+            let mut c = EmptcpConfig::default();
+            c.controller.safety_factor = 0.0;
+            c
+        }),
+        ("no dwell", {
+            let mut c = EmptcpConfig::default();
+            c.controller.min_dwell = SimDuration::ZERO;
+            c
+        }),
+        ("no hysteresis, no dwell", {
+            let mut c = EmptcpConfig::default();
+            c.controller.safety_factor = 0.0;
+            c.controller.min_dwell = SimDuration::ZERO;
+            c
+        }),
+        ("adaptive tau", {
+            let mut c = EmptcpConfig::default();
+            c.delay.adaptive_tau = true;
+            c
+        }),
+        ("cellular-only allowed", {
+            let mut c = EmptcpConfig::default();
+            c.controller.allow_cellular_only = true;
+            c
+        }),
+        ("kappa = 64 kB", {
+            let mut c = EmptcpConfig::default();
+            c.delay.kappa_bytes = 64 << 10;
+            c
+        }),
+        // Forecaster ablations (§3.2 argues for Holt-Winters): last-sample
+        // is Holt-Winters with alpha=1/beta=0, EWMA is beta=0.
+        (
+            "last-sample predictor",
+            EmptcpConfig {
+                predictor_alpha: 1.0,
+                predictor_beta: 0.0,
+                ..EmptcpConfig::default()
+            },
+        ),
+        (
+            "ewma predictor (no trend)",
+            EmptcpConfig {
+                predictor_beta: 0.0,
+                ..EmptcpConfig::default()
+            },
+        ),
+    ];
+    let mut t = Table::new(
+        "Extension: eMPTCP ablations on random WiFi bandwidth changes",
+        &[
+            "variant",
+            "energy (J)",
+            "time (s)",
+            "switches",
+            "promotions",
+        ],
+    );
+    let mut payload = Vec::new();
+    for (name, variant) in variants {
+        let results = repeat_runs(make, Strategy::Emptcp(variant), cfg.runs, cfg.seed);
+        let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
+        let time = MeanSem::of(
+            &results
+                .iter()
+                .map(|r| r.download_time_s)
+                .collect::<Vec<_>>(),
+        );
+        let switches =
+            results.iter().map(|r| r.usage_switches).sum::<u64>() as f64 / results.len() as f64;
+        let promos =
+            results.iter().map(|r| r.promotions).sum::<u64>() as f64 / results.len() as f64;
+        t.row(vec![
+            name.to_string(),
+            pm(e.mean, e.sem),
+            pm(time.mean, time.sem),
+            f(switches),
+            f(promos),
+        ]);
+        payload.push((name.to_string(), e, time, switches, promos));
+    }
+    FigureOutput::new("ablations", vec![t], payload)
+}
+
+/// Extension (paper §7 future work): a 64 MB upload from the device.
+pub fn upload(cfg: &Config) -> FigureOutput {
+    let make = || {
+        let mut s = Scenario::upload();
+        s.workload = Workload::Upload {
+            size: cfg.bulk_size.min(64 * MB),
+        };
+        s
+    };
+    let summaries: Vec<_> = [
+        Strategy::Mptcp,
+        Strategy::emptcp_default(),
+        Strategy::TcpWifi,
+    ]
+    .iter()
+    .map(|&st| summarize(&repeat_runs(make, st, cfg.runs, cfg.seed)))
+    .collect();
+    let t = energy_time_table("Extension: upload over good WiFi", &summaries);
+    FigureOutput::new("upload", vec![t], summaries)
+}
+
+/// Extension (paper §7 future work): chunked video streaming over a
+/// bandwidth-modulated AP; the metric that matters is rebuffer events.
+pub fn streaming(cfg: &Config) -> FigureOutput {
+    let make = Scenario::streaming;
+    let mut t = Table::new(
+        "Extension: 1 MB / 4 s video streaming over modulated WiFi (200 s)",
+        &[
+            "strategy",
+            "energy (J)",
+            "rebuffers",
+            "delivered MB",
+            "cell MB",
+        ],
+    );
+    let mut payload = Vec::new();
+    for st in [
+        Strategy::Mptcp,
+        Strategy::emptcp_default(),
+        Strategy::TcpWifi,
+        Strategy::WifiFirst,
+    ] {
+        let results = repeat_runs(make, st, cfg.runs, cfg.seed);
+        let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
+        let rebuffers = MeanSem::of(
+            &results
+                .iter()
+                .map(|r| r.rebuffer_events as f64)
+                .collect::<Vec<_>>(),
+        );
+        let delivered = results
+            .iter()
+            .map(|r| r.bytes_delivered as f64)
+            .sum::<f64>()
+            / results.len() as f64
+            / MB as f64;
+        let cell = results.iter().map(|r| r.cell_bytes as f64).sum::<f64>()
+            / results.len() as f64
+            / MB as f64;
+        t.row(vec![
+            st.label().to_string(),
+            pm(e.mean, e.sem),
+            pm(rebuffers.mean, rebuffers.sem),
+            f(delivered),
+            f(cell),
+        ]);
+        payload.push((st.label().to_string(), e, rebuffers, delivered, cell));
+    }
+    FigureOutput::new("streaming", vec![t], payload)
+}
+
+/// Extension: where MPTCP's extra joules go — per-RRC-state cellular
+/// energy for a 16 MB good-WiFi download (the fixed-overhead story of
+/// §2.3/Fig 1, read off the meter instead of the model).
+pub fn breakdown(cfg: &Config) -> FigureOutput {
+    let make = || {
+        let mut s = Scenario::static_good_wifi();
+        s.workload = Workload::Download { size: 16 * MB };
+        s
+    };
+    let mut t = Table::new(
+        "Extension: cellular energy by RRC state, 16 MB on good WiFi",
+        &[
+            "strategy",
+            "total (J)",
+            "promotion (J)",
+            "tail (J)",
+            "tail share %",
+        ],
+    );
+    let mut payload = Vec::new();
+    for st in [
+        Strategy::Mptcp,
+        Strategy::emptcp_default(),
+        Strategy::TcpCellular,
+        Strategy::WifiFirst,
+    ] {
+        let results = repeat_runs(make, st, cfg.runs.min(3), cfg.seed);
+        let total = results.iter().map(|r| r.energy_j).sum::<f64>() / results.len() as f64;
+        let promo = results.iter().map(|r| r.promo_energy_j).sum::<f64>() / results.len() as f64;
+        let tail = results.iter().map(|r| r.tail_energy_j).sum::<f64>() / results.len() as f64;
+        t.row(vec![
+            st.label().to_string(),
+            f(total),
+            f(promo),
+            f(tail),
+            f(100.0 * tail / total.max(1e-9)),
+        ]);
+        payload.push((st.label().to_string(), total, promo, tail));
+    }
+    FigureOutput::new("breakdown", vec![t], payload)
+}
+
+/// Extension: how fast may the environment change before eMPTCP's
+/// switching overhead eats its savings? §4.3 predicts the erosion; this
+/// sweeps the modulation holding time.
+pub fn sweep_hold(cfg: &Config) -> FigureOutput {
+    let mut t = Table::new(
+        "Extension: eMPTCP vs MPTCP as WiFi modulation speeds up",
+        &[
+            "mean hold (s)",
+            "eMPTCP energy %",
+            "eMPTCP time %",
+            "switches",
+            "promotions",
+        ],
+    );
+    let mut payload = Vec::new();
+    for hold in [10.0f64, 20.0, 40.0, 80.0] {
+        let make = || {
+            let mut s = Scenario::bandwidth_changes();
+            s.wifi = crate::scenario::WifiEnvironment::Modulated {
+                mean_hold_s: hold,
+                start_high: false,
+            };
+            s.workload = Workload::Download {
+                size: cfg.bulk_size,
+            };
+            s
+        };
+        let base = summarize(&repeat_runs(make, Strategy::Mptcp, cfg.runs, cfg.seed));
+        let results = repeat_runs(make, Strategy::emptcp_default(), cfg.runs, cfg.seed);
+        let me = summarize(&results);
+        let switches =
+            results.iter().map(|r| r.usage_switches).sum::<u64>() as f64 / results.len() as f64;
+        let promos =
+            results.iter().map(|r| r.promotions).sum::<u64>() as f64 / results.len() as f64;
+        let e_pct = 100.0 * me.energy.mean / base.energy.mean;
+        let t_pct = 100.0 * me.time.mean / base.time.mean;
+        t.row(vec![f(hold), f(e_pct), f(t_pct), f(switches), f(promos)]);
+        payload.push((hold, e_pct, t_pct, switches, promos));
+    }
+    FigureOutput::new("sweep_hold", vec![t], payload)
+}
+
+/// Extension: the kappa design space — delayed-establishment threshold
+/// versus transfer size (§4.1 leaves tuning kappa as future work).
+pub fn sweep_kappa(cfg: &Config) -> FigureOutput {
+    use emptcp::EmptcpConfig;
+    let mut t = Table::new(
+        "Extension: energy (J) by kappa x transfer size, bad WiFi",
+        &["kappa", "256 kB", "1 MB", "16 MB"],
+    );
+    let mut payload = Vec::new();
+    for kappa in [64u64 << 10, 256 << 10, 1 << 20, 4 << 20] {
+        let mut row = vec![format!("{} kB", kappa >> 10)];
+        let mut row_data = Vec::new();
+        for size in [256u64 << 10, 1 << 20, 16 << 20] {
+            let make = || {
+                let mut s = Scenario::static_bad_wifi();
+                s.workload = Workload::Download { size };
+                s
+            };
+            let mut c = EmptcpConfig::default();
+            c.delay.kappa_bytes = kappa;
+            let results = repeat_runs(make, Strategy::Emptcp(c), cfg.runs.min(3), cfg.seed);
+            let e = results.iter().map(|r| r.energy_j).sum::<f64>() / results.len() as f64;
+            row.push(f(e));
+            row_data.push((size, e));
+        }
+        t.row(row);
+        payload.push((kappa, row_data));
+    }
+    FigureOutput::new("sweep_kappa", vec![t], payload)
 }
 
 #[cfg(test)]
@@ -814,311 +1169,4 @@ mod tests {
         let kappa = sweep_kappa(&cfg);
         assert_eq!(kappa.tables[0].len(), 4);
     }
-}
-
-/// Extension: both Table 1 devices and both cellular radios through the
-/// same 16 MB bad-WiFi download — the device dimension the paper carries
-/// through Figs 1/3 but only evaluates on the Galaxy S3.
-pub fn devices(cfg: &Config) -> FigureOutput {
-    use emptcp_energy::DeviceProfile;
-    use emptcp_phy::IfaceKind;
-    let mut t = Table::new(
-        "Extension: device/radio grid, 16 MB download on bad WiFi",
-        &["device", "radio", "strategy", "energy (J)", "time (s)"],
-    );
-    let mut payload = Vec::new();
-    for (dev_name, profile) in [
-        ("Galaxy S3", DeviceProfile::galaxy_s3()),
-        ("Nexus 5", DeviceProfile::nexus_5()),
-    ] {
-        for kind in [IfaceKind::CellularLte, IfaceKind::Cellular3g] {
-            let make = || {
-                let mut s = Scenario::static_bad_wifi();
-                s.workload = Workload::Download { size: 16 * MB };
-                s.profile = profile.clone();
-                s.cell_kind = kind;
-                // 3G tops out far lower than LTE.
-                if kind == IfaceKind::Cellular3g {
-                    s.cell_bps = 3_000_000;
-                }
-                s
-            };
-            for st in [Strategy::Mptcp, Strategy::emptcp_default()] {
-                let results = repeat_runs(&make, st, cfg.runs.min(3), cfg.seed);
-                let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
-                let time = MeanSem::of(
-                    &results
-                        .iter()
-                        .map(|r| r.download_time_s)
-                        .collect::<Vec<_>>(),
-                );
-                t.row(vec![
-                    dev_name.to_string(),
-                    kind.label().to_string(),
-                    st.label().to_string(),
-                    pm(e.mean, e.sem),
-                    pm(time.mean, time.sem),
-                ]);
-                payload.push((dev_name, kind.label(), st.label().to_string(), e, time));
-            }
-        }
-    }
-    FigureOutput::new("devices", vec![t], payload)
-}
-
-/// Extension: ablations of eMPTCP's design choices, quantifying what each
-/// mechanism buys (DESIGN.md §5/§8 call these out).
-pub fn ablations(cfg: &Config) -> FigureOutput {
-    use emptcp::EmptcpConfig;
-    use emptcp_sim::SimDuration;
-
-    let make = || {
-        let mut s = Scenario::bandwidth_changes();
-        s.workload = Workload::Download { size: cfg.bulk_size };
-        s
-    };
-    let variants: Vec<(&str, EmptcpConfig)> = vec![
-        ("default", EmptcpConfig::default()),
-        ("no hysteresis", {
-            let mut c = EmptcpConfig::default();
-            c.controller.safety_factor = 0.0;
-            c
-        }),
-        ("no dwell", {
-            let mut c = EmptcpConfig::default();
-            c.controller.min_dwell = SimDuration::ZERO;
-            c
-        }),
-        ("no hysteresis, no dwell", {
-            let mut c = EmptcpConfig::default();
-            c.controller.safety_factor = 0.0;
-            c.controller.min_dwell = SimDuration::ZERO;
-            c
-        }),
-        ("adaptive tau", {
-            let mut c = EmptcpConfig::default();
-            c.delay.adaptive_tau = true;
-            c
-        }),
-        ("cellular-only allowed", {
-            let mut c = EmptcpConfig::default();
-            c.controller.allow_cellular_only = true;
-            c
-        }),
-        ("kappa = 64 kB", {
-            let mut c = EmptcpConfig::default();
-            c.delay.kappa_bytes = 64 << 10;
-            c
-        }),
-        // Forecaster ablations (§3.2 argues for Holt-Winters): last-sample
-        // is Holt-Winters with alpha=1/beta=0, EWMA is beta=0.
-        ("last-sample predictor", {
-            let mut c = EmptcpConfig::default();
-            c.predictor_alpha = 1.0;
-            c.predictor_beta = 0.0;
-            c
-        }),
-        ("ewma predictor (no trend)", {
-            let mut c = EmptcpConfig::default();
-            c.predictor_beta = 0.0;
-            c
-        }),
-    ];
-    let mut t = Table::new(
-        "Extension: eMPTCP ablations on random WiFi bandwidth changes",
-        &["variant", "energy (J)", "time (s)", "switches", "promotions"],
-    );
-    let mut payload = Vec::new();
-    for (name, variant) in variants {
-        let results = repeat_runs(&make, Strategy::Emptcp(variant), cfg.runs, cfg.seed);
-        let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
-        let time = MeanSem::of(
-            &results
-                .iter()
-                .map(|r| r.download_time_s)
-                .collect::<Vec<_>>(),
-        );
-        let switches = results.iter().map(|r| r.usage_switches).sum::<u64>() as f64
-            / results.len() as f64;
-        let promos = results.iter().map(|r| r.promotions).sum::<u64>() as f64
-            / results.len() as f64;
-        t.row(vec![
-            name.to_string(),
-            pm(e.mean, e.sem),
-            pm(time.mean, time.sem),
-            f(switches),
-            f(promos),
-        ]);
-        payload.push((name.to_string(), e, time, switches, promos));
-    }
-    FigureOutput::new("ablations", vec![t], payload)
-}
-
-/// Extension (paper §7 future work): a 64 MB upload from the device.
-pub fn upload(cfg: &Config) -> FigureOutput {
-    let make = || {
-        let mut s = Scenario::upload();
-        s.workload = Workload::Upload {
-            size: cfg.bulk_size.min(64 * MB),
-        };
-        s
-    };
-    let summaries: Vec<_> = [Strategy::Mptcp, Strategy::emptcp_default(), Strategy::TcpWifi]
-        .iter()
-        .map(|&st| summarize(&repeat_runs(&make, st, cfg.runs, cfg.seed)))
-        .collect();
-    let t = energy_time_table("Extension: upload over good WiFi", &summaries);
-    FigureOutput::new("upload", vec![t], summaries)
-}
-
-/// Extension (paper §7 future work): chunked video streaming over a
-/// bandwidth-modulated AP; the metric that matters is rebuffer events.
-pub fn streaming(cfg: &Config) -> FigureOutput {
-    let make = Scenario::streaming;
-    let mut t = Table::new(
-        "Extension: 1 MB / 4 s video streaming over modulated WiFi (200 s)",
-        &["strategy", "energy (J)", "rebuffers", "delivered MB", "cell MB"],
-    );
-    let mut payload = Vec::new();
-    for st in [
-        Strategy::Mptcp,
-        Strategy::emptcp_default(),
-        Strategy::TcpWifi,
-        Strategy::WifiFirst,
-    ] {
-        let results = repeat_runs(&make, st, cfg.runs, cfg.seed);
-        let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
-        let rebuffers = MeanSem::of(
-            &results
-                .iter()
-                .map(|r| r.rebuffer_events as f64)
-                .collect::<Vec<_>>(),
-        );
-        let delivered = results
-            .iter()
-            .map(|r| r.bytes_delivered as f64)
-            .sum::<f64>()
-            / results.len() as f64
-            / MB as f64;
-        let cell = results.iter().map(|r| r.cell_bytes as f64).sum::<f64>()
-            / results.len() as f64
-            / MB as f64;
-        t.row(vec![
-            st.label().to_string(),
-            pm(e.mean, e.sem),
-            pm(rebuffers.mean, rebuffers.sem),
-            f(delivered),
-            f(cell),
-        ]);
-        payload.push((st.label().to_string(), e, rebuffers, delivered, cell));
-    }
-    FigureOutput::new("streaming", vec![t], payload)
-}
-
-/// Extension: where MPTCP's extra joules go — per-RRC-state cellular
-/// energy for a 16 MB good-WiFi download (the fixed-overhead story of
-/// §2.3/Fig 1, read off the meter instead of the model).
-pub fn breakdown(cfg: &Config) -> FigureOutput {
-    let make = || {
-        let mut s = Scenario::static_good_wifi();
-        s.workload = Workload::Download { size: 16 * MB };
-        s
-    };
-    let mut t = Table::new(
-        "Extension: cellular energy by RRC state, 16 MB on good WiFi",
-        &["strategy", "total (J)", "promotion (J)", "tail (J)", "tail share %"],
-    );
-    let mut payload = Vec::new();
-    for st in [
-        Strategy::Mptcp,
-        Strategy::emptcp_default(),
-        Strategy::TcpCellular,
-        Strategy::WifiFirst,
-    ] {
-        let results = repeat_runs(&make, st, cfg.runs.min(3), cfg.seed);
-        let total = results.iter().map(|r| r.energy_j).sum::<f64>() / results.len() as f64;
-        let promo =
-            results.iter().map(|r| r.promo_energy_j).sum::<f64>() / results.len() as f64;
-        let tail = results.iter().map(|r| r.tail_energy_j).sum::<f64>() / results.len() as f64;
-        t.row(vec![
-            st.label().to_string(),
-            f(total),
-            f(promo),
-            f(tail),
-            f(100.0 * tail / total.max(1e-9)),
-        ]);
-        payload.push((st.label().to_string(), total, promo, tail));
-    }
-    FigureOutput::new("breakdown", vec![t], payload)
-}
-
-/// Extension: how fast may the environment change before eMPTCP's
-/// switching overhead eats its savings? §4.3 predicts the erosion; this
-/// sweeps the modulation holding time.
-pub fn sweep_hold(cfg: &Config) -> FigureOutput {
-    let mut t = Table::new(
-        "Extension: eMPTCP vs MPTCP as WiFi modulation speeds up",
-        &[
-            "mean hold (s)",
-            "eMPTCP energy %",
-            "eMPTCP time %",
-            "switches",
-            "promotions",
-        ],
-    );
-    let mut payload = Vec::new();
-    for hold in [10.0f64, 20.0, 40.0, 80.0] {
-        let make = || {
-            let mut s = Scenario::bandwidth_changes();
-            s.wifi = crate::scenario::WifiEnvironment::Modulated {
-                mean_hold_s: hold,
-                start_high: false,
-            };
-            s.workload = Workload::Download { size: cfg.bulk_size };
-            s
-        };
-        let base = summarize(&repeat_runs(&make, Strategy::Mptcp, cfg.runs, cfg.seed));
-        let results = repeat_runs(&make, Strategy::emptcp_default(), cfg.runs, cfg.seed);
-        let me = summarize(&results);
-        let switches = results.iter().map(|r| r.usage_switches).sum::<u64>() as f64
-            / results.len() as f64;
-        let promos = results.iter().map(|r| r.promotions).sum::<u64>() as f64
-            / results.len() as f64;
-        let e_pct = 100.0 * me.energy.mean / base.energy.mean;
-        let t_pct = 100.0 * me.time.mean / base.time.mean;
-        t.row(vec![f(hold), f(e_pct), f(t_pct), f(switches), f(promos)]);
-        payload.push((hold, e_pct, t_pct, switches, promos));
-    }
-    FigureOutput::new("sweep_hold", vec![t], payload)
-}
-
-/// Extension: the kappa design space — delayed-establishment threshold
-/// versus transfer size (§4.1 leaves tuning kappa as future work).
-pub fn sweep_kappa(cfg: &Config) -> FigureOutput {
-    use emptcp::EmptcpConfig;
-    let mut t = Table::new(
-        "Extension: energy (J) by kappa x transfer size, bad WiFi",
-        &["kappa", "256 kB", "1 MB", "16 MB"],
-    );
-    let mut payload = Vec::new();
-    for kappa in [64u64 << 10, 256 << 10, 1 << 20, 4 << 20] {
-        let mut row = vec![format!("{} kB", kappa >> 10)];
-        let mut row_data = Vec::new();
-        for size in [256u64 << 10, 1 << 20, 16 << 20] {
-            let make = || {
-                let mut s = Scenario::static_bad_wifi();
-                s.workload = Workload::Download { size };
-                s
-            };
-            let mut c = EmptcpConfig::default();
-            c.delay.kappa_bytes = kappa;
-            let results = repeat_runs(&make, Strategy::Emptcp(c), cfg.runs.min(3), cfg.seed);
-            let e = results.iter().map(|r| r.energy_j).sum::<f64>() / results.len() as f64;
-            row.push(f(e));
-            row_data.push((size, e));
-        }
-        t.row(row);
-        payload.push((kappa, row_data));
-    }
-    FigureOutput::new("sweep_kappa", vec![t], payload)
 }

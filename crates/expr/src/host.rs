@@ -32,6 +32,7 @@ use emptcp_phy::{IfaceKind, RrcMachine, WifiChannel};
 use emptcp_sim::trace::TimeSeries;
 use emptcp_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use emptcp_tcp::{Segment, TcpConfig};
+use emptcp_telemetry::Telemetry;
 use emptcp_workload::web::{FetchQueue, WebPage, BROWSER_CONNECTIONS};
 use emptcp_workload::{BandwidthModulator, InterfererSet};
 use serde::{Deserialize, Serialize};
@@ -179,11 +180,27 @@ pub struct Simulation {
     mdp_policy: Option<crate::mdp::MdpPolicy>,
     mdp_epoch_bytes: [u64; 2],
     done: bool,
+
+    telemetry: Telemetry,
+    /// Energy at the previous tick, for the monotonicity invariant.
+    last_energy_j: f64,
 }
 
 impl Simulation {
-    /// Build a simulation; `seed` controls every random process.
+    /// Build a simulation; `seed` controls every random process. Telemetry
+    /// comes from the process-wide default pipeline (disabled unless a
+    /// binary installed one via [`emptcp_telemetry::set_global`]).
     pub fn new(scenario: Scenario, strategy: Strategy, seed: u64) -> Simulation {
+        Simulation::new_with_telemetry(scenario, strategy, seed, emptcp_telemetry::global())
+    }
+
+    /// Build a simulation reporting through an explicit telemetry pipeline.
+    pub fn new_with_telemetry(
+        scenario: Scenario,
+        strategy: Strategy,
+        seed: u64,
+        telemetry: Telemetry,
+    ) -> Simulation {
         let mut rng = SimRng::new(seed);
         let model = EnergyModel::new(scenario.profile.clone(), scenario.cell_kind);
         let meter = EnergyMeter::new(model.clone(), SimTime::ZERO, scenario.baseline_w);
@@ -250,13 +267,17 @@ impl Simulation {
             None
         };
 
+        let mut rrc = RrcMachine::new(rrc_cfg);
+        rrc.set_telemetry(telemetry.scope(0));
+        let mut meter = meter;
+        meter.set_telemetry(telemetry.scope(0));
         let mut sim = Simulation {
             scenario,
             strategy,
             rng,
             queue: EventQueue::new(),
             wifi_channel,
-            rrc: RrcMachine::new(rrc_cfg),
+            rrc,
             wifi_path,
             cell_path,
             cell_pending: Vec::new(),
@@ -281,6 +302,8 @@ impl Simulation {
             mdp_policy,
             mdp_epoch_bytes: [0, 0],
             done: false,
+            telemetry,
+            last_energy_j: 0.0,
         };
         sim.setup_connections();
         sim
@@ -300,9 +323,13 @@ impl Simulation {
             let page = WebPage::cnn_like(&mut self.rng.fork(0xCAFE));
             self.web_queue = Some(FetchQueue::new(&page));
         }
-        for _ in 0..n_conns {
+        for conn_idx in 0..n_conns {
             let mut client = MpConnection::new(Role::Client, self.tcp_config());
             let mut server = MpConnection::new(Role::Server, self.tcp_config());
+            // Both ends report under the same connection id; the client is
+            // the device whose behaviour the traces describe.
+            client.set_telemetry(self.telemetry.scope(conn_idx as u32));
+            server.set_telemetry(self.telemetry.scope(conn_idx as u32));
             let mut wifi_sf = None;
             let mut cell_sf = None;
             if self.strategy.uses_wifi() {
@@ -324,7 +351,9 @@ impl Simulation {
                     let model =
                         EnergyModel::new(self.scenario.profile.clone(), self.scenario.cell_kind);
                     let eib = Eib::generate_default(&model);
-                    Some(EmptcpClient::new(*cfg, eib, self.scenario.cell_kind))
+                    let mut engine = EmptcpClient::new(*cfg, eib, self.scenario.cell_kind);
+                    engine.set_telemetry(self.telemetry.scope(conn_idx as u32));
+                    Some(engine)
                 }
                 _ => None,
             };
@@ -365,7 +394,10 @@ impl Simulation {
             if from_client {
                 self.window_bytes[0] += seg.wire_bytes();
             }
-            match self.wifi_path.enqueue(dir, now, seg.wire_bytes(), &mut self.rng) {
+            match self
+                .wifi_path
+                .enqueue(dir, now, seg.wire_bytes(), &mut self.rng)
+            {
                 EnqueueOutcome::Delivered(at) => {
                     self.queue.schedule(
                         at,
@@ -393,7 +425,10 @@ impl Simulation {
             if from_client {
                 self.window_bytes[1] += seg.wire_bytes();
             }
-            match self.cell_path.enqueue(dir, now, seg.wire_bytes(), &mut self.rng) {
+            match self
+                .cell_path
+                .enqueue(dir, now, seg.wire_bytes(), &mut self.rng)
+            {
                 EnqueueOutcome::Delivered(at) => {
                     self.queue.schedule(
                         at,
@@ -617,8 +652,12 @@ impl Simulation {
     fn on_wifi_association_change(&mut self, now: SimTime, associated: bool) {
         for i in 0..self.conns.len() {
             if let Some(id) = self.conns[i].wifi_sf {
-                self.conns[i].client.set_subflow_link_up(id, associated);
-                self.conns[i].server.set_subflow_link_up(id, associated);
+                self.conns[i]
+                    .client
+                    .set_subflow_link_up(now, id, associated);
+                self.conns[i]
+                    .server
+                    .set_subflow_link_up(now, id, associated);
             }
             if !associated
                 && matches!(self.strategy, Strategy::SinglePath)
@@ -656,7 +695,9 @@ impl Simulation {
                     c.cell_sf = Some(id);
                 }
                 Action::SetPriority { id, backup } => {
-                    self.conns[conn].client.set_subflow_priority(now, id, backup);
+                    self.conns[conn]
+                        .client
+                        .set_subflow_priority(now, id, backup);
                 }
                 Action::Resume { id } => {
                     self.conns[conn].client.prepare_subflow_resume(id);
@@ -772,7 +813,7 @@ impl Simulation {
         // 4. MDP policy at one-second epochs.
         self.mdp_epoch_bytes[0] += self.window_bytes[0];
         self.mdp_epoch_bytes[1] += self.window_bytes[1];
-        if self.mdp_policy.is_some() && now.as_nanos() % 1_000_000_000 == 0 {
+        if self.mdp_policy.is_some() && now.as_nanos().is_multiple_of(1_000_000_000) {
             self.apply_mdp_policy(now);
         }
 
@@ -826,6 +867,11 @@ impl Simulation {
         self.cell_thpt_trace.push(now, cell_mbps);
         self.wifi_capacity_trace.push(now, eff as f64 / 1e6);
 
+        // 6b. Online invariant checks over the whole stack.
+        if self.telemetry.invariants_enabled() {
+            self.run_invariant_checks(now);
+        }
+
         // 7. Completion / drain management.
         self.check_completion(now);
         if let Some(done_at) = self.completed_at {
@@ -837,6 +883,34 @@ impl Simulation {
         }
         self.drain_all(now);
         self.queue.schedule(now + TICK, Event::Tick);
+    }
+
+    /// Conservation checks run every tick when invariants are enabled:
+    /// per-subflow ACK conservation, energy monotonicity, and radio-state
+    /// residency partitioning (DSS coverage is checked inside
+    /// [`MpConnection::on_segment`]).
+    fn run_invariant_checks(&mut self, now: SimTime) {
+        let energy = self.meter.energy_j(now);
+        let prev_energy = self.last_energy_j;
+        self.last_energy_j = energy;
+        let residency = self.rrc.residency_sum_ns(now);
+        let conns = &self.conns;
+        self.telemetry.check_invariants(now, |obs| {
+            for (i, c) in conns.iter().enumerate() {
+                for (side, mp) in [("client", &c.client), ("server", &c.server)] {
+                    for sf in mp.subflows() {
+                        obs.check_ack_conservation(
+                            now,
+                            &format!("conn{i}.{side}.sf{}", sf.id.0),
+                            sf.tcp.bytes_acked_total(),
+                            sf.tcp.bytes_sent_total(),
+                        );
+                    }
+                }
+            }
+            obs.check_energy_monotone(now, prev_energy, energy);
+            obs.check_residency_sum(now, residency, now.as_nanos());
+        });
     }
 
     fn drive_web(&mut self, now: SimTime) {
@@ -880,8 +954,7 @@ impl Simulation {
                     .map(|q| q.remaining() == 0)
                     .unwrap_or(true)
                     && self.conns.iter().all(|c| {
-                        c.web_current.is_none()
-                            || c.client.bytes_delivered() >= c.expected_bytes
+                        c.web_current.is_none() || c.client.bytes_delivered() >= c.expected_bytes
                     })
             }
         }
@@ -933,6 +1006,19 @@ impl Simulation {
         // Close the final cellular-state segment for the breakdown.
         let final_snapshot = self.meter.snapshot();
         self.meter.update(end, final_snapshot);
+        self.meter.export_metrics(end);
+        if self.telemetry.enabled() {
+            self.telemetry.with_metrics(|m| {
+                m.gauge_set("rrc.promotions_total", self.rrc.promotions() as f64);
+                for state in emptcp_phy::rrc::RrcState::ALL {
+                    m.gauge_set(
+                        &format!("rrc.residency.{}_s", state.name()),
+                        self.rrc.residency_ns(state, end) as f64 / 1e9,
+                    );
+                }
+            });
+            let _ = self.telemetry.flush();
+        }
         let (_, promo_energy_j, _, tail_energy_j) = self.meter.cell_state_energy_j();
         let completed = self.completed_at.is_some();
         let done_at = self.completed_at.unwrap_or(end);
@@ -1101,7 +1187,11 @@ mod tests {
         let r = run(s, Strategy::TcpWifi, 7);
         assert!(r.completed);
         assert!((r.download_time_s - 20.0).abs() < 0.2, "{r:?}");
-        assert!(r.bytes_delivered > 10 * MB, "moved {b}", b = r.bytes_delivered);
+        assert!(
+            r.bytes_delivered > 10 * MB,
+            "moved {b}",
+            b = r.bytes_delivered
+        );
     }
 
     #[test]
@@ -1109,8 +1199,16 @@ mod tests {
         let r = run(quick_download(MB), Strategy::TcpCellular, 30);
         assert!(r.completed);
         // One promotion (~0.5 J) and one full tail (~11 J).
-        assert!((0.3..1.0).contains(&r.promo_energy_j), "{}", r.promo_energy_j);
-        assert!((8.0..12.0).contains(&r.tail_energy_j), "{}", r.tail_energy_j);
+        assert!(
+            (0.3..1.0).contains(&r.promo_energy_j),
+            "{}",
+            r.promo_energy_j
+        );
+        assert!(
+            (8.0..12.0).contains(&r.tail_energy_j),
+            "{}",
+            r.tail_energy_j
+        );
         let w = run(quick_download(MB), Strategy::TcpWifi, 30);
         assert_eq!(w.promo_energy_j, 0.0);
         assert_eq!(w.tail_energy_j, 0.0);

@@ -57,10 +57,8 @@ impl MdpPolicy {
         let cell_power: Vec<f64> = (0..BINS)
             .map(|b| model.cellular().curve.power_w(Self::bin_mid(b)))
             .collect();
-        let promo_j = model.cellular().promo_w
-            * model.cellular().rrc.promotion_delay.as_secs_f64();
-        let tail_j =
-            model.cellular().tail_w * model.cellular().rrc.tail_duration.as_secs_f64();
+        let promo_j = model.cellular().promo_w * model.cellular().rrc.promotion_delay.as_secs_f64();
+        let tail_j = model.cellular().tail_w * model.cellular().rrc.tail_duration.as_secs_f64();
 
         // Per-epoch (1 s) cost of an action in a state.
         let cost = |radio_on: usize, w: usize, c: usize, a: PathUsage| -> f64 {
@@ -145,12 +143,7 @@ impl MdpPolicy {
     }
 
     /// The action in a specific radio state (for tests / analysis).
-    pub fn action_with_radio(
-        &self,
-        radio_on: bool,
-        wifi_mbps: f64,
-        cell_mbps: f64,
-    ) -> PathUsage {
+    pub fn action_with_radio(&self, radio_on: bool, wifi_mbps: f64, cell_mbps: f64) -> PathUsage {
         self.policy[sidx(
             radio_on as usize,
             Self::bin_of(wifi_mbps),

@@ -87,7 +87,7 @@ mod tests {
         assert!(Strategy::WifiFirst.opens_cellular_immediately());
         assert!(!Strategy::emptcp_default().opens_cellular_immediately());
         assert!(!Strategy::TcpWifi.opens_cellular_immediately());
-        assert!(!Strategy::TcpWifi.uses_wifi() == false);
+        assert!(Strategy::TcpWifi.uses_wifi());
         assert!(!Strategy::TcpCellular.uses_wifi());
     }
 }

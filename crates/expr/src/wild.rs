@@ -177,21 +177,15 @@ pub fn run_study(size_bytes: u64, iterations: u32, seed: u64) -> Vec<WildTrace> 
     for &server in &Server::ALL {
         for &venue in &Venue::ALL {
             for iteration in 0..iterations {
-                let mut draw_rng = rng.fork(
-                    (server as u64) << 32 | (venue as u64) << 16 | iteration as u64,
-                );
+                let mut draw_rng =
+                    rng.fork((server as u64) << 32 | (venue as u64) << 16 | iteration as u64);
                 let wifi_bps = venue.draw_wifi_bps(&mut draw_rng);
                 let lte_bps = draw_lte_bps(&mut draw_rng);
                 let wifi_rtt = server.base_rtt() + SimDuration::from_millis(5);
                 let cell_rtt = server.base_rtt() + SimDuration::from_millis(40);
-                let name = format!(
-                    "wild-{}-{}-{iteration}",
-                    server.label(),
-                    venue.label()
-                );
-                let scenario = || {
-                    Scenario::wild(&name, wifi_bps, lte_bps, wifi_rtt, cell_rtt, size_bytes)
-                };
+                let name = format!("wild-{}-{}-{iteration}", server.label(), venue.label());
+                let scenario =
+                    || Scenario::wild(&name, wifi_bps, lte_bps, wifi_rtt, cell_rtt, size_bytes);
                 let run_seed = draw_rng.next_u64();
                 let mptcp = run(scenario(), Strategy::Mptcp, run_seed);
                 let emptcp = run(scenario(), Strategy::emptcp_default(), run_seed);

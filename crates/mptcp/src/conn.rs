@@ -18,12 +18,13 @@
 //! computes `alpha` across its established subflows and pushes it into each
 //! subflow's congestion controller.
 
-use crate::sched::pick_subflow;
+use crate::sched::{pick_subflow, pick_subflow_detailed};
 use crate::subflow::{Subflow, SubflowId};
 use emptcp_phy::IfaceKind;
 use emptcp_sim::{SimDuration, SimTime};
 use emptcp_tcp::cc::lia_alpha;
 use emptcp_tcp::{Segment, TcpConfig, TcpState};
+use emptcp_telemetry::{TelemetryScope, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -77,6 +78,9 @@ pub struct MpConnection {
     /// Last LIA recomputation (rate-limited: alpha moves on RTT timescales,
     /// recomputing per segment is pure overhead).
     lia_refreshed_at: SimTime,
+    /// Telemetry scope for connection-level events; propagated to subflow
+    /// TCP endpoints (labelled with their subflow id) when attached.
+    scope: TelemetryScope,
 }
 
 impl MpConnection {
@@ -97,7 +101,18 @@ impl MpConnection {
             coupled: true,
             opportunistic: true,
             lia_refreshed_at: SimTime::ZERO,
+            scope: TelemetryScope::disabled(),
         }
+    }
+
+    /// Attach a telemetry scope. Connection-level events (scheduler picks,
+    /// subflow lifecycle, MP_PRIO) report under it; each subflow's TCP
+    /// endpoint gets a copy labelled with its subflow id.
+    pub fn set_telemetry(&mut self, scope: TelemetryScope) {
+        for sf in &mut self.subflows {
+            sf.tcp.set_telemetry(scope.with_subflow(sf.id.0));
+        }
+        self.scope = scope;
     }
 
     /// Disable LIA coupling (each subflow runs plain Reno). Used by
@@ -120,14 +135,14 @@ impl MpConnection {
     /// on the next poll); the server side listens. Returns its id.
     pub fn add_subflow(&mut self, now: SimTime, iface: IfaceKind) -> SubflowId {
         let id = SubflowId(self.subflows.len() as u8);
-        let sf = match self.role {
-            Role::Client => {
-                let mut sf = Subflow::client(id, iface, self.tcp_cfg);
-                sf.tcp.connect(now);
-                sf
-            }
+        let mut sf = match self.role {
+            Role::Client => Subflow::client(id, iface, self.tcp_cfg),
             Role::Server => Subflow::listener(id, iface, self.tcp_cfg),
         };
+        sf.tcp.set_telemetry(self.scope.with_subflow(id.0));
+        if self.role == Role::Client {
+            sf.tcp.connect(now);
+        }
         self.subflows.push(sf);
         id
     }
@@ -169,9 +184,7 @@ impl MpConnection {
     /// True once this side requested close, everything it wrote was
     /// acknowledged, and its FINs are queued on every subflow.
     pub fn close_sent(&self) -> bool {
-        self.closing
-            && self.data_acked >= self.data_written
-            && self.all_data_scheduled()
+        self.closing && self.data_acked >= self.data_written && self.all_data_scheduled()
     }
 
     /// True once every subflow has received the peer's FIN (the peer is
@@ -230,6 +243,11 @@ impl MpConnection {
         }
         sf.backup = backup;
         sf.tcp.send_mp_prio(now, backup);
+        self.scope.emit(now, |s| TraceEvent::MpPrio {
+            conn: s.conn,
+            subflow: id.0,
+            backup,
+        });
     }
 
     /// Apply the §3.6 resume tweaks to a subflow being re-enabled.
@@ -240,15 +258,22 @@ impl MpConnection {
     /// Mark a subflow's underlying link up or down (interface loss, e.g. a
     /// WiFi disassociation). Going down immediately queues its unacked data
     /// for reinjection on the surviving subflows.
-    pub fn set_subflow_link_up(&mut self, id: SubflowId, up: bool) {
+    pub fn set_subflow_link_up(&mut self, now: SimTime, id: SubflowId, up: bool) {
         let idx = id.0 as usize;
-        if self.subflows[idx].link_down == !up {
+        if self.subflows[idx].link_down != up {
             return;
         }
         self.subflows[idx].link_down = !up;
-        if !up && self.subflows.len() > 1 {
-            for range in self.subflows[idx].unacked_data_ranges() {
-                self.reinject.push_back(range);
+        if !up {
+            self.scope.emit(now, |s| TraceEvent::SubflowClosed {
+                conn: s.conn,
+                subflow: id.0,
+                reason: "link_down",
+            });
+            if self.subflows.len() > 1 {
+                for range in self.subflows[idx].unacked_data_ranges() {
+                    self.reinject.push_back(range);
+                }
             }
         }
     }
@@ -377,38 +402,51 @@ impl MpConnection {
             }
         }
         // 2. Schedule fresh (or reinjected) connection data.
-        loop {
-            let (data_seq, len) = match self.next_chunk() {
-                Some(c) => c,
-                None => return None,
-            };
-            let Some(idx) = pick_subflow(&self.subflows) else {
-                // Put an unconsumed reinjection chunk back.
-                self.unconsume_chunk(data_seq, len);
-                return None;
-            };
-            let data_ack = self.data_rcv_nxt;
-            let sf = &mut self.subflows[idx];
-            let take = (len as u64).min(sf.tcp.config().mss as u64).min(sf.send_room()) as u32;
-            if take == 0 {
-                self.unconsume_chunk(data_seq, len);
-                return None;
-            }
-            if take < len {
-                // Leave the remainder for the next pick.
-                self.unconsume_chunk(data_seq + take as u64, len - take);
-            }
-            let sf = &mut self.subflows[idx];
-            sf.push_data(data_seq, take);
-            if let Some(mut seg) = sf.tcp.poll_transmit(now) {
-                sf.decorate(&mut seg, data_ack);
-                sf.gc_mappings();
-                return Some((sf.id, seg));
-            }
-            // The subflow accepted the data but can't emit yet (shouldn't
-            // happen given can_take_data); try other subflows next poll.
+        let (data_seq, len) = self.next_chunk()?;
+        // The detailed pick (candidate set + reason) is only computed
+        // when someone is listening; otherwise take the cheap path.
+        let idx = if self.scope.enabled() {
+            pick_subflow_detailed(&self.subflows).map(|d| {
+                self.scope.emit(now, |s| TraceEvent::SchedPick {
+                    conn: s.conn,
+                    picked: self.subflows[d.picked].id.0,
+                    candidates: d.candidates.clone(),
+                    reason: d.reason,
+                    srtt_ns: d.srtt_ns,
+                });
+                d.picked
+            })
+        } else {
+            pick_subflow(&self.subflows)
+        };
+        let Some(idx) = idx else {
+            // Put an unconsumed reinjection chunk back.
+            self.unconsume_chunk(data_seq, len);
+            return None;
+        };
+        let data_ack = self.data_rcv_nxt;
+        let sf = &mut self.subflows[idx];
+        let take = (len as u64)
+            .min(sf.tcp.config().mss as u64)
+            .min(sf.send_room()) as u32;
+        if take == 0 {
+            self.unconsume_chunk(data_seq, len);
             return None;
         }
+        if take < len {
+            // Leave the remainder for the next pick.
+            self.unconsume_chunk(data_seq + take as u64, len - take);
+        }
+        let sf = &mut self.subflows[idx];
+        sf.push_data(data_seq, take);
+        if let Some(mut seg) = sf.tcp.poll_transmit(now) {
+            sf.decorate(&mut seg, data_ack);
+            sf.gc_mappings();
+            return Some((sf.id, seg));
+        }
+        // The subflow accepted the data but can't emit yet (shouldn't
+        // happen given can_take_data); try other subflows next poll.
+        None
     }
 
     /// The next chunk of data wanting transmission: reinjections first,
@@ -443,12 +481,7 @@ impl MpConnection {
     }
 
     /// Feed an arriving segment to its subflow.
-    pub fn on_segment(
-        &mut self,
-        now: SimTime,
-        id: SubflowId,
-        seg: Segment,
-    ) -> MpSegmentOutcome {
+    pub fn on_segment(&mut self, now: SimTime, id: SubflowId, seg: Segment) -> MpSegmentOutcome {
         let mut outcome = MpSegmentOutcome::default();
         let idx = id.0 as usize;
         assert!(idx < self.subflows.len(), "unknown subflow {id}");
@@ -464,8 +497,21 @@ impl MpConnection {
         let tcp_outcome = self.subflows[idx].tcp.on_segment(now, seg);
         outcome.established_now = tcp_outcome.established_now;
         outcome.mp_prio = tcp_outcome.mp_prio;
+        if outcome.established_now {
+            let iface = self.subflows[idx].iface;
+            self.scope.emit(now, |s| TraceEvent::SubflowEstablished {
+                conn: s.conn,
+                subflow: id.0,
+                iface: iface.label(),
+            });
+        }
         if let Some(backup) = tcp_outcome.mp_prio {
             self.subflows[idx].backup = backup;
+            self.scope.emit(now, |s| TraceEvent::MpPrio {
+                conn: s.conn,
+                subflow: id.0,
+                backup,
+            });
         }
 
         // Translate delivered subflow ranges to data space and reassemble.
@@ -480,6 +526,20 @@ impl MpConnection {
                 outcome.delivered_bytes += self.receive_data(data_seq, len);
             }
         }
+        if outcome.delivered_bytes > 0 {
+            let iface = self.subflows[idx].iface;
+            self.scope.with_metrics(|s, m| {
+                m.counter_add(
+                    &format!("conn{}.iface.{}.rx_bytes", s.conn, iface.label()),
+                    outcome.delivered_bytes,
+                )
+            });
+        }
+        // DSS coverage: in-order delivery to the application must track the
+        // data-level stream advance exactly (each byte exactly once).
+        self.scope.check_invariants(now, |obs| {
+            obs.check_dss_coverage(now, "mptcp", self.data_delivered, self.data_rcv_nxt);
+        });
         self.subflows[idx].gc_mappings();
         outcome
     }
@@ -495,11 +555,7 @@ impl MpConnection {
         if start > self.data_rcv_nxt {
             // Out of order at the data level: buffer (merging overlaps
             // conservatively by keeping the longer mapping).
-            let keep = self
-                .data_ooo
-                .get(&start)
-                .map(|&l| l as u64)
-                .unwrap_or(0);
+            let keep = self.data_ooo.get(&start).map(|&l| l as u64).unwrap_or(0);
             if (end - start) > keep {
                 self.data_ooo.insert(start, (end - start) as u32);
             }
@@ -640,8 +696,7 @@ mod tests {
         p.server.write(200_000);
         p.run_until_delivered(200_000, 1000);
         // Client marks LTE backup; a couple of rounds to propagate.
-        p.client
-            .set_subflow_priority(p.now, SubflowId(1), true);
+        p.client.set_subflow_priority(p.now, SubflowId(1), true);
         for _ in 0..4 {
             Pair::flow(&mut p.now, &mut p.client, &mut p.server);
             Pair::flow(&mut p.now, &mut p.server, &mut p.client);

@@ -14,19 +14,60 @@
 use crate::subflow::Subflow;
 use emptcp_tcp::TcpState;
 
+/// A scheduler decision with the evidence behind it, for trace emission:
+/// which subflow won, who was in the running, and why the winner won.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SchedDecision {
+    /// Index of the chosen subflow.
+    pub picked: usize,
+    /// Subflow ids that were eligible candidates (could take data).
+    pub candidates: Vec<u8>,
+    /// Why the winner won: `"min_rtt"`, `"only_candidate"`,
+    /// `"unprobed_rtt"` (zero RTT sorts first, §3.6 resume), or
+    /// `"backup_fallback"` (no regular subflow alive).
+    pub reason: &'static str,
+    /// The winner's smoothed RTT at decision time.
+    pub srtt_ns: u64,
+}
+
 /// Index of the subflow the scheduler would hand the next chunk of data to,
 /// or `None` if nothing can take data right now.
 pub fn pick_subflow(subflows: &[Subflow]) -> Option<usize> {
+    pick_subflow_detailed(subflows).map(|d| d.picked)
+}
+
+/// Like [`pick_subflow`], but also reports the candidate set and the reason
+/// for the choice so schedulers decisions can be traced.
+pub fn pick_subflow_detailed(subflows: &[Subflow]) -> Option<SchedDecision> {
     let any_regular_alive = subflows
         .iter()
         .any(|sf| !sf.backup && !sf.link_down && sf.tcp.state() == TcpState::Established);
     // A backup subflow is a candidate only when no regular subflow is alive.
-    subflows
+    let candidates: Vec<usize> = subflows
         .iter()
         .enumerate()
         .filter(|(_, sf)| sf.can_take_data() && (!sf.backup || !any_regular_alive))
-        .min_by_key(|(idx, sf)| (sf.tcp.rtt().srtt_or_zero(), *idx))
         .map(|(idx, _)| idx)
+        .collect();
+    let &picked = candidates
+        .iter()
+        .min_by_key(|&&idx| (subflows[idx].tcp.rtt().srtt_or_zero(), idx))?;
+    let srtt = subflows[picked].tcp.rtt().srtt_or_zero();
+    let reason = if subflows[picked].backup {
+        "backup_fallback"
+    } else if candidates.len() == 1 {
+        "only_candidate"
+    } else if srtt == emptcp_sim::SimDuration::ZERO {
+        "unprobed_rtt"
+    } else {
+        "min_rtt"
+    };
+    Some(SchedDecision {
+        picked,
+        candidates: candidates.iter().map(|&i| subflows[i].id.0).collect(),
+        reason,
+        srtt_ns: srtt.as_nanos(),
+    })
 }
 
 #[cfg(test)]
@@ -119,6 +160,24 @@ mod tests {
             TcpConfig::default(),
         )];
         assert_eq!(pick_subflow(&flows), None);
+    }
+
+    #[test]
+    fn detailed_decision_reports_candidates_and_reason() {
+        let flows = vec![
+            established(0, IfaceKind::Wifi, 20),
+            established(1, IfaceKind::CellularLte, 60),
+        ];
+        let d = pick_subflow_detailed(&flows).unwrap();
+        assert_eq!(d.picked, 0);
+        assert_eq!(d.candidates, vec![0, 1]);
+        assert_eq!(d.reason, "min_rtt");
+        assert!(d.srtt_ns > 0);
+
+        let mut backup_only = vec![established(0, IfaceKind::CellularLte, 60)];
+        backup_only[0].backup = true;
+        let d = pick_subflow_detailed(&backup_only).unwrap();
+        assert_eq!(d.reason, "backup_fallback");
     }
 
     #[test]

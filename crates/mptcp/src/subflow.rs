@@ -99,7 +99,8 @@ impl Subflow {
     /// Record a mapping received in a DSS option.
     pub fn learn_mapping(&mut self, subflow_seq: u64, dss: Dss) {
         if dss.len > 0 {
-            self.rx_mappings.insert(subflow_seq, (dss.data_seq, dss.len));
+            self.rx_mappings
+                .insert(subflow_seq, (dss.data_seq, dss.len));
         }
     }
 
@@ -113,8 +114,7 @@ impl Subflow {
         let mut pos = seq;
         let end = seq + len as u64;
         while pos < end {
-            let Some((&start, &(data_seq, map_len))) =
-                self.rx_mappings.range(..=pos).next_back()
+            let Some((&start, &(data_seq, map_len))) = self.rx_mappings.range(..=pos).next_back()
             else {
                 break;
             };
@@ -289,13 +289,21 @@ mod tests {
         let mut sf = subflow();
         sf.learn_mapping(
             1,
-            Dss { data_seq: 9000, len: 1000, data_ack: 0 },
+            Dss {
+                data_seq: 9000,
+                len: 1000,
+                data_ack: 0,
+            },
         );
         // Non-contiguous data sequence for the adjacent subflow range
         // (e.g. a reinjected chunk).
         sf.learn_mapping(
             1001,
-            Dss { data_seq: 50_000, len: 500, data_ack: 0 },
+            Dss {
+                data_seq: 50_000,
+                len: 500,
+                data_ack: 0,
+            },
         );
         let ranges = sf.translate_delivered(1, 1500);
         assert_eq!(ranges, vec![(9000, 1000), (50_000, 500)]);

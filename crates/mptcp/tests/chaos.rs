@@ -155,8 +155,5 @@ fn backup_subflow_with_loss() {
     let total = 64 << 10;
     assert_eq!(rig.run(total), total);
     // Backup never carried data (subflow 0 stayed alive throughout).
-    assert_eq!(
-        rig.client.delivered_by_iface(IfaceKind::CellularLte),
-        0
-    );
+    assert_eq!(rig.client.delivered_by_iface(IfaceKind::CellularLte), 0);
 }

@@ -99,7 +99,7 @@ impl OnOffProcess {
                 OnOff::Off => self.rate_off,
             };
             let hold = self.rng.exponential_duration(rate);
-            self.next_toggle = self.next_toggle + hold;
+            self.next_toggle += hold;
         }
         self.state != before
     }
@@ -139,7 +139,11 @@ mod tests {
     fn poll_through_many_toggles_lands_on_parity() {
         let mut p = OnOffProcess::new(SimTime::ZERO, OnOff::On, 10.0, 10.0, SimRng::new(4));
         p.poll(SimTime::from_secs(1000));
-        let expected = if p.toggles() % 2 == 0 { OnOff::On } else { OnOff::Off };
+        let expected = if p.toggles().is_multiple_of(2) {
+            OnOff::On
+        } else {
+            OnOff::Off
+        };
         assert_eq!(p.state(), expected);
         assert!(p.toggles() > 5000, "got {}", p.toggles());
     }

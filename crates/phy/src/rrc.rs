@@ -16,6 +16,7 @@
 //! [`RrcMachine::poll`].
 
 use emptcp_sim::{SimDuration, SimTime};
+use emptcp_telemetry::{TelemetryScope, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// Radio state as seen by the energy meter.
@@ -32,6 +33,33 @@ pub enum RrcState {
 }
 
 impl RrcState {
+    /// Stable name for traces and metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            RrcState::Idle => "Idle",
+            RrcState::Promotion => "Promotion",
+            RrcState::Active => "Active",
+            RrcState::Tail => "Tail",
+        }
+    }
+
+    /// All states, in residency-array order.
+    pub const ALL: [RrcState; 4] = [
+        RrcState::Idle,
+        RrcState::Promotion,
+        RrcState::Active,
+        RrcState::Tail,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            RrcState::Idle => 0,
+            RrcState::Promotion => 1,
+            RrcState::Active => 2,
+            RrcState::Tail => 3,
+        }
+    }
+
     /// True when the radio draws its high-power (connected) baseline.
     pub fn is_high_power(self) -> bool {
         !matches!(self, RrcState::Idle)
@@ -101,6 +129,14 @@ pub struct RrcMachine {
     /// Cumulative number of promotions performed (each one costs fixed
     /// energy; the evaluation counts them).
     promotions: u64,
+    /// Accumulated time spent in each state (indexed by
+    /// [`RrcState::index`]), up to `state_entered_at`'s last update.
+    residency_ns: [u64; 4],
+    /// When the current state was entered; tracking starts at
+    /// [`SimTime::ZERO`] (machines are created at simulation start).
+    state_entered_at: SimTime,
+    /// Telemetry scope for transition events and the promotions counter.
+    scope: TelemetryScope,
 }
 
 impl RrcMachine {
@@ -113,7 +149,54 @@ impl RrcMachine {
             last_activity: SimTime::ZERO,
             tail_end: SimTime::ZERO,
             promotions: 0,
+            residency_ns: [0; 4],
+            state_entered_at: SimTime::ZERO,
+            scope: TelemetryScope::disabled(),
         }
+    }
+
+    /// Attach a telemetry scope; transitions emit
+    /// [`TraceEvent::RrcTransition`] and promotions are counted.
+    pub fn set_telemetry(&mut self, scope: TelemetryScope) {
+        self.scope = scope;
+    }
+
+    /// Switch to `to` at time `at`, closing out the residency of the state
+    /// being left and reporting the transition.
+    fn transition(&mut self, at: SimTime, to: RrcState, out: &mut Vec<RrcTransition>) {
+        let from = self.state;
+        self.residency_ns[from.index()] += at.saturating_since(self.state_entered_at).as_nanos();
+        self.state_entered_at = at;
+        self.state = to;
+        self.scope.emit(at, |_| TraceEvent::RrcTransition {
+            from: from.name(),
+            to: to.name(),
+        });
+        if to == RrcState::Promotion {
+            self.scope
+                .with_metrics(|_, m| m.counter_add("rrc.promotions", 1));
+        }
+        out.push(RrcTransition { at, to });
+    }
+
+    /// Time spent in `state` through `now` (including the currently running
+    /// stint when `state` is the current state).
+    pub fn residency_ns(&self, state: RrcState, now: SimTime) -> u64 {
+        let mut ns = self.residency_ns[state.index()];
+        if state == self.state {
+            ns += now.saturating_since(self.state_entered_at).as_nanos();
+        }
+        ns
+    }
+
+    /// Sum of all state residencies through `now`. Tracking starts at
+    /// [`SimTime::ZERO`], so this must equal `now.as_nanos()` — the
+    /// `residency_sum` invariant.
+    pub fn residency_sum_ns(&self, now: SimTime) -> u64 {
+        RrcState::ALL
+            .iter()
+            .map(|&s| self.residency_ns(s, now))
+            .sum()
     }
 
     /// Current state.
@@ -140,13 +223,9 @@ impl RrcMachine {
         let mut transitions = self.poll(now);
         match self.state {
             RrcState::Idle => {
-                self.state = RrcState::Promotion;
                 self.promotion_end = now + self.config.promotion_delay;
                 self.promotions += 1;
-                transitions.push(RrcTransition {
-                    at: now,
-                    to: RrcState::Promotion,
-                });
+                self.transition(now, RrcState::Promotion, &mut transitions);
                 (transitions, self.promotion_end)
             }
             RrcState::Promotion => (transitions, self.promotion_end),
@@ -156,12 +235,8 @@ impl RrcMachine {
             }
             RrcState::Tail => {
                 // Data during the tail reactivates without promotion cost.
-                self.state = RrcState::Active;
                 self.last_activity = now;
-                transitions.push(RrcTransition {
-                    at: now,
-                    to: RrcState::Active,
-                });
+                self.transition(now, RrcState::Active, &mut transitions);
                 (transitions, now)
             }
         }
@@ -183,30 +258,18 @@ impl RrcMachine {
         loop {
             match self.state {
                 RrcState::Promotion if now >= self.promotion_end => {
-                    self.state = RrcState::Active;
                     self.last_activity = self.promotion_end;
-                    transitions.push(RrcTransition {
-                        at: self.promotion_end,
-                        to: RrcState::Active,
-                    });
+                    let at = self.promotion_end;
+                    self.transition(at, RrcState::Active, &mut transitions);
                 }
-                RrcState::Active
-                    if now >= self.last_activity + self.config.inactivity_timeout =>
-                {
+                RrcState::Active if now >= self.last_activity + self.config.inactivity_timeout => {
                     let tail_start = self.last_activity + self.config.inactivity_timeout;
-                    self.state = RrcState::Tail;
                     self.tail_end = tail_start + self.config.tail_duration;
-                    transitions.push(RrcTransition {
-                        at: tail_start,
-                        to: RrcState::Tail,
-                    });
+                    self.transition(tail_start, RrcState::Tail, &mut transitions);
                 }
                 RrcState::Tail if now >= self.tail_end => {
-                    self.state = RrcState::Idle;
-                    transitions.push(RrcTransition {
-                        at: self.tail_end,
-                        to: RrcState::Idle,
-                    });
+                    let at = self.tail_end;
+                    self.transition(at, RrcState::Idle, &mut transitions);
                 }
                 _ => break,
             }
@@ -257,7 +320,13 @@ mod tests {
         assert_eq!(m.state(), RrcState::Promotion);
 
         let tr = m.poll(ready);
-        assert_eq!(tr, vec![RrcTransition { at: ready, to: RrcState::Active }]);
+        assert_eq!(
+            tr,
+            vec![RrcTransition {
+                at: ready,
+                to: RrcState::Active
+            }]
+        );
         assert_eq!(m.state(), RrcState::Active);
     }
 
@@ -276,7 +345,7 @@ mod tests {
         let mut m = machine();
         let (_, ready) = m.on_activity(s(0));
         m.poll(ready); // Active at 0.4 s
-        // No further activity: tail starts at 0.5 s, idle at 10.5 s.
+                       // No further activity: tail starts at 0.5 s, idle at 10.5 s.
         let tr = m.poll(s(20));
         assert_eq!(tr.len(), 2);
         assert_eq!(tr[0].to, RrcState::Tail);
@@ -332,6 +401,24 @@ mod tests {
         assert!(!RrcState::Promotion.can_transfer());
         assert!(RrcState::Active.can_transfer());
         assert!(RrcState::Tail.can_transfer());
+    }
+
+    #[test]
+    fn residencies_partition_elapsed_time() {
+        let mut m = machine();
+        let (_, ready) = m.on_activity(s(1));
+        m.poll(ready);
+        m.poll(s(30)); // through the tail, back to idle
+        let now = s(40);
+        assert_eq!(m.residency_sum_ns(now), now.as_nanos());
+        assert_eq!(
+            m.residency_ns(RrcState::Promotion, now),
+            SimDuration::from_millis(400).as_nanos()
+        );
+        assert_eq!(
+            m.residency_ns(RrcState::Tail, now),
+            SimDuration::from_secs(10).as_nanos()
+        );
     }
 
     #[test]

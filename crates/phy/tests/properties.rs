@@ -19,7 +19,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut prev = m.state();
         for _ in 0..steps {
-            now = now + SimDuration::from_millis(1 + rng.below(3000));
+            now += SimDuration::from_millis(1 + rng.below(3000));
             let transitions = if rng.chance(0.5) {
                 let (tr, ready) = m.on_activity(now);
                 prop_assert!(ready >= now);
@@ -52,7 +52,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut last_at = SimTime::ZERO;
         for _ in 0..100 {
-            now = now + SimDuration::from_millis(1 + rng.below(5000));
+            now += SimDuration::from_millis(1 + rng.below(5000));
             let (a, _) = m.on_activity(now);
             let b = m.poll(now);
             for t in a.into_iter().chain(b) {
@@ -81,7 +81,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut last_delivery = SimTime::ZERO;
         for _ in 0..n {
-            now = now + SimDuration::from_micros(rng.below(2000));
+            now += SimDuration::from_micros(rng.below(2000));
             match link.enqueue(now, 60 + rng.below(1440), &mut rng) {
                 EnqueueOutcome::Delivered(at) => {
                     prop_assert!(at >= last_delivery, "FIFO violated");
@@ -108,7 +108,7 @@ proptest! {
         let mut rng = SimRng::new(seed);
         let mut now = SimTime::ZERO;
         for _ in 0..500 {
-            now = now + SimDuration::from_micros(rng.below(1500));
+            now += SimDuration::from_micros(rng.below(1500));
             let _ = link.enqueue(now, 1500, &mut rng);
             prop_assert!(link.backlog_bytes(now) <= cap);
         }
@@ -132,7 +132,7 @@ proptest! {
         let mut last = SimTime::ZERO;
         let mut t = SimTime::ZERO;
         for _ in 0..2000 {
-            t = t + SimDuration::from_micros(50);
+            t += SimDuration::from_micros(50);
             if let EnqueueOutcome::Delivered(at) = link.enqueue(t, 1500, &mut rng) {
                 accepted += 1500;
                 last = last.max(at);

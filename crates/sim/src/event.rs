@@ -76,7 +76,11 @@ impl<E> EventQueue<E> {
     /// Schedule `event` at absolute time `at`. Scheduling in the past is a
     /// logic error; the event is clamped to `now` in release builds.
     pub fn schedule(&mut self, at: SimTime, event: E) -> TimerId {
-        debug_assert!(at >= self.now, "scheduling into the past ({at:?} < {:?})", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past ({at:?} < {:?})",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;

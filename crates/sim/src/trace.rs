@@ -80,6 +80,25 @@ impl TimeSeries {
         out
     }
 
+    /// Arithmetic mean of the sampled values, or `None` for an empty series.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// Step-function integral of the series over the sampled span: each
+    /// value is held until the next sample's time. The last sample
+    /// contributes nothing (zero-width segment). Returns 0 for series with
+    /// fewer than two points.
+    pub fn integral(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].1 * (w[1].0.saturating_since(w[0].0)).as_secs_f64())
+            .sum()
+    }
+
     /// Export as CSV rows `time_s,value`.
     pub fn to_csv(&self) -> String {
         let mut s = String::from("time_s,value\n");
@@ -95,7 +114,7 @@ impl TimeSeries {
 /// Power draw is a step function of radio state and current throughput: the
 /// meter sets a new level whenever state changes and the accumulated integral
 /// (energy, in joules when levels are watts) is available at any time.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StepSeries {
     level: f64,
     since: SimTime,
@@ -201,6 +220,31 @@ mod tests {
         p.advance(s(14)); // + 5 W for 4 s = 20 J
         assert!((p.integral() - 40.0).abs() < 1e-9);
         assert!((p.integral_at(s(16)) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_integral_helpers() {
+        let empty = TimeSeries::new("e");
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.integral(), 0.0);
+
+        let mut ts = TimeSeries::new("x");
+        ts.push(s(0), 2.0);
+        ts.push(s(10), 4.0);
+        ts.push(s(20), 6.0);
+        assert!((ts.mean().unwrap() - 4.0).abs() < 1e-12);
+        // 2.0 held for 10 s + 4.0 held for 10 s = 60.
+        assert!((ts.integral() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_series_serializes_round_trip() {
+        let mut p = StepSeries::new(s(0), 2.0);
+        p.set_level(s(10), 5.0);
+        let v = Serialize::to_value(&p);
+        let back = StepSeries::from_value(&v).expect("round trip");
+        assert_eq!(back.level(), p.level());
+        assert!((back.integral() - p.integral()).abs() < 1e-12);
     }
 
     #[test]

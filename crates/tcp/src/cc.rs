@@ -89,8 +89,8 @@ impl CongestionCtrl {
         let increase = match self.algorithm {
             CcAlgorithm::Reno => acked_bytes as f64 * mss / self.cwnd as f64,
             CcAlgorithm::Lia => {
-                let coupled = self.lia_alpha * acked_bytes as f64 * mss
-                    / self.lia_total_cwnd as f64;
+                let coupled =
+                    self.lia_alpha * acked_bytes as f64 * mss / self.lia_total_cwnd as f64;
                 let solo = acked_bytes as f64 * mss / self.cwnd as f64;
                 coupled.min(solo)
             }

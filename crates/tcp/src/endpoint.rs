@@ -21,6 +21,7 @@ use crate::cc::{CcAlgorithm, CongestionCtrl};
 use crate::rtt::RttEstimator;
 use crate::segment::{Segment, DEFAULT_MSS};
 use emptcp_sim::{SimDuration, SimTime};
+use emptcp_telemetry::{TelemetryScope, TraceEvent};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -71,6 +72,19 @@ pub enum TcpState {
     SynRcvd,
     /// Handshake complete; data flows.
     Established,
+}
+
+impl TcpState {
+    /// Stable name used in trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            TcpState::Closed => "Closed",
+            TcpState::Listen => "Listen",
+            TcpState::SynSent => "SynSent",
+            TcpState::SynRcvd => "SynRcvd",
+            TcpState::Established => "Established",
+        }
+    }
 }
 
 /// A contiguous run of payload delivered in order to the application (or to
@@ -174,6 +188,15 @@ pub struct TcpEndpoint {
     out: VecDeque<Segment>,
     pending_mp_prio: Option<bool>,
     last_activity: SimTime,
+
+    // --- observability ---
+    scope: TelemetryScope,
+    /// Payload bytes first-transmitted (excludes retransmissions); the
+    /// `acked ≤ sent` conservation invariant compares against this.
+    bytes_sent_total: u64,
+    /// Last cwnd/ssthresh reported to the trace, for coalescing.
+    last_traced_cwnd: u64,
+    last_traced_ssthresh: u64,
 }
 
 impl TcpEndpoint {
@@ -215,6 +238,51 @@ impl TcpEndpoint {
             out: VecDeque::new(),
             pending_mp_prio: None,
             last_activity: SimTime::ZERO,
+            scope: TelemetryScope::disabled(),
+            bytes_sent_total: 0,
+            last_traced_cwnd: 0,
+            last_traced_ssthresh: 0,
+        }
+    }
+
+    /// Attach a telemetry scope; events and metrics from this endpoint are
+    /// labelled with the scope's connection/subflow ids.
+    pub fn set_telemetry(&mut self, scope: TelemetryScope) {
+        self.scope = scope;
+    }
+
+    /// Transition the connection state, tracing the edge.
+    fn set_state(&mut self, now: SimTime, to: TcpState) {
+        let from = self.state;
+        self.state = to;
+        self.scope.emit(now, |s| TraceEvent::TcpState {
+            conn: s.conn,
+            subflow: s.subflow,
+            from: from.name(),
+            to: to.name(),
+        });
+    }
+
+    /// Trace a congestion-window change, coalesced to one event per MSS of
+    /// cwnd movement (or any ssthresh change) to bound trace volume.
+    fn trace_cwnd(&mut self, now: SimTime, reason: &'static str) {
+        if !self.scope.enabled() {
+            return;
+        }
+        let cwnd = self.cc.cwnd();
+        let ssthresh = self.cc.ssthresh();
+        if cwnd.abs_diff(self.last_traced_cwnd) >= self.cfg.mss as u64
+            || ssthresh != self.last_traced_ssthresh
+        {
+            self.last_traced_cwnd = cwnd;
+            self.last_traced_ssthresh = ssthresh;
+            self.scope.emit(now, |s| TraceEvent::CwndChange {
+                conn: s.conn,
+                subflow: s.subflow,
+                cwnd,
+                ssthresh,
+                reason,
+            });
         }
     }
 
@@ -265,6 +333,12 @@ impl TcpEndpoint {
     /// Total payload bytes delivered in order to the layer above.
     pub fn bytes_delivered_total(&self) -> u64 {
         self.bytes_delivered_total
+    }
+
+    /// Total payload bytes transmitted for the first time (retransmissions
+    /// excluded). Cumulative ACKed bytes can never exceed this.
+    pub fn bytes_sent_total(&self) -> u64 {
+        self.bytes_sent_total
     }
 
     /// Count of retransmitted segments.
@@ -345,7 +419,7 @@ impl TcpEndpoint {
     /// Begin the active open.
     pub fn connect(&mut self, now: SimTime) {
         assert_eq!(self.state, TcpState::Closed, "connect() once, from Closed");
-        self.state = TcpState::SynSent;
+        self.set_state(now, TcpState::SynSent);
         self.syn_sent_at = Some(now);
         let mut seg = Segment::empty(now);
         seg.seq = 0;
@@ -417,6 +491,15 @@ impl TcpEndpoint {
                 self.cc.on_timeout();
                 self.rtt.backoff();
                 self.timeouts += 1;
+                self.scope.emit(now, |s| TraceEvent::RtoFired {
+                    conn: s.conn,
+                    subflow: s.subflow,
+                    rto_ns: self.rtt.rto().as_nanos(),
+                });
+                self.scope.with_metrics(|s, m| {
+                    m.counter_add(&format!("tcp.conn{}.sf{}.rto", s.conn, s.subflow), 1)
+                });
+                self.trace_cwnd(now, "rto");
                 self.dupacks = 0;
                 self.recovery_high = None;
                 self.high_sacked = 0;
@@ -463,7 +546,7 @@ impl TcpEndpoint {
                 if seg.flags.syn {
                     self.rcv_nxt = 1;
                     self.ts_to_echo = Some(seg.ts_val);
-                    self.state = TcpState::SynRcvd;
+                    self.set_state(now, TcpState::SynRcvd);
                     let mut synack = Segment::empty(now);
                     synack.seq = 0;
                     synack.flags.syn = true;
@@ -499,7 +582,7 @@ impl TcpEndpoint {
                         self.rtt.on_handshake(now.saturating_since(sent));
                     }
                     self.ts_to_echo = Some(seg.ts_val);
-                    self.state = TcpState::Established;
+                    self.set_state(now, TcpState::Established);
                     outcome.established_now = true;
                     let ack = self.make_ack(now);
                     self.out.push_back(ack);
@@ -517,7 +600,7 @@ impl TcpEndpoint {
                     if let Some(ecr) = seg.ts_ecr {
                         self.rtt.on_handshake(now.saturating_since(ecr));
                     }
-                    self.state = TcpState::Established;
+                    self.set_state(now, TcpState::Established);
                     outcome.established_now = true;
                     // Fall through: the completing ACK may carry data.
                 } else {
@@ -593,8 +676,9 @@ impl TcpEndpoint {
         }
     }
 
-    fn enter_recovery(&mut self) {
+    fn enter_recovery(&mut self, now: SimTime) {
         self.cc.on_fast_retransmit();
+        self.trace_cwnd(now, "fast_retransmit");
         self.recovery_high = Some(self.snd_nxt);
         if self.high_sacked > self.snd_una {
             self.queue_sack_holes();
@@ -637,7 +721,14 @@ impl TcpEndpoint {
 
             // RTT sample via timestamp echo.
             if let Some(ecr) = seg.ts_ecr {
-                self.rtt.on_sample(now.saturating_since(ecr));
+                let sample = now.saturating_since(ecr);
+                self.rtt.on_sample(sample);
+                self.scope.with_metrics(|s, m| {
+                    m.observe(
+                        &format!("tcp.conn{}.sf{}.rtt_ms", s.conn, s.subflow),
+                        sample.as_millis_f64(),
+                    )
+                });
             }
 
             match self.recovery_high {
@@ -660,17 +751,15 @@ impl TcpEndpoint {
                     self.cc.on_ack(newly_acked);
                 }
             }
+            self.trace_cwnd(now, "ack");
             self.arm_rto(now);
-        } else if seg.ack == self.snd_una
-            && !self.inflight.is_empty()
-            && seg.is_pure_ack()
-        {
+        } else if seg.ack == self.snd_una && !self.inflight.is_empty() && seg.is_pure_ack() {
             self.dupacks += 1;
             // RFC 6675: enter recovery on three dupacks or once SACK shows
             // more than three segments' worth of out-of-order delivery.
             let sack_trigger = self.sacked_bytes > 3 * self.cfg.mss as u64;
             if self.recovery_high.is_none() && (self.dupacks >= 3 || sack_trigger) {
-                self.enter_recovery();
+                self.enter_recovery(now);
             } else if self.recovery_high.is_some() && self.high_sacked > self.snd_una {
                 // More SACK information arrived mid-recovery.
                 self.queue_sack_holes();
@@ -889,6 +978,27 @@ impl TcpEndpoint {
                 seg.retransmit = true;
                 seg.mp_prio = self.pending_mp_prio.take();
                 self.retransmissions += 1;
+                if self.scope.enabled() {
+                    let kind = if self.recovery_high.is_some() {
+                        "fast"
+                    } else {
+                        "rto"
+                    };
+                    let (seq_out, len) = (seg.seq, seg.payload);
+                    self.scope.emit(now, |s| TraceEvent::Retransmit {
+                        conn: s.conn,
+                        subflow: s.subflow,
+                        seq: seq_out,
+                        len,
+                        kind,
+                    });
+                    self.scope.with_metrics(|s, m| {
+                        m.counter_add(
+                            &format!("tcp.conn{}.sf{}.retransmits", s.conn, s.subflow),
+                            1,
+                        )
+                    });
+                }
                 self.last_send_time = now;
                 self.last_activity = now;
                 if self.rto_deadline.is_none() {
@@ -907,18 +1017,16 @@ impl TcpEndpoint {
         let stream_end = 1 + self.app_bytes;
         let window = self.cc.cwnd().min(self.peer_rwnd);
         let in_flight = self.pipe();
-        let can_send_fin =
-            self.fin_queued && !self.fin_sent && self.snd_nxt == stream_end;
+        let can_send_fin = self.fin_queued && !self.fin_sent && self.snd_nxt == stream_end;
         if self.snd_nxt < stream_end || can_send_fin {
             if in_flight >= window && !can_send_fin {
                 return None;
             }
             let budget = window.saturating_sub(in_flight);
             let available = stream_end - self.snd_nxt;
-            let payload = available.min(self.cfg.mss as u64).min(budget.max(0)) as u32;
-            let fin_now = self.fin_queued
-                && !self.fin_sent
-                && self.snd_nxt + payload as u64 == stream_end;
+            let payload = available.min(self.cfg.mss as u64).min(budget) as u32;
+            let fin_now =
+                self.fin_queued && !self.fin_sent && self.snd_nxt + payload as u64 == stream_end;
             if payload == 0 && !fin_now {
                 return None;
             }
@@ -944,6 +1052,7 @@ impl TcpEndpoint {
                 },
             );
             self.snd_nxt += seg.seq_space();
+            self.bytes_sent_total += payload as u64;
             if fin_now {
                 self.fin_sent = true;
             }
@@ -1272,8 +1381,10 @@ mod tests {
     fn receiver_window_respected() {
         let mut now = SimTime::ZERO;
         let _half = SimDuration::from_millis(10);
-        let mut cfg_small = TcpConfig::default();
-        cfg_small.rwnd_bytes = 10_000;
+        let cfg_small = TcpConfig {
+            rwnd_bytes: 10_000,
+            ..TcpConfig::default()
+        };
         let mut c = TcpEndpoint::client(cfg_small);
         let mut s = TcpEndpoint::listener(TcpConfig::default());
         handshake(&mut now, &mut c, &mut s);
@@ -1282,14 +1393,19 @@ mod tests {
         while let Some(seg) = s.poll_transmit(now) {
             burst += seg.payload as u64;
         }
-        assert!(burst <= 10_000 + 1428, "sender overran peer window: {burst}");
+        assert!(
+            burst <= 10_000 + 1428,
+            "sender overran peer window: {burst}"
+        );
     }
 
     #[test]
     fn delayed_ack_coalesces() {
         let mut now = SimTime::ZERO;
-        let mut cfg = TcpConfig::default();
-        cfg.delayed_ack = true;
+        let cfg = TcpConfig {
+            delayed_ack: true,
+            ..TcpConfig::default()
+        };
         let mut c = TcpEndpoint::client(cfg);
         let mut s = TcpEndpoint::listener(TcpConfig::default());
         let half = SimDuration::from_millis(5);
@@ -1379,7 +1495,10 @@ mod tests {
         // Everything but the lost head is SACKed; recovery marked the head
         // lost, so the pipe excludes both.
         assert!(s.pipe() < inflight / 3, "pipe {} of {}", s.pipe(), inflight);
-        assert!(s.bytes_in_flight() == inflight, "cumulative ack must not move");
+        assert!(
+            s.bytes_in_flight() == inflight,
+            "cumulative ack must not move"
+        );
     }
 
     #[test]

@@ -47,15 +47,14 @@ fn run_chaos(total: u64, loss: f64, dup: f64, jitter_ms: u64, seed: u64) -> (u64
     client.connect(SimTime::ZERO);
     server.write(total);
 
-    let drain =
-        |now: SimTime, c: &mut TcpEndpoint, s: &mut TcpEndpoint, net: &mut ChaosNet| {
-            while let Some(seg) = c.poll_transmit(now) {
-                net.send(now, false, seg);
-            }
-            while let Some(seg) = s.poll_transmit(now) {
-                net.send(now, true, seg);
-            }
-        };
+    let drain = |now: SimTime, c: &mut TcpEndpoint, s: &mut TcpEndpoint, net: &mut ChaosNet| {
+        while let Some(seg) = c.poll_transmit(now) {
+            net.send(now, false, seg);
+        }
+        while let Some(seg) = s.poll_transmit(now) {
+            net.send(now, true, seg);
+        }
+    };
     drain(SimTime::ZERO, &mut client, &mut server, &mut net);
 
     let mut guard = 0u64;

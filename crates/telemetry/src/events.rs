@@ -1,0 +1,110 @@
+//! Typed trace events.
+//!
+//! Every event is stamped with the simulation clock at emission and carries
+//! only plain data (ids, names, byte counts) so the telemetry crate stays at
+//! the bottom of the dependency graph — instrumented crates depend on it,
+//! never the other way around.
+//!
+//! Serialized shape (one JSON object per line in a `.jsonl` trace):
+//!
+//! ```json
+//! {"t_ns": 1500000, "event": {"TcpState": {"conn": 0, "subflow": 1, "from": "SynSent", "to": "Established"}}}
+//! ```
+
+use serde::Serialize;
+
+/// A structured, simulation-time-stamped event.
+///
+/// Variants mirror the observable state machines of the stack, bottom-up:
+/// radio (RRC, energy), single-path TCP, MPTCP scheduling, and the eMPTCP
+/// path-usage controller.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TraceEvent {
+    /// A TCP endpoint moved between protocol states.
+    TcpState {
+        conn: u32,
+        subflow: u8,
+        from: &'static str,
+        to: &'static str,
+    },
+    /// Congestion window / slow-start threshold changed materially
+    /// (emissions are coalesced to at most one per MSS of cwnd movement).
+    CwndChange {
+        conn: u32,
+        subflow: u8,
+        cwnd: u64,
+        ssthresh: u64,
+        reason: &'static str,
+    },
+    /// A segment was retransmitted. `kind` is `"fast"` or `"rto"`.
+    Retransmit {
+        conn: u32,
+        subflow: u8,
+        seq: u64,
+        len: u32,
+        kind: &'static str,
+    },
+    /// The retransmission timer fired.
+    RtoFired { conn: u32, subflow: u8, rto_ns: u64 },
+    /// The MPTCP scheduler picked a subflow for the next chunk of data.
+    SchedPick {
+        conn: u32,
+        picked: u8,
+        /// Subflow ids that were eligible candidates for this pick.
+        candidates: Vec<u8>,
+        /// Why the pick won: `"min_rtt"`, `"only_candidate"`, or
+        /// `"backup_fallback"`.
+        reason: &'static str,
+        /// Smoothed RTT of the winner at pick time (0 = unmeasured).
+        srtt_ns: u64,
+    },
+    /// A subflow finished its handshake.
+    SubflowEstablished {
+        conn: u32,
+        subflow: u8,
+        iface: &'static str,
+    },
+    /// A subflow was closed or torn down.
+    SubflowClosed {
+        conn: u32,
+        subflow: u8,
+        reason: &'static str,
+    },
+    /// A subflow's MP_PRIO backup flag flipped.
+    MpPrio {
+        conn: u32,
+        subflow: u8,
+        backup: bool,
+    },
+    /// The cellular RRC state machine transitioned.
+    RrcTransition {
+        from: &'static str,
+        to: &'static str,
+    },
+    /// An energy-meter component changed its draw level.
+    EnergyLevel { component: &'static str, watts: f64 },
+    /// The eMPTCP path-usage controller changed its decision.
+    PathUsage { conn: u32, decision: &'static str },
+    /// An invariant observer caught a violated conservation property.
+    InvariantViolated { name: &'static str, detail: String },
+}
+
+impl TraceEvent {
+    /// Short kind tag, useful for filtering traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::TcpState { .. } => "TcpState",
+            TraceEvent::CwndChange { .. } => "CwndChange",
+            TraceEvent::Retransmit { .. } => "Retransmit",
+            TraceEvent::RtoFired { .. } => "RtoFired",
+            TraceEvent::SchedPick { .. } => "SchedPick",
+            TraceEvent::SubflowEstablished { .. } => "SubflowEstablished",
+            TraceEvent::SubflowClosed { .. } => "SubflowClosed",
+            TraceEvent::MpPrio { .. } => "MpPrio",
+            TraceEvent::RrcTransition { .. } => "RrcTransition",
+            TraceEvent::EnergyLevel { .. } => "EnergyLevel",
+            TraceEvent::PathUsage { .. } => "PathUsage",
+            TraceEvent::InvariantViolated { .. } => "InvariantViolated",
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Deterministic observability for the eMPTCP reproduction.
+//!
+//! Three facilities, all driven by the simulated clock and therefore
+//! reproducible bit-for-bit across runs with the same seed:
+//!
+//! * **event tracing** — typed [`TraceEvent`]s emitted from every layer of
+//!   the stack into a [`TraceSink`] (JSONL file, memory buffer, or nothing);
+//! * **metrics** — a [`MetricsRegistry`] of counters/gauges/histograms
+//!   snapshottable at any [`SimTime`] as deterministic JSON;
+//! * **invariants** — an [`InvariantObserver`] that checks stack-wide
+//!   conservation properties online and records violations.
+//!
+//! The entry point is the [`Telemetry`] handle: cheap to clone, thread-safe,
+//! and in its [`Telemetry::disabled`] state a single `Option` check — event
+//! construction, metric-name formatting and invariant arithmetic are all
+//! skipped via closures, so an uninstrumented run pays essentially nothing.
+//!
+//! Instrumented components hold a [`TelemetryScope`] (a handle plus the
+//! connection/subflow ids identifying the component), defaulting to
+//! disabled so constructors don't change; the host simulation wires real
+//! scopes in when tracing is requested.
+
+mod events;
+pub mod invariant;
+pub mod log;
+pub mod metrics;
+mod sink;
+
+pub use events::TraceEvent;
+pub use invariant::{InvariantObserver, Violation};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use sink::{jsonl_line, JsonlSink, MemorySink, NullSink, TraceSink};
+
+use emptcp_sim::SimTime;
+use std::sync::{Arc, Mutex};
+
+struct Inner {
+    sink: Mutex<Box<dyn TraceSink>>,
+    metrics: Mutex<MetricsRegistry>,
+    invariants: Option<Mutex<InvariantObserver>>,
+}
+
+/// Handle to a telemetry pipeline. Clones share the same sink, metrics
+/// registry and invariant observer.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+/// Configures and builds a [`Telemetry`] pipeline.
+pub struct Builder {
+    sink: Box<dyn TraceSink>,
+    invariants: bool,
+}
+
+impl Telemetry {
+    /// A telemetry handle that records nothing; the emit path is a single
+    /// branch and event closures never run.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// Start building an enabled pipeline (defaults: no trace sink,
+    /// metrics on, invariants off).
+    pub fn builder() -> Builder {
+        Builder {
+            sink: Box::new(NullSink),
+            invariants: false,
+        }
+    }
+
+    /// True when any telemetry facility is active.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit a trace event; the closure only runs when telemetry is enabled.
+    #[inline]
+    pub fn emit_with(&self, t: SimTime, make: impl FnOnce() -> TraceEvent) {
+        if let Some(inner) = &self.inner {
+            let event = make();
+            inner
+                .sink
+                .lock()
+                .expect("trace sink poisoned")
+                .record(t, &event);
+        }
+    }
+
+    /// Emit an already-constructed trace event.
+    pub fn emit(&self, t: SimTime, event: TraceEvent) {
+        self.emit_with(t, || event);
+    }
+
+    /// Run `f` against the metrics registry; skipped when disabled, so
+    /// metric-name formatting stays off the disabled hot path.
+    #[inline]
+    pub fn with_metrics(&self, f: impl FnOnce(&mut MetricsRegistry)) {
+        if let Some(inner) = &self.inner {
+            f(&mut inner.metrics.lock().expect("metrics poisoned"));
+        }
+    }
+
+    /// True when invariant checking was enabled at build time.
+    #[inline]
+    pub fn invariants_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.invariants.is_some())
+    }
+
+    /// Run `f` against the invariant observer (skipped unless invariants
+    /// are enabled). Any violations `f` records are also emitted as
+    /// [`TraceEvent::InvariantViolated`] events and counted under the
+    /// `invariants.violations` metric.
+    pub fn check_invariants(&self, t: SimTime, f: impl FnOnce(&mut InvariantObserver)) {
+        let Some(inner) = &self.inner else { return };
+        let Some(observer) = &inner.invariants else {
+            return;
+        };
+        let new: Vec<Violation> = {
+            let mut obs = observer.lock().expect("invariant observer poisoned");
+            let before = obs.violations().len();
+            f(&mut obs);
+            obs.violations()[before..].to_vec()
+        };
+        for v in new {
+            self.with_metrics(|m| m.counter_add("invariants.violations", 1));
+            self.emit(
+                t,
+                TraceEvent::InvariantViolated {
+                    name: v.name,
+                    detail: v.detail,
+                },
+            );
+        }
+    }
+
+    /// All invariant violations recorded so far (empty when checking is
+    /// disabled).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.invariants.as_ref())
+            .map(|obs| {
+                obs.lock()
+                    .expect("invariant observer poisoned")
+                    .violations()
+                    .to_vec()
+            })
+            .unwrap_or_default()
+    }
+
+    /// A deterministic JSON snapshot of the metrics registry at time `at`,
+    /// or `None` when telemetry is disabled.
+    pub fn metrics_snapshot(&self, at: SimTime) -> Option<serde_json::Value> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.metrics.lock().expect("metrics poisoned").snapshot(at))
+    }
+
+    /// Clone out the current metrics registry (for merging across runs).
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.metrics.lock().expect("metrics poisoned").clone())
+    }
+
+    /// Flush the trace sink (call once at end of run).
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &self.inner {
+            Some(inner) => inner.sink.lock().expect("trace sink poisoned").flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Derive a scope for connection `conn`.
+    pub fn scope(&self, conn: u32) -> TelemetryScope {
+        TelemetryScope {
+            telemetry: self.clone(),
+            conn,
+            subflow: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Builder {
+    /// Attach a trace sink receiving every emitted event.
+    pub fn sink(mut self, sink: Box<dyn TraceSink>) -> Builder {
+        self.sink = sink;
+        self
+    }
+
+    /// Enable online invariant checking.
+    pub fn invariants(mut self, on: bool) -> Builder {
+        self.invariants = on;
+        self
+    }
+
+    /// Build the enabled telemetry handle.
+    pub fn build(self) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                sink: Mutex::new(self.sink),
+                metrics: Mutex::new(MetricsRegistry::new()),
+                invariants: self
+                    .invariants
+                    .then(|| Mutex::new(InvariantObserver::new())),
+            })),
+        }
+    }
+}
+
+/// A [`Telemetry`] handle plus the identity of the component emitting
+/// through it: connection id and (where applicable) subflow id.
+///
+/// `Default`/[`TelemetryScope::disabled`] produce an inert scope, so
+/// instrumented structs can hold one unconditionally.
+#[derive(Clone, Default)]
+pub struct TelemetryScope {
+    telemetry: Telemetry,
+    /// Connection id this scope reports under.
+    pub conn: u32,
+    /// Subflow id this scope reports under (0 when not subflow-specific).
+    pub subflow: u8,
+}
+
+impl std::fmt::Debug for TelemetryScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryScope")
+            .field("enabled", &self.enabled())
+            .field("conn", &self.conn)
+            .field("subflow", &self.subflow)
+            .finish()
+    }
+}
+
+impl TelemetryScope {
+    /// An inert scope: nothing is recorded through it.
+    pub fn disabled() -> TelemetryScope {
+        TelemetryScope::default()
+    }
+
+    /// A copy of this scope labelled with a subflow id.
+    pub fn with_subflow(&self, subflow: u8) -> TelemetryScope {
+        TelemetryScope {
+            telemetry: self.telemetry.clone(),
+            conn: self.conn,
+            subflow,
+        }
+    }
+
+    /// True when emissions through this scope are recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.telemetry.enabled()
+    }
+
+    /// Emit an event built by `make`, which receives the scope to pick up
+    /// `conn`/`subflow` labels. Runs only when enabled.
+    #[inline]
+    pub fn emit(&self, t: SimTime, make: impl FnOnce(&TelemetryScope) -> TraceEvent) {
+        if self.telemetry.enabled() {
+            let event = make(self);
+            self.telemetry.emit(t, event);
+        }
+    }
+
+    /// Access the metrics registry; the closure receives the scope so
+    /// metric names can carry `conn`/`subflow` labels. Skipped (no name
+    /// formatting) when disabled.
+    #[inline]
+    pub fn with_metrics(&self, f: impl FnOnce(&TelemetryScope, &mut MetricsRegistry)) {
+        self.telemetry.with_metrics(|m| f(self, m));
+    }
+
+    /// Run invariant checks through the underlying handle.
+    pub fn check_invariants(&self, t: SimTime, f: impl FnOnce(&mut InvariantObserver)) {
+        self.telemetry.check_invariants(t, f);
+    }
+
+    /// The underlying telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide default pipeline
+// ---------------------------------------------------------------------------
+
+static GLOBAL: Mutex<Option<Telemetry>> = Mutex::new(None);
+
+/// Install a process-wide default telemetry pipeline, picked up by
+/// simulations created without an explicit handle. Binaries set this from
+/// their CLI flags; library code and tests should prefer passing handles
+/// explicitly.
+pub fn set_global(telemetry: Telemetry) {
+    *GLOBAL.lock().expect("global telemetry poisoned") = Some(telemetry);
+}
+
+/// The process-wide default pipeline ([`Telemetry::disabled`] if none was
+/// installed).
+pub fn global() -> Telemetry {
+    GLOBAL
+        .lock()
+        .expect("global telemetry poisoned")
+        .clone()
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn disabled_telemetry_never_runs_closures() {
+        let tel = Telemetry::disabled();
+        tel.emit_with(SimTime::ZERO, || unreachable!("must not construct"));
+        tel.with_metrics(|_| unreachable!("must not run"));
+        tel.check_invariants(SimTime::ZERO, |_| unreachable!("must not run"));
+        assert!(!tel.enabled());
+        assert!(tel.metrics_snapshot(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn events_reach_a_shared_memory_sink() {
+        let sink = Arc::new(Mutex::new(MemorySink::new()));
+        let tel = Telemetry::builder().sink(Box::new(sink.clone())).build();
+        tel.emit(
+            SimTime::from_millis(5),
+            TraceEvent::RrcTransition {
+                from: "Idle",
+                to: "Promotion",
+            },
+        );
+        assert_eq!(sink.lock().unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn invariant_violations_surface_as_events_and_metrics() {
+        let sink = Arc::new(Mutex::new(MemorySink::new()));
+        let tel = Telemetry::builder()
+            .sink(Box::new(sink.clone()))
+            .invariants(true)
+            .build();
+        tel.check_invariants(SimTime::from_secs(1), |obs| {
+            obs.check_ack_conservation(SimTime::from_secs(1), "sf0", 10, 5);
+        });
+        assert_eq!(tel.violations().len(), 1);
+        assert_eq!(tel.metrics().unwrap().counter("invariants.violations"), 1);
+        let records = &sink.lock().unwrap().records;
+        assert!(matches!(
+            records[0].1,
+            TraceEvent::InvariantViolated {
+                name: "ack_conservation",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn scopes_carry_ids() {
+        let sink = Arc::new(Mutex::new(MemorySink::new()));
+        let tel = Telemetry::builder().sink(Box::new(sink.clone())).build();
+        let scope = tel.scope(3).with_subflow(1);
+        scope.emit(SimTime::ZERO, |s| TraceEvent::SubflowClosed {
+            conn: s.conn,
+            subflow: s.subflow,
+            reason: "fin",
+        });
+        assert_eq!(
+            sink.lock().unwrap().records[0].1,
+            TraceEvent::SubflowClosed {
+                conn: 3,
+                subflow: 1,
+                reason: "fin"
+            }
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Trace sinks: where emitted events go.
+
+use crate::events::TraceEvent;
+use emptcp_sim::SimTime;
+use serde::Serialize;
+use std::io::{self, Write};
+
+/// Consumer of timestamped trace events.
+///
+/// Implementations must be deterministic functions of the event stream:
+/// given the same sequence of `(t, event)` calls, the observable output
+/// (bytes written, records stored) must be byte-identical. That property
+/// is what lets "same seed ⇒ same trace" be a regression test.
+pub trait TraceSink: Send {
+    fn record(&mut self, t: SimTime, event: &TraceEvent);
+
+    /// Flush any buffered output. Called once when a run finishes.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Sink that drops everything. Used by [`crate::Telemetry::disabled`];
+/// the emit path never even constructs events in that case, so this type
+/// mostly exists so enabled-but-traceless telemetry (metrics only) has a
+/// sink to point at.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _t: SimTime, _event: &TraceEvent) {}
+}
+
+/// Sink that serializes each event as one compact JSON object per line:
+/// `{"t_ns": <u64>, "event": <externally-tagged event>}`.
+pub struct JsonlSink<W: Write + Send> {
+    out: io::BufWriter<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out: io::BufWriter::new(out),
+        }
+    }
+}
+
+/// Serialize one event to its single-line JSONL form.
+pub fn jsonl_line(t: SimTime, event: &TraceEvent) -> String {
+    let mut obj = serde_json::Map::new();
+    obj.insert("t_ns", serde_json::Value::U64(t.as_nanos()));
+    obj.insert("event", event.to_value());
+    serde_json::to_string(&serde_json::Value::Object(obj)).expect("serialization is infallible")
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, t: SimTime, event: &TraceEvent) {
+        let line = jsonl_line(t, event);
+        // IO errors on a trace sink abort loudly: a silently truncated
+        // trace would defeat the byte-identical determinism guarantee.
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|_| self.out.write_all(b"\n"))
+            .expect("trace sink write failed");
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Shared sinks: a cloneable `Arc<Mutex<S>>` is itself a sink, letting the
+/// caller keep a handle to read results back after the run (e.g. a
+/// [`MemorySink`] in the determinism test).
+impl<S: TraceSink> TraceSink for std::sync::Arc<std::sync::Mutex<S>> {
+    fn record(&mut self, t: SimTime, event: &TraceEvent) {
+        self.lock().expect("shared sink poisoned").record(t, event);
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.lock().expect("shared sink poisoned").flush()
+    }
+}
+
+/// Sink that keeps every event in memory; used by tests and the
+/// determinism regression test.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    pub records: Vec<(SimTime, TraceEvent)>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Render the captured events as JSONL bytes, exactly as a
+    /// [`JsonlSink`] would have written them.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (t, ev) in &self.records {
+            out.push_str(&jsonl_line(*t, ev));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, t: SimTime, event: &TraceEvent) {
+        self.records.push((t, event.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_line_shape_is_stable() {
+        let ev = TraceEvent::TcpState {
+            conn: 0,
+            subflow: 1,
+            from: "SynSent",
+            to: "Established",
+        };
+        let line = jsonl_line(SimTime::from_millis(2), &ev);
+        assert_eq!(
+            line,
+            r#"{"t_ns":2000000,"event":{"TcpState":{"conn":0,"subflow":1,"from":"SynSent","to":"Established"}}}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut buf);
+            sink.record(
+                SimTime::ZERO,
+                &TraceEvent::RrcTransition {
+                    from: "Idle",
+                    to: "Promotion",
+                },
+            );
+            sink.record(
+                SimTime::from_secs(1),
+                &TraceEvent::EnergyLevel {
+                    component: "cell",
+                    watts: 1.5,
+                },
+            );
+            sink.flush().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+}

@@ -71,7 +71,8 @@ impl BandwidthModulator {
     ) -> Self {
         let mut own_rng = rng.fork(0xBAD0BEEF);
         let initial = if start_high { OnOff::On } else { OnOff::Off };
-        let process = OnOffProcess::new(start, initial, rate_per_sec, rate_per_sec, rng.fork(0xF00D));
+        let process =
+            OnOffProcess::new(start, initial, rate_per_sec, rate_per_sec, rng.fork(0xF00D));
         let current_bps = if start_high {
             high.draw(&mut own_rng)
         } else {

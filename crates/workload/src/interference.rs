@@ -145,6 +145,9 @@ mod tests {
             set.poll(t);
             counts_seen.insert(set.active(t));
         }
-        assert!(counts_seen.len() >= 3, "states in lockstep: {counts_seen:?}");
+        assert!(
+            counts_seen.len() >= 3,
+            "states in lockstep: {counts_seen:?}"
+        );
     }
 }

@@ -93,11 +93,7 @@ mod tests {
         let mut rng = SimRng::new(42);
         let page = WebPage::cnn_like(&mut rng);
         assert_eq!(page.objects.len(), CNN_OBJECT_COUNT);
-        let small = page
-            .objects
-            .iter()
-            .filter(|&&s| s < 256 * 1024)
-            .count();
+        let small = page.objects.iter().filter(|&&s| s < 256 * 1024).count();
         // "Almost all objects in the Web page are small (<256 KB)".
         assert!(
             small as f64 / CNN_OBJECT_COUNT as f64 > 0.9,

@@ -34,14 +34,19 @@ fn main() {
 
     let eib = Eib::generate_default(&model);
     println!("\nEnergy Information Base (Table 2): WiFi-throughput transition points");
-    println!("  {:<10} {:>15} {:>18}", "LTE Mbps", "LTE-only below", "WiFi-only at/above");
+    println!(
+        "  {:<10} {:>15} {:>18}",
+        "LTE Mbps", "LTE-only below", "WiFi-only at/above"
+    );
     for cell in [0.5, 1.0, 1.5, 2.0, 4.0, 8.0] {
         let (t1, t2) = eib.thresholds(cell);
         println!("  {:<10} {:>15.3} {:>18.3}", cell, t1, t2);
     }
 
     println!("\nFig 3's V-region: the EIB verdict over the throughput plane");
-    println!("  (rows: LTE 10 -> 0.5 Mbps; cols: WiFi 0.25 -> 6 Mbps; B=both, W=wifi-only, C=lte-only)");
+    println!(
+        "  (rows: LTE 10 -> 0.5 Mbps; cols: WiFi 0.25 -> 6 Mbps; B=both, W=wifi-only, C=lte-only)"
+    );
     let mut lte = 10.0;
     while lte >= 0.5 {
         let mut row = String::from("  ");

@@ -10,19 +10,26 @@ use emptcp_repro::expr::scenario::Scenario;
 use emptcp_repro::expr::{host, Strategy};
 
 fn main() {
-    println!(
-        "64 MB download; the WiFi association drops at t=20 s and returns at t=50 s.\n"
-    );
+    println!("64 MB download; the WiFi association drops at t=20 s and returns at t=50 s.\n");
     println!(
         "{:<18} {:>10} {:>10} {:>9} {:>11}  note",
         "strategy", "energy (J)", "time (s)", "LTE MB", "promotions"
     );
     for (strategy, note) in [
         (Strategy::Mptcp, "LTE open from the start"),
-        (Strategy::emptcp_default(), "wakes LTE when the link dies, re-suspends after"),
+        (
+            Strategy::emptcp_default(),
+            "wakes LTE when the link dies, re-suspends after",
+        ),
         (Strategy::TcpWifi, "stalls for the whole outage"),
-        (Strategy::WifiFirst, "backup engages on link loss (plus the setup activation)"),
-        (Strategy::SinglePath, "opens LTE only after the interface goes down"),
+        (
+            Strategy::WifiFirst,
+            "backup engages on link loss (plus the setup activation)",
+        ),
+        (
+            Strategy::SinglePath,
+            "opens LTE only after the interface goes down",
+        ),
     ] {
         let r = host::run(Scenario::wifi_outage(), strategy, 3);
         assert!(r.completed, "{} stalled", r.strategy);

@@ -21,7 +21,11 @@ fn main() {
         println!(
             "  t={t:>3}s  distance {:>5.1} m  {}  wifi capacity {:>5.1} Mbps",
             walk.distance_at(at),
-            if walk.in_usable_range(at) { "in range " } else { "OUT OF RANGE" },
+            if walk.in_usable_range(at) {
+                "in range "
+            } else {
+                "OUT OF RANGE"
+            },
             walk.wifi_goodput_bps(at) as f64 / 1e6,
         );
     }
@@ -41,7 +45,10 @@ fn main() {
             pts.iter().sum::<f64>() / pts.len() as f64
         }
     };
-    println!("  {:<10} {:>12} {:>12} {:>12}", "window", "wifi Mbps", "LTE Mbps", "energy J");
+    println!(
+        "  {:<10} {:>12} {:>12} {:>12}",
+        "window", "wifi Mbps", "LTE Mbps", "energy J"
+    );
     for lo in (0..250).step_by(25) {
         let hi = lo + 25;
         println!(
@@ -64,7 +71,11 @@ fn main() {
     );
 
     println!("\nFig 13 comparison (one run each):");
-    for strategy in [Strategy::Mptcp, Strategy::emptcp_default(), Strategy::TcpWifi] {
+    for strategy in [
+        Strategy::Mptcp,
+        Strategy::emptcp_default(),
+        Strategy::TcpWifi,
+    ] {
         let r = host::run(Scenario::mobility(), strategy, 7);
         println!(
             "  {:<16} {:>7.0} MB downloaded, {:>6.2} uJ/byte",

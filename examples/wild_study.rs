@@ -14,9 +14,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
-    println!(
-        "Sampling {iterations} iterations x 3 servers x 3 venues, 2 MB downloads...\n"
-    );
+    println!("Sampling {iterations} iterations x 3 servers x 3 venues, 2 MB downloads...\n");
     let traces = wild::run_study(2 << 20, iterations, 2026);
 
     for cat in Category::ALL {
@@ -25,11 +23,7 @@ fn main() {
         if in_cat.is_empty() {
             continue;
         }
-        for (label, pick) in [
-            ("MPTCP", 0usize),
-            ("eMPTCP", 1),
-            ("TCP over WiFi", 2),
-        ] {
+        for (label, pick) in [("MPTCP", 0usize), ("eMPTCP", 1), ("TCP over WiFi", 2)] {
             let energies: Vec<f64> = in_cat
                 .iter()
                 .map(|t| match pick {

@@ -63,7 +63,10 @@ fn every_strategy_completes_across_environments() {
     let environments: Vec<(&str, Scenario)> = vec![
         ("good", download(Scenario::static_good_wifi(), 4 * MB)),
         ("bad", download(Scenario::static_bad_wifi(), 4 * MB)),
-        ("contended", download(Scenario::background_traffic(2, 0.05), 4 * MB)),
+        (
+            "contended",
+            download(Scenario::background_traffic(2, 0.05), 4 * MB),
+        ),
         ("modulated", download(Scenario::bandwidth_changes(), 4 * MB)),
     ];
     let strategies = [
@@ -122,7 +125,11 @@ fn wifi_first_and_mdp_degenerate_to_tcp_wifi() {
         Strategy::TcpWifi,
         5,
     );
-    let wf = host::run(download(Scenario::static_good_wifi(), 4 * MB), Strategy::WifiFirst, 5);
+    let wf = host::run(
+        download(Scenario::static_good_wifi(), 4 * MB),
+        Strategy::WifiFirst,
+        5,
+    );
     assert!(wf.completed);
     assert_eq!(wf.cell_bytes, 0, "WiFi-First carried data over LTE");
     assert_eq!(wf.promotions, 1, "the needless activation");
@@ -173,7 +180,11 @@ fn mobility_orderings_hold() {
 fn cellular_fixed_cost_visible_in_totals() {
     // A 1 MB download over LTE pays roughly the Fig 1 fixed overhead more
     // than the same download over WiFi.
-    let wifi = host::run(download(Scenario::static_good_wifi(), MB), Strategy::TcpWifi, 8);
+    let wifi = host::run(
+        download(Scenario::static_good_wifi(), MB),
+        Strategy::TcpWifi,
+        8,
+    );
     let lte = host::run(
         download(Scenario::static_good_wifi(), MB),
         Strategy::TcpCellular,

@@ -21,7 +21,10 @@ fn random_profile(
         (0.0, wifi_base),
         (2.0, wifi_base + wifi_steps[0]),
         (8.0, wifi_base + wifi_steps[0] + wifi_steps[1]),
-        (25.0, wifi_base + wifi_steps[0] + wifi_steps[1] + wifi_steps[2]),
+        (
+            25.0,
+            wifi_base + wifi_steps[0] + wifi_steps[1] + wifi_steps[2],
+        ),
     ];
     let cell_base = wifi_base + cell_gap;
     let knots_c = vec![
@@ -195,7 +198,6 @@ fn v_region_exists_for_every_profile() {
         assert!(found, "no V-region for {}", model.profile().name);
     }
 }
-
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

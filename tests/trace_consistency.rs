@@ -59,7 +59,12 @@ fn traces_consistent_for_all_strategies() {
 fn capacity_trace_reflects_modulation() {
     let r = run(Strategy::TcpWifi, 50);
     // The §4.3 modulator flips between <=1 Mbps and >=10 Mbps bands.
-    let values: Vec<f64> = r.wifi_capacity_trace.points().iter().map(|&(_, v)| v).collect();
+    let values: Vec<f64> = r
+        .wifi_capacity_trace
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .collect();
     assert!(values.iter().any(|&v| v <= 1.0), "never in the low band");
     assert!(values.iter().any(|&v| v >= 10.0), "never in the high band");
     assert!(values.iter().all(|&v| v <= 12.0 + 1e-9));

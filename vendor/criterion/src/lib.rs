@@ -1,0 +1,110 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides just enough API for `crates/bench`: `Criterion`,
+//! `benchmark_group` → `sample_size`/`bench_function`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! best-of-samples wall-clock timer printed to stdout — good enough for
+//! relative hot-path comparisons, with none of criterion's statistics.
+
+use std::time::Instant;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Top-level (group-less) benchmark, as in real criterion.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            _c: &mut *self,
+            sample_size: 10,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let best = bencher
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len().max(1) as f64;
+        println!("  {id}: best {best:.1} ns/iter, mean {mean:.1} ns/iter");
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time one sample of the closure. Each call to `iter` within a
+    /// `bench_function` sample runs the routine once and records its
+    /// duration in nanoseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        let elapsed = start.elapsed().as_nanos() as f64;
+        std::hint::black_box(out);
+        self.samples.push(elapsed);
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

