@@ -226,10 +226,22 @@ impl EmptcpClient {
         // zero throughput. A *link-down* WiFi subflow is different: the
         // kernel sees the disassociation at the link layer (the same
         // plumbing §3.6 uses to identify interfaces), so WiFi is known
-        // dead rather than merely quiet.
+        // dead rather than merely quiet. A subflow the failure detector
+        // declared dead (consecutive RTOs without ack progress) is treated
+        // the same way: known-broken, not idle.
         let wifi_down = self
             .wifi_id
-            .map(|id| conn.subflow(id).link_down)
+            .map(|id| {
+                let sf = conn.subflow(id);
+                sf.link_down || sf.dead
+            })
+            .unwrap_or(false);
+        let cell_down = self
+            .cellular_id
+            .map(|id| {
+                let sf = conn.subflow(id);
+                sf.link_down || sf.dead
+            })
             .unwrap_or(false);
         let idle = !wifi_down && conn.is_idle(now, self.idle_window(conn));
         let wifi_bytes = totals.wifi_bytes;
@@ -259,6 +271,14 @@ impl EmptcpClient {
         // --- delayed establishment (§3.5) ---
         if self.cellular_id.is_none() {
             if !self.establish_pending {
+                // Graceful degradation: with WiFi dead there is nothing for
+                // the κ/τ rules to deliberate about — every queued byte is
+                // stranded until another path exists. Establish immediately.
+                if wifi_down {
+                    self.establish_pending = true;
+                    actions.push(Action::EstablishCellular);
+                    return actions;
+                }
                 if let Some(id) = self.wifi_id {
                     let sf = conn.subflow(id);
                     self.delay.refresh_tau(
@@ -284,7 +304,15 @@ impl EmptcpClient {
         // --- path usage control (§3.4) ---
         let cell_id = self.cellular_id.expect("checked above");
         let wifi_id = self.wifi_id.expect("wifi registered first");
-        let usage = self.controller.decide(now, &self.eib, wifi_pred, cell_pred);
+        // Graceful degradation takes precedence over the EIB decision: a
+        // dead path is forced out of the usage set immediately (no dwell,
+        // no hysteresis), and the normal policy resumes once both paths
+        // share a fate again.
+        let usage = if wifi_down != cell_down {
+            self.controller.degrade(now, !wifi_down, !cell_down)
+        } else {
+            self.controller.decide(now, &self.eib, wifi_pred, cell_pred)
+        };
         let want_cell = usage.uses_cellular();
         let want_wifi = usage.uses_wifi();
         if want_cell == self.cellular_suspended {
@@ -538,6 +566,67 @@ mod tests {
         assert!(resume_pos.is_some(), "{actions:?}");
         assert!(prio_pos.is_some(), "{actions:?}");
         assert!(resume_pos < prio_pos, "{actions:?}");
+    }
+
+    #[test]
+    fn dead_wifi_bypasses_delayed_establishment() {
+        let mut rig = Rig::new();
+        rig.establish();
+        rig.server.write(64 << 20);
+        rig.round();
+        // Well under κ = 1 MB delivered and τ not elapsed; a healthy tick
+        // produces no actions.
+        let actions = rig.engine.on_tick(
+            rig.now,
+            &rig.client,
+            IfaceTotals::from_conn(&rig.client, IfaceKind::CellularLte),
+        );
+        assert!(actions.is_empty(), "{actions:?}");
+        // The AP vanishes: establishment must fire on the next tick.
+        rig.client.set_subflow_link_up(rig.now, SubflowId(0), false);
+        let actions = rig.engine.on_tick(
+            rig.now,
+            &rig.client,
+            IfaceTotals::from_conn(&rig.client, IfaceKind::CellularLte),
+        );
+        assert_eq!(actions, vec![Action::EstablishCellular]);
+        // And only once: the request stays pending.
+        let actions = rig.engine.on_tick(
+            rig.now,
+            &rig.client,
+            IfaceTotals::from_conn(&rig.client, IfaceKind::CellularLte),
+        );
+        assert!(actions.is_empty(), "{actions:?}");
+    }
+
+    #[test]
+    fn dead_wifi_forces_usage_switch_despite_dwell() {
+        let mut rig = Rig::new();
+        rig.establish();
+        rig.client.add_subflow(rig.now, IfaceKind::CellularLte);
+        rig.server.add_subflow(rig.now, IfaceKind::CellularLte);
+        rig.round();
+        rig.round();
+        rig.engine
+            .on_cellular_established(rig.now, SubflowId(1), &rig.client);
+        assert_eq!(rig.engine.usage(), PathUsage::Both);
+        // Immediately after (inside the 3 s dwell window started by the
+        // establishment force), the WiFi link drops.
+        rig.now += SimDuration::from_millis(100);
+        rig.client.set_subflow_link_up(rig.now, SubflowId(0), false);
+        let actions = rig.engine.on_tick(
+            rig.now,
+            &rig.client,
+            IfaceTotals::from_conn(&rig.client, IfaceKind::CellularLte),
+        );
+        assert_eq!(rig.engine.usage(), PathUsage::CellularOnly);
+        assert!(
+            actions.contains(&Action::SetPriority {
+                id: SubflowId(0),
+                backup: true,
+            }),
+            "{actions:?}"
+        );
     }
 
     #[test]

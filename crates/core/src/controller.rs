@@ -100,6 +100,26 @@ impl PathUsageController {
         }
     }
 
+    /// Graceful degradation: a path has *died* (link down, or the subflow
+    /// was declared dead by failure detection), which is categorically
+    /// different from the throughput noise the hysteresis and dwell rules
+    /// exist to filter. Traffic is forced onto the surviving path
+    /// immediately — including cellular-only, regardless of
+    /// [`ControllerConfig::allow_cellular_only`], because with WiFi dead it
+    /// is the only working option, not an energy trade-off. With both paths
+    /// alive (or both dead) the state is left untouched.
+    pub fn degrade(&mut self, now: SimTime, wifi_alive: bool, cell_alive: bool) -> PathUsage {
+        let target = match (wifi_alive, cell_alive) {
+            (true, false) => PathUsage::WifiOnly,
+            (false, true) => PathUsage::CellularOnly,
+            _ => self.usage,
+        };
+        if target != self.usage {
+            self.switch_to(now, target);
+        }
+        self.usage
+    }
+
     /// Decide the usage for the predicted throughputs. Returns the (possibly
     /// unchanged) usage after applying hysteresis and the dwell-time rule.
     pub fn decide(&mut self, now: SimTime, eib: &Eib, wifi_mbps: f64, cell_mbps: f64) -> PathUsage {
@@ -291,6 +311,40 @@ mod tests {
             let jitter = 1.0 + 0.08 * if i % 2 == 0 { 1.0 } else { -1.0 };
             c.decide(clk.tick(), &e, t2 * jitter, 2.0);
         }
+        assert_eq!(c.switches(), 1, "only the initial force counts");
+    }
+
+    #[test]
+    fn degrade_bypasses_dwell_and_hysteresis() {
+        let e = eib();
+        let mut c = controller();
+        let t0 = SimTime::from_secs(100);
+        c.force_usage(t0, PathUsage::Both);
+        // One second in (well inside the 3 s dwell), WiFi dies: the switch
+        // must go through anyway.
+        let t1 = t0 + SimDuration::from_secs(1);
+        assert_eq!(c.degrade(t1, false, true), PathUsage::CellularOnly);
+        // Note: allow_cellular_only is false here — degradation overrides it.
+        assert!(!c.config.allow_cellular_only);
+        // A normal decide right after is again held by the dwell rule.
+        let t2 = t1 + SimDuration::from_millis(100);
+        assert_eq!(c.decide(t2, &e, 20.0, 5.0), PathUsage::CellularOnly);
+        // WiFi comes back dead-cellular-wise: degrade the other way.
+        assert_eq!(c.degrade(t2, true, false), PathUsage::WifiOnly);
+    }
+
+    #[test]
+    fn degrade_is_noop_when_both_paths_share_fate() {
+        let mut c = controller();
+        c.force_usage(SimTime::ZERO, PathUsage::Both);
+        assert_eq!(
+            c.degrade(SimTime::from_secs(1), true, true),
+            PathUsage::Both
+        );
+        assert_eq!(
+            c.degrade(SimTime::from_secs(2), false, false),
+            PathUsage::Both
+        );
         assert_eq!(c.switches(), 1, "only the initial force counts");
     }
 

@@ -5,6 +5,8 @@
 //! simulate --strategy mptcp --scenario mobility --json
 //! simulate --strategy emptcp --trace run.jsonl --metrics run.json
 //! simulate --list-strategies
+//! simulate faults --scenario ap-vanish
+//! simulate faults --all --check
 //! ```
 //!
 //! This is the downstream-user entry point: where `repro` regenerates the
@@ -15,7 +17,8 @@
 //! invariant observer checks conservation properties as the run executes.
 
 use emptcp_expr::scenario::{Scenario, Workload};
-use emptcp_expr::{host, Strategy};
+use emptcp_expr::{faults, host, Strategy};
+use emptcp_faults::scenarios;
 use emptcp_sim::{SimDuration, SimTime};
 use emptcp_telemetry::{info, log, warn, JsonlSink, Telemetry};
 
@@ -53,7 +56,167 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+fn faults_usage() -> ! {
+    eprintln!(
+        "usage: simulate faults [options]
+  --scenario NAME      run one named fault scenario
+  --all                run every scenario in the library
+  --check              exit non-zero unless every report passes the
+                       resilience expectations (CI gate)
+  --seed N             simulation seed                     (default 42)
+  --json               print each report as JSON
+  --trace PATH         write the faulted run's JSONL event trace
+                       (single-scenario mode only)
+  --quiet              suppress progress output
+  --list               list scenario names and exit"
+    );
+    std::process::exit(2);
+}
+
+fn print_report(r: &faults::ResilienceReport) {
+    println!("scenario:         {} ({})", r.scenario, r.strategy);
+    println!("completed:        {}", r.completed);
+    println!(
+        "delivered:        {:.2} MB of {:.2} MB",
+        r.bytes_delivered as f64 / (1 << 20) as f64,
+        r.size_bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "time:             {:.2} s faulted vs {:.2} s fault-free",
+        r.faulted_time_s, r.baseline_time_s
+    );
+    println!("goodput retained: {:.0}%", r.goodput_retained * 100.0);
+    println!(
+        "energy:           {:.2} J faulted vs {:.2} J fault-free ({:+.2} J overhead)",
+        r.faulted_energy_j, r.baseline_energy_j, r.energy_overhead_j
+    );
+    println!(
+        "faults:           {} applied, {} link-down, {} RTO failures",
+        r.faults_injected, r.link_down_events, r.subflow_failures
+    );
+    println!(
+        "recovery:         {} promotions, {} revivals, {:.1} KB reinjected, worst latency {:.3} s",
+        r.backup_promotions,
+        r.subflow_revivals,
+        r.bytes_reinjected as f64 / 1024.0,
+        r.worst_recovery_latency_s
+    );
+    if r.invariant_violations > 0 {
+        println!("INVARIANTS:       {} violation(s)", r.invariant_violations);
+    }
+}
+
+fn faults_main(args: Vec<String>) -> ! {
+    let mut scenario: Option<String> = None;
+    let mut all = false;
+    let mut do_check = false;
+    let mut seed = 42u64;
+    let mut json = false;
+    let mut trace_path: Option<String> = None;
+    let mut quiet = false;
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scenario" => scenario = Some(value("--scenario")),
+            "--all" => all = true,
+            "--check" => do_check = true,
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| faults_usage()),
+            "--json" => json = true,
+            "--trace" => trace_path = Some(value("--trace")),
+            "--quiet" => quiet = true,
+            "--list" => {
+                for spec in scenarios::ALL {
+                    println!("{:<18} {}", spec.name, spec.summary);
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => faults_usage(),
+            other => {
+                eprintln!("unknown option: {other}");
+                faults_usage();
+            }
+        }
+    }
+    if quiet {
+        log::set_level(log::Level::Quiet);
+    }
+
+    let names: Vec<&str> = if all {
+        scenarios::ALL.iter().map(|s| s.name).collect()
+    } else {
+        match &scenario {
+            Some(name) => vec![name.as_str()],
+            None => faults_usage(),
+        }
+    };
+    if trace_path.is_some() && names.len() != 1 {
+        eprintln!("--trace needs a single --scenario");
+        std::process::exit(2);
+    }
+
+    let mut failures = 0usize;
+    for (i, name) in names.iter().enumerate() {
+        let telemetry = match &trace_path {
+            Some(path) => {
+                let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                    eprintln!("cannot create trace file {path}: {e}");
+                    std::process::exit(2);
+                });
+                Telemetry::builder()
+                    .invariants(true)
+                    .sink(Box::new(JsonlSink::new(file)))
+                    .build()
+            }
+            None => Telemetry::builder().invariants(true).build(),
+        };
+        let report = faults::run_scenario_traced(name, seed, telemetry).unwrap_or_else(|| {
+            eprintln!("unknown fault scenario '{name}' (try --list)");
+            std::process::exit(2);
+        });
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).expect("serializable report")
+            );
+        } else if !quiet {
+            if i > 0 {
+                println!();
+            }
+            print_report(&report);
+        }
+        if do_check {
+            for fail in faults::check(&report) {
+                eprintln!("{name}: FAILED expectation: {fail}");
+                failures += 1;
+            }
+        }
+    }
+    if do_check {
+        if failures == 0 && !quiet {
+            println!(
+                "\nall {} scenario(s) passed the resilience checks",
+                names.len()
+            );
+        }
+        std::process::exit(if failures == 0 { 0 } else { 1 });
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    let mut args_vec: Vec<String> = std::env::args().skip(1).collect();
+    if args_vec.first().map(String::as_str) == Some("faults") {
+        args_vec.remove(0);
+        faults_main(args_vec);
+    }
+
     let mut strategy_name = "emptcp".to_string();
     let mut scenario_name = "custom".to_string();
     let mut wifi_mbps = 10.0f64;

@@ -1,0 +1,218 @@
+//! Fault scenarios bound to the full host simulation.
+//!
+//! The `emptcp-faults` crate defines *what* goes wrong (named, scripted
+//! [`FaultPlan`]s); this module defines *how it is measured*: each named
+//! scenario is run twice with the same seed — once fault-free as the
+//! baseline, once with the plan attached — and the two runs are folded
+//! into a [`ResilienceReport`]: goodput retained, recovery latency, bytes
+//! reinjected, and the energy cost of surviving the fault. The online
+//! invariant observer rides along on the faulted run, so a report also
+//! certifies that the byte stream survived intact.
+//!
+//! [`FaultPlan`]: emptcp_faults::FaultPlan
+
+use crate::host::Simulation;
+use crate::scenario::{Scenario, Workload};
+use crate::strategy::Strategy;
+use emptcp_faults::scenarios;
+use emptcp_telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
+
+/// Download size every fault run moves: large enough that every scenario's
+/// fault window lands mid-transfer, small enough for CI.
+pub const TRANSFER_BYTES: u64 = 16 << 20;
+
+/// The strategy a named fault scenario exercises. Cellular-side faults
+/// need a strategy that has a cellular subflow up *before* the fault
+/// hits; WiFi-side faults are most interesting under eMPTCP, whose
+/// controller normally keeps cellular asleep and must wake it to recover.
+pub fn strategy_for(name: &str) -> Strategy {
+    match name {
+        "lte-tunnel" => Strategy::Mptcp,
+        _ => Strategy::emptcp_default(),
+    }
+}
+
+/// The environment every fault scenario runs in: good static WiFi and LTE,
+/// so every slowdown and recovery in the report is attributable to the
+/// injected faults rather than to environmental noise.
+pub fn base_scenario(name: &str) -> Scenario {
+    let mut s = Scenario::static_good_wifi();
+    s.name = format!("faults/{name}");
+    s.workload = Workload::Download {
+        size: TRANSFER_BYTES,
+    };
+    s
+}
+
+/// Everything the `simulate faults` CLI prints about one scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// Fault scenario name (see [`emptcp_faults::scenarios::ALL`]).
+    pub scenario: String,
+    /// Strategy label the scenario ran under.
+    pub strategy: String,
+    /// Seed shared by the baseline and the faulted run.
+    pub seed: u64,
+    /// Bytes the workload was asked to move.
+    pub size_bytes: u64,
+    /// The faulted run finished before the horizon.
+    pub completed: bool,
+    /// Bytes actually delivered to the client under faults.
+    pub bytes_delivered: u64,
+    /// Fault-free completion time (s).
+    pub baseline_time_s: f64,
+    /// Completion time under faults (s).
+    pub faulted_time_s: f64,
+    /// Faulted goodput as a fraction of fault-free goodput.
+    pub goodput_retained: f64,
+    /// Fault-free energy to completion, drain included (J).
+    pub baseline_energy_j: f64,
+    /// Energy under faults (J).
+    pub faulted_energy_j: f64,
+    /// Extra energy the faults cost (J; can be negative when a fault
+    /// ends a radio tail early).
+    pub energy_overhead_j: f64,
+    /// Fault events the injector applied.
+    pub faults_injected: u64,
+    /// Link-down notifications the stack received (both ends).
+    pub link_down_events: u64,
+    /// Subflows declared dead by the consecutive-RTO detector.
+    pub subflow_failures: u64,
+    /// Backup subflows promoted into service.
+    pub backup_promotions: u64,
+    /// Dead subflows that came back.
+    pub subflow_revivals: u64,
+    /// Data-level bytes queued for reinjection on surviving subflows.
+    pub bytes_reinjected: u64,
+    /// Worst failure-to-progress latency (s; 0 when nothing failed).
+    pub worst_recovery_latency_s: f64,
+    /// Online invariant violations observed during the faulted run.
+    pub invariant_violations: u64,
+}
+
+/// Run one named scenario with a fresh invariant-checking telemetry
+/// pipeline. Returns `None` for an unknown scenario name.
+pub fn run_scenario(name: &str, seed: u64) -> Option<ResilienceReport> {
+    run_scenario_traced(name, seed, Telemetry::builder().invariants(true).build())
+}
+
+/// Run one named scenario with a caller-supplied telemetry pipeline on the
+/// faulted run (the baseline runs uninstrumented so a trace sink sees only
+/// the run the report describes). Invariant violations are read back from
+/// the supplied pipeline.
+pub fn run_scenario_traced(
+    name: &str,
+    seed: u64,
+    telemetry: Telemetry,
+) -> Option<ResilienceReport> {
+    let plan = scenarios::plan(name)?;
+    let strategy = strategy_for(name);
+    let baseline = Simulation::new(base_scenario(name), strategy, seed).run();
+
+    let mut sim =
+        Simulation::new_with_telemetry(base_scenario(name), strategy, seed, telemetry.clone());
+    sim.attach_faults(plan);
+    let faulted = sim.run();
+    let invariant_violations = telemetry.violations().len() as u64;
+
+    let goodput = |bytes: u64, secs: f64| bytes as f64 / secs.max(1e-9);
+    let base_goodput = goodput(baseline.bytes_delivered, baseline.download_time_s);
+    let fault_goodput = goodput(faulted.bytes_delivered, faulted.download_time_s);
+    Some(ResilienceReport {
+        scenario: name.to_string(),
+        strategy: strategy.label().to_string(),
+        seed,
+        size_bytes: TRANSFER_BYTES,
+        completed: faulted.completed,
+        bytes_delivered: faulted.bytes_delivered,
+        baseline_time_s: baseline.download_time_s,
+        faulted_time_s: faulted.download_time_s,
+        goodput_retained: if base_goodput > 0.0 {
+            fault_goodput / base_goodput
+        } else {
+            0.0
+        },
+        baseline_energy_j: baseline.energy_j,
+        faulted_energy_j: faulted.energy_j,
+        energy_overhead_j: faulted.energy_j - baseline.energy_j,
+        faults_injected: faulted.faults_injected,
+        link_down_events: faulted.link_down_events,
+        subflow_failures: faulted.subflow_failures,
+        backup_promotions: faulted.backup_promotions,
+        subflow_revivals: faulted.subflow_revivals,
+        bytes_reinjected: faulted.bytes_reinjected,
+        worst_recovery_latency_s: faulted.worst_recovery_latency_s,
+        invariant_violations,
+    })
+}
+
+/// CI gate: everything a report must satisfy for `--check` to pass.
+/// Returns the list of violated expectations (empty = pass). Thresholds
+/// are deliberately loose — they assert *recovery happened*, not exact
+/// performance numbers, so they hold across seeds.
+pub fn check(report: &ResilienceReport) -> Vec<String> {
+    let mut fails = Vec::new();
+    let mut expect = |ok: bool, what: &str| {
+        if !ok {
+            fails.push(what.to_string());
+        }
+    };
+    expect(report.completed, "transfer completed under faults");
+    expect(
+        report.bytes_delivered == report.size_bytes,
+        "zero byte-stream gaps (delivered == requested)",
+    );
+    expect(
+        report.invariant_violations == 0,
+        "no invariant violations during the faulted run",
+    );
+    expect(report.faults_injected > 0, "the fault plan actually fired");
+    expect(
+        report.goodput_retained >= 0.25,
+        "goodput retained at least 25% of fault-free",
+    );
+    match report.scenario.as_str() {
+        "ap-vanish" | "flappy-wifi" | "handover-walk" => {
+            expect(
+                report.link_down_events >= 1,
+                "link-down notification reached the stack",
+            );
+            expect(
+                report.worst_recovery_latency_s > 0.0,
+                "recovery latency was measured",
+            );
+        }
+        "lte-tunnel" => {
+            expect(
+                report.link_down_events >= 1,
+                "link-down notification reached the stack",
+            );
+            expect(
+                report.bytes_reinjected > 0,
+                "stranded cellular data was reinjected",
+            );
+        }
+        _ => {}
+    }
+    fails
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_scenario_is_none() {
+        assert!(run_scenario("no-such-scenario", 1).is_none());
+    }
+
+    #[test]
+    fn every_scenario_has_a_strategy_and_base() {
+        for spec in scenarios::ALL {
+            let s = base_scenario(spec.name);
+            assert_eq!(s.name, format!("faults/{}", spec.name));
+            let _ = strategy_for(spec.name);
+        }
+    }
+}

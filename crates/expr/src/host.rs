@@ -23,8 +23,9 @@ use crate::scenario::{Scenario, WifiEnvironment, Workload};
 use crate::strategy::Strategy;
 use emptcp::{Action, EmptcpClient, IfaceTotals};
 use emptcp_energy::{Eib, EnergyMeter, EnergyModel, RadioSnapshot};
-use emptcp_mptcp::{MpConnection, Role, SubflowId};
-use emptcp_phy::link::EnqueueOutcome;
+use emptcp_faults::{FaultInjector, FaultPlan, FaultSurface, FaultTarget};
+use emptcp_mptcp::{MpConnection, RecoveryStats, Role, SubflowId};
+use emptcp_phy::link::{EnqueueOutcome, LossModel};
 use emptcp_phy::mobility::MobilityModel;
 use emptcp_phy::path::{Direction, Path, PathConfig};
 use emptcp_phy::rrc::RrcState;
@@ -102,6 +103,20 @@ pub struct RunResult {
     pub cell_thpt_trace: TimeSeries,
     /// Effective WiFi capacity over time, Mbps (downsampled).
     pub wifi_capacity_trace: TimeSeries,
+    /// Fault events the injector applied (0 when no plan was attached).
+    pub faults_injected: u64,
+    /// Subflows declared dead by the consecutive-RTO detector (both ends).
+    pub subflow_failures: u64,
+    /// Link-down notifications propagated to the stack (both ends).
+    pub link_down_events: u64,
+    /// Data-level bytes queued for reinjection on surviving subflows.
+    pub bytes_reinjected: u64,
+    /// Backup subflows promoted because no regular path survived.
+    pub backup_promotions: u64,
+    /// Dead subflows that came back into service.
+    pub subflow_revivals: u64,
+    /// Worst failure-to-progress latency in seconds (0 when no failure).
+    pub worst_recovery_latency_s: f64,
 }
 
 struct ConnState {
@@ -184,6 +199,26 @@ pub struct Simulation {
     telemetry: Telemetry,
     /// Energy at the previous tick, for the monotonicity invariant.
     last_energy_j: f64,
+
+    /// Scripted fault injection (None = fault-free run). Polled at the top
+    /// of every control tick, so fault timestamps quantise to 100 ms.
+    injector: Option<FaultInjector>,
+    /// Fault events applied so far.
+    faults_applied: u64,
+    /// A WiFi `IfaceDown` fault is in force: the association is held down
+    /// regardless of what the scenario environment wants.
+    fault_wifi_down: bool,
+    /// While set, wins over the WiFi channel model's effective rate.
+    fault_wifi_rate: Option<u64>,
+    /// While set, the channel model's per-tick loss push is suppressed so
+    /// the injected model's burst state is not reset every 100 ms.
+    fault_wifi_loss: Option<LossModel>,
+    /// Nominal values restored when a fault clears: WiFi/cell one-way
+    /// propagation delays, cellular down/up rates and downlink loss.
+    nominal_wifi_prop: SimDuration,
+    nominal_cell_prop: SimDuration,
+    nominal_cell_rates: (u64, u64),
+    nominal_cell_loss: f64,
 }
 
 impl Simulation {
@@ -271,6 +306,10 @@ impl Simulation {
         rrc.set_telemetry(telemetry.scope(0));
         let mut meter = meter;
         meter.set_telemetry(telemetry.scope(0));
+        let nominal_wifi_prop = wifi_path.down().prop_delay();
+        let nominal_cell_prop = cell_path.down().prop_delay();
+        let nominal_cell_rates = (cell_path.down().rate_bps(), cell_path.up().rate_bps());
+        let nominal_cell_loss = cell_path.down().loss_prob();
         let mut sim = Simulation {
             scenario,
             strategy,
@@ -304,9 +343,28 @@ impl Simulation {
             done: false,
             telemetry,
             last_energy_j: 0.0,
+            injector: None,
+            faults_applied: 0,
+            fault_wifi_down: false,
+            fault_wifi_rate: None,
+            fault_wifi_loss: None,
+            nominal_wifi_prop,
+            nominal_cell_prop,
+            nominal_cell_rates,
+            nominal_cell_loss,
         };
         sim.setup_connections();
         sim
+    }
+
+    /// Arm a scripted fault plan. Events are applied on the 100 ms control
+    /// tick, the same clock the environment processes run on, so a plan
+    /// perturbs the run exactly as a hostile environment would — and two
+    /// runs with the same seed and plan stay byte-identical.
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        let mut injector = FaultInjector::new(plan);
+        injector.set_telemetry(self.telemetry.scope(0));
+        self.injector = Some(injector);
     }
 
     fn tcp_config(&self) -> TcpConfig {
@@ -743,6 +801,15 @@ impl Simulation {
     }
 
     fn on_tick(&mut self, now: SimTime) {
+        // 0. Scripted faults fire before the environment pushes state into
+        //    the paths, so a rate/loss override wins over the channel model
+        //    within the same tick. The injector is taken out of `self` for
+        //    the call because the simulation is its own fault surface.
+        if let Some(mut injector) = self.injector.take() {
+            self.faults_applied += injector.poll(now, self) as u64;
+            self.injector = Some(injector);
+        }
+
         // 1. Environment updates.
         if let Some(m) = self.modulator.as_mut() {
             if let Some(rate) = m.poll(now) {
@@ -757,23 +824,30 @@ impl Simulation {
         if let Some(mob) = self.mobility.as_ref() {
             self.wifi_channel.set_nominal_bps(mob.wifi_goodput_bps(now));
         }
-        if let WifiEnvironment::StaticWithOutage {
-            outage_start,
-            outage_end,
-            ..
-        } = self.scenario.wifi
-        {
-            let associated = !(outage_start..outage_end).contains(&now);
-            if associated != self.wifi_channel.associated() {
-                self.wifi_channel.set_associated(associated);
-                self.on_wifi_association_change(now, associated);
-            }
+        let scenario_associated = match self.scenario.wifi {
+            WifiEnvironment::StaticWithOutage {
+                outage_start,
+                outage_end,
+                ..
+            } => !(outage_start..outage_end).contains(&now),
+            _ => true,
+        };
+        let associated = scenario_associated && !self.fault_wifi_down;
+        if associated != self.wifi_channel.associated() {
+            self.wifi_channel.set_associated(associated);
+            self.on_wifi_association_change(now, associated);
         }
-        let eff = self.wifi_channel.effective_rate_bps();
-        self.wifi_path.down_mut().set_rate_bps(eff);
-        self.wifi_path
-            .down_mut()
-            .set_loss_prob(self.wifi_channel.loss_prob());
+        let eff = self
+            .fault_wifi_rate
+            .unwrap_or_else(|| self.wifi_channel.effective_rate_bps());
+        self.wifi_path.down_mut().set_rate_bps(now, eff);
+        if self.fault_wifi_loss.is_none() {
+            // An injected loss model is installed once at fault time; the
+            // per-tick push would reset its burst state every 100 ms.
+            self.wifi_path
+                .down_mut()
+                .set_loss_prob(self.wifi_channel.loss_prob());
+        }
 
         // 2. RRC timers (tail/idle transitions).
         self.rrc.poll(now);
@@ -1051,6 +1125,11 @@ impl Simulation {
             .map(|e| e.switches())
             .sum();
         let retransmissions = self.conns.iter().map(|c| c.total_retransmissions()).sum();
+        let mut recovery = RecoveryStats::default();
+        for c in &self.conns {
+            recovery.absorb(c.client.recovery_stats());
+            recovery.absorb(c.server.recovery_stats());
+        }
         let t = download_time_s.max(1e-9);
         RunResult {
             strategy: self.strategy.label().to_string(),
@@ -1083,6 +1162,100 @@ impl Simulation {
             wifi_thpt_trace: self.wifi_thpt_trace.downsample(2000),
             cell_thpt_trace: self.cell_thpt_trace.downsample(2000),
             wifi_capacity_trace: self.wifi_capacity_trace.downsample(2000),
+            faults_injected: self.faults_applied,
+            subflow_failures: recovery.subflow_failures,
+            link_down_events: recovery.link_down_events,
+            bytes_reinjected: recovery.bytes_reinjected,
+            backup_promotions: recovery.backup_promotions,
+            subflow_revivals: recovery.revivals,
+            worst_recovery_latency_s: recovery
+                .worst_recovery_latency()
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0),
+        }
+    }
+}
+
+/// How the fault injector mutates this host. WiFi faults ride the same
+/// machinery the scenario environments use (association state, effective
+/// rate pushed each tick); cellular faults mutate the cellular path links
+/// directly because nothing else touches them after construction.
+///
+/// `Rate(Some(0))` on either target is a *silent* blackhole — packets die
+/// in the link but no link-down notification reaches the stack, so only
+/// the consecutive-RTO failure detector can react. `IfaceDown` is the
+/// *notified* variant: the link layer tells every subflow immediately.
+impl FaultSurface for Simulation {
+    fn set_iface_up(&mut self, now: SimTime, target: FaultTarget, up: bool) {
+        match target {
+            FaultTarget::Wifi => {
+                // The association flip itself happens in `on_tick`, right
+                // after the injector poll, composed with the scenario's own
+                // outage windows.
+                self.fault_wifi_down = !up;
+            }
+            FaultTarget::Cellular => {
+                for i in 0..self.conns.len() {
+                    if let Some(id) = self.conns[i].cell_sf {
+                        self.conns[i].client.set_subflow_link_up(now, id, up);
+                        self.conns[i].server.set_subflow_link_up(now, id, up);
+                    }
+                }
+                let (down, up_rate) = if up { self.nominal_cell_rates } else { (0, 0) };
+                self.cell_path.down_mut().set_rate_bps(now, down);
+                self.cell_path.up_mut().set_rate_bps(now, up_rate);
+            }
+        }
+    }
+
+    fn set_rate(&mut self, now: SimTime, target: FaultTarget, rate_bps: Option<u64>) {
+        match target {
+            // Applied in this tick's channel push, which runs right after
+            // the injector poll.
+            FaultTarget::Wifi => self.fault_wifi_rate = rate_bps,
+            FaultTarget::Cellular => {
+                let rate = rate_bps.unwrap_or(self.nominal_cell_rates.0);
+                self.cell_path.down_mut().set_rate_bps(now, rate);
+            }
+        }
+    }
+
+    fn set_loss(&mut self, _now: SimTime, target: FaultTarget, model: Option<LossModel>) {
+        match target {
+            FaultTarget::Wifi => {
+                self.fault_wifi_loss = model;
+                match model {
+                    Some(m) => self.wifi_path.down_mut().set_loss_model(m),
+                    None => self
+                        .wifi_path
+                        .down_mut()
+                        .set_loss_prob(self.wifi_channel.loss_prob()),
+                }
+            }
+            FaultTarget::Cellular => match model {
+                Some(m) => self.cell_path.down_mut().set_loss_model(m),
+                None => self
+                    .cell_path
+                    .down_mut()
+                    .set_loss_prob(self.nominal_cell_loss),
+            },
+        }
+    }
+
+    fn set_extra_delay(&mut self, _now: SimTime, target: FaultTarget, extra: Option<SimDuration>) {
+        // The spike rides the downlink: one extra one-way delay is one
+        // extra RTT contribution, which is what an RRC reconfiguration or
+        // a congested AP queue looks like from the transport.
+        let extra = extra.unwrap_or(SimDuration::ZERO);
+        match target {
+            FaultTarget::Wifi => self
+                .wifi_path
+                .down_mut()
+                .set_prop_delay(self.nominal_wifi_prop + extra),
+            FaultTarget::Cellular => self
+                .cell_path
+                .down_mut()
+                .set_prop_delay(self.nominal_cell_prop + extra),
         }
     }
 }

@@ -32,6 +32,7 @@
 //! assert_eq!(result.promotions, 0);
 //! ```
 
+pub mod faults;
 pub mod figures;
 pub mod host;
 pub mod mdp;

@@ -1,0 +1,159 @@
+//! The fault injector: replays a [`FaultPlan`] against any surface.
+//!
+//! The injector is deliberately dumb: it holds the pre-expanded,
+//! time-sorted event list and, on each [`FaultInjector::poll`], applies
+//! every event that has come due to the given [`FaultSurface`]. It draws no
+//! randomness and keeps no state beyond a cursor, so the fault timeline is
+//! identical across runs by construction. Hosts treat
+//! [`FaultInjector::next_deadline`] like any other timer source.
+
+use crate::plan::{FaultAction, FaultEvent, FaultPlan, FaultTarget};
+use emptcp_phy::LossModel;
+use emptcp_sim::{SimDuration, SimTime};
+use emptcp_telemetry::{TelemetryScope, TraceEvent};
+
+/// What a fault plan can mutate. Implemented by the experiment host (which
+/// owns real [`emptcp_phy::Link`]s and the WiFi association) and by the
+/// chaos-test rigs in [`crate::testnet`]. Restorative calls pass `None`,
+/// meaning "back to nominal" — the surface knows its own nominal values.
+pub trait FaultSurface {
+    /// Bring the interface up or down, *with* link-layer notification (the
+    /// stack learns immediately, as it does for a real de-association).
+    fn set_iface_up(&mut self, now: SimTime, target: FaultTarget, up: bool);
+    /// Override the serialization rate, or restore nominal. `Some(0)` is a
+    /// silent blackhole: no link-layer notification, detection is the
+    /// transport's problem.
+    fn set_rate(&mut self, now: SimTime, target: FaultTarget, rate_bps: Option<u64>);
+    /// Override the channel loss model, or restore nominal.
+    fn set_loss(&mut self, now: SimTime, target: FaultTarget, model: Option<LossModel>);
+    /// Add one-way extra delay, or remove it.
+    fn set_extra_delay(&mut self, now: SimTime, target: FaultTarget, extra: Option<SimDuration>);
+}
+
+/// Replays a plan's events in order as simulation time passes.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    events: Vec<FaultEvent>,
+    next: usize,
+    scope: TelemetryScope,
+}
+
+impl FaultInjector {
+    /// An injector for the given plan.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            events: plan.into_events(),
+            next: 0,
+            scope: TelemetryScope::disabled(),
+        }
+    }
+
+    /// Attach a telemetry scope; every applied fault emits
+    /// [`TraceEvent::FaultInjected`].
+    pub fn set_telemetry(&mut self, scope: TelemetryScope) {
+        self.scope = scope;
+    }
+
+    /// When the next unapplied fault fires, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.events.get(self.next).map(|e| e.at)
+    }
+
+    /// True once every event has been applied.
+    pub fn finished(&self) -> bool {
+        self.next >= self.events.len()
+    }
+
+    /// Apply every event due at or before `now`; returns how many fired.
+    pub fn poll(&mut self, now: SimTime, surface: &mut dyn FaultSurface) -> usize {
+        let mut fired = 0;
+        while let Some(&event) = self.events.get(self.next) {
+            if event.at > now {
+                break;
+            }
+            self.next += 1;
+            fired += 1;
+            self.apply(now, event, surface);
+        }
+        fired
+    }
+
+    fn apply(&mut self, now: SimTime, event: FaultEvent, surface: &mut dyn FaultSurface) {
+        match event.action {
+            FaultAction::IfaceDown => surface.set_iface_up(now, event.target, false),
+            FaultAction::IfaceUp => surface.set_iface_up(now, event.target, true),
+            FaultAction::Rate(bps) => surface.set_rate(now, event.target, bps),
+            FaultAction::Loss(model) => surface.set_loss(now, event.target, model),
+            FaultAction::ExtraDelay(extra) => surface.set_extra_delay(now, event.target, extra),
+        }
+        self.scope.emit(now, |_| TraceEvent::FaultInjected {
+            target: event.target.label(),
+            action: event.action.describe(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct RecordingSurface {
+        calls: Vec<(SimTime, String)>,
+    }
+
+    impl FaultSurface for RecordingSurface {
+        fn set_iface_up(&mut self, now: SimTime, target: FaultTarget, up: bool) {
+            self.calls
+                .push((now, format!("{}:up={}", target.label(), up)));
+        }
+        fn set_rate(&mut self, now: SimTime, target: FaultTarget, rate_bps: Option<u64>) {
+            self.calls
+                .push((now, format!("{}:rate={:?}", target.label(), rate_bps)));
+        }
+        fn set_loss(&mut self, now: SimTime, target: FaultTarget, model: Option<LossModel>) {
+            self.calls
+                .push((now, format!("{}:loss={}", target.label(), model.is_some())));
+        }
+        fn set_extra_delay(
+            &mut self,
+            now: SimTime,
+            target: FaultTarget,
+            extra: Option<SimDuration>,
+        ) {
+            self.calls
+                .push((now, format!("{}:delay={:?}", target.label(), extra)));
+        }
+    }
+
+    #[test]
+    fn applies_due_events_in_order() {
+        let plan = FaultPlan::new()
+            .blackout(
+                FaultTarget::Wifi,
+                SimTime::from_secs(2),
+                SimDuration::from_secs(3),
+            )
+            .rtt_spike(
+                FaultTarget::Cellular,
+                SimTime::from_secs(1),
+                SimDuration::from_secs(10),
+                SimDuration::from_millis(200),
+            );
+        let mut inj = FaultInjector::new(plan);
+        let mut surface = RecordingSurface::default();
+
+        assert_eq!(inj.next_deadline(), Some(SimTime::from_secs(1)));
+        assert_eq!(inj.poll(SimTime::from_millis(500), &mut surface), 0);
+        // Polling at 2 s applies both the 1 s spike and the 2 s down.
+        assert_eq!(inj.poll(SimTime::from_secs(2), &mut surface), 2);
+        assert!(surface.calls[0].1.starts_with("cellular:delay"));
+        assert_eq!(surface.calls[1].1, "wifi:up=false");
+        // Re-polling at the same instant is idempotent.
+        assert_eq!(inj.poll(SimTime::from_secs(2), &mut surface), 0);
+        assert!(!inj.finished());
+        assert_eq!(inj.poll(SimTime::from_secs(60), &mut surface), 2);
+        assert!(inj.finished());
+        assert_eq!(inj.next_deadline(), None);
+    }
+}

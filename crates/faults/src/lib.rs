@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Deterministic fault injection for the eMPTCP stack.
+//!
+//! Robustness claims are only as good as the failures they were tested
+//! against. This crate makes failures *first-class and reproducible*:
+//!
+//! * [`plan`] — a [`FaultPlan`] scripts timestamped [`FaultEvent`]s from
+//!   composable primitives: interface blackouts, link-flap trains,
+//!   Gilbert–Elliott burst-loss windows, bandwidth collapses with staged
+//!   recovery, RTT spikes, WiFi→cellular handovers, and cellular RRC
+//!   stalls. Plans are pre-expanded pure data: no randomness survives past
+//!   build time.
+//! * [`injector`] — a [`FaultInjector`] replays a plan against anything
+//!   implementing [`FaultSurface`] (the experiment host's real links, or
+//!   the test rigs here), emitting a telemetry event per applied fault.
+//! * [`scenarios`] — a named library of failure patterns (`ap-vanish`,
+//!   `lte-tunnel`, `flappy-wifi`, `burst-loss-storm`, `handover-walk`)
+//!   shared by the CLI and CI.
+//! * [`testnet`] — the chaos-test network rigs shared by the TCP and MPTCP
+//!   suites, with labelled RNG stream-splitting so fault draws never
+//!   perturb traffic draws.
+//!
+//! Everything downstream of a seed is deterministic: the same seed and the
+//! same plan produce byte-identical telemetry traces, which is what lets
+//! CI assert on resilience numbers instead of eyeballing them.
+
+pub mod injector;
+pub mod plan;
+pub mod scenarios;
+pub mod testnet;
+
+pub use injector::{FaultInjector, FaultSurface};
+pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultTarget};
+pub use testnet::{ChaosNet, ChaosPath, MpChaosRig};

@@ -1,0 +1,305 @@
+//! Fault plans: a deterministic script of timestamped network faults.
+//!
+//! A [`FaultPlan`] is built once, up front, from composable primitives
+//! (blackouts, flap trains, burst-loss windows, bandwidth collapses, RTT
+//! spikes, handovers, RRC stalls) and then *pre-expanded* into a flat,
+//! time-sorted list of [`FaultEvent`]s. All randomness, if any, happens at
+//! build time in the caller's RNG stream; the plan itself — and therefore
+//! the injector driving it — is pure data. Same plan + same seed ⇒ the
+//! same faults at the same instants, byte for byte.
+
+use emptcp_phy::{GeParams, LossModel};
+use emptcp_sim::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// Which interface a fault applies to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum FaultTarget {
+    /// The WiFi path (path index 0 in the test rigs).
+    Wifi,
+    /// The cellular path (path index 1 in the test rigs).
+    Cellular,
+}
+
+impl FaultTarget {
+    /// Stable label for trace events and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultTarget::Wifi => "wifi",
+            FaultTarget::Cellular => "cellular",
+        }
+    }
+
+    /// Path index convention used by the test rigs (WiFi first).
+    pub fn path_index(self) -> usize {
+        match self {
+            FaultTarget::Wifi => 0,
+            FaultTarget::Cellular => 1,
+        }
+    }
+}
+
+/// One atomic state change applied to a target interface. Restorative
+/// variants carry `None`, meaning "back to the scenario's nominal value" —
+/// the surface, not the plan, knows what nominal is.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize)]
+pub enum FaultAction {
+    /// Take the interface down (de-association, radio loss).
+    IfaceDown,
+    /// Bring the interface back up.
+    IfaceUp,
+    /// Override the serialization rate (`Some(bps)`), or restore the
+    /// nominal rate (`None`). `Some(0)` is a silent blackhole: packets die
+    /// without any link-layer notification, unlike [`FaultAction::IfaceDown`].
+    Rate(Option<u64>),
+    /// Override the channel loss model, or restore the nominal one.
+    Loss(Option<LossModel>),
+    /// Add one-way extra propagation delay, or remove it.
+    ExtraDelay(Option<SimDuration>),
+}
+
+impl FaultAction {
+    /// Human-readable form for `FaultInjected` trace events.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultAction::IfaceDown => "iface_down".to_string(),
+            FaultAction::IfaceUp => "iface_up".to_string(),
+            FaultAction::Rate(Some(bps)) => format!("rate={bps}"),
+            FaultAction::Rate(None) => "rate=nominal".to_string(),
+            FaultAction::Loss(Some(LossModel::Bernoulli(p))) => format!("loss={p}"),
+            FaultAction::Loss(Some(LossModel::GilbertElliott(g))) => format!(
+                "loss=ge(p01={},p10={},pb={})",
+                g.p_good_to_bad, g.p_bad_to_good, g.loss_bad
+            ),
+            FaultAction::Loss(None) => "loss=nominal".to_string(),
+            FaultAction::ExtraDelay(Some(d)) => format!("extra_delay_ns={}", d.as_nanos()),
+            FaultAction::ExtraDelay(None) => "extra_delay=none".to_string(),
+        }
+    }
+}
+
+/// A single scheduled fault.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// Which interface it hits.
+    pub target: FaultTarget,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// An ordered script of faults. Builder methods append pre-expanded event
+/// sequences; [`FaultPlan::into_events`] hands the injector a stable
+/// time-sort (ties keep insertion order, so "down then up at the same
+/// instant" behaves as written).
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (useful as a fault-free baseline).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Append one raw event.
+    pub fn at(mut self, at: SimTime, target: FaultTarget, action: FaultAction) -> FaultPlan {
+        self.events.push(FaultEvent { at, target, action });
+        self
+    }
+
+    /// Total interface blackout: down at `from`, back up `dur` later.
+    pub fn blackout(self, target: FaultTarget, from: SimTime, dur: SimDuration) -> FaultPlan {
+        self.at(from, target, FaultAction::IfaceDown)
+            .at(from + dur, target, FaultAction::IfaceUp)
+    }
+
+    /// A train of `flaps` short blackouts: down for `down`, up for `up`,
+    /// repeated back to back starting at `from`.
+    pub fn flap_train(
+        mut self,
+        target: FaultTarget,
+        from: SimTime,
+        flaps: u32,
+        down: SimDuration,
+        up: SimDuration,
+    ) -> FaultPlan {
+        let mut t = from;
+        for _ in 0..flaps {
+            self = self.blackout(target, t, down);
+            t = t + down + up;
+        }
+        self
+    }
+
+    /// A Gilbert–Elliott burst-loss window: the channel turns bursty at
+    /// `from` and recovers to nominal `dur` later.
+    pub fn burst_loss(
+        self,
+        target: FaultTarget,
+        from: SimTime,
+        dur: SimDuration,
+        ge: GeParams,
+    ) -> FaultPlan {
+        self.at(
+            from,
+            target,
+            FaultAction::Loss(Some(LossModel::GilbertElliott(ge))),
+        )
+        .at(from + dur, target, FaultAction::Loss(None))
+    }
+
+    /// Bandwidth collapse with a staged recovery: the rate drops to
+    /// `collapsed_bps` at `from`, holds for `hold`, then climbs through
+    /// each rate in `recovery_ramp` (one step every `step`) before
+    /// restoring the nominal rate.
+    pub fn bandwidth_collapse(
+        mut self,
+        target: FaultTarget,
+        from: SimTime,
+        hold: SimDuration,
+        collapsed_bps: u64,
+        recovery_ramp: &[u64],
+        step: SimDuration,
+    ) -> FaultPlan {
+        self = self.at(from, target, FaultAction::Rate(Some(collapsed_bps)));
+        let mut t = from + hold;
+        for &bps in recovery_ramp {
+            self = self.at(t, target, FaultAction::Rate(Some(bps)));
+            t += step;
+        }
+        self.at(t, target, FaultAction::Rate(None))
+    }
+
+    /// An RTT spike: `extra` one-way delay from `from` for `dur`.
+    pub fn rtt_spike(
+        self,
+        target: FaultTarget,
+        from: SimTime,
+        dur: SimDuration,
+        extra: SimDuration,
+    ) -> FaultPlan {
+        self.at(from, target, FaultAction::ExtraDelay(Some(extra)))
+            .at(from + dur, target, FaultAction::ExtraDelay(None))
+    }
+
+    /// A WiFi→cellular handover: the WiFi association is lost for `gap`
+    /// (scan + re-association walk), during which traffic must survive on
+    /// cellular alone.
+    pub fn handover(self, at: SimTime, gap: SimDuration) -> FaultPlan {
+        self.blackout(FaultTarget::Wifi, at, gap)
+    }
+
+    /// A cellular RRC promotion stall: the radio sits in a signalling
+    /// limbo, adding `extra` one-way delay to everything for `dur`.
+    pub fn rrc_stall(self, at: SimTime, dur: SimDuration, extra: SimDuration) -> FaultPlan {
+        self.rtt_spike(FaultTarget::Cellular, at, dur, extra)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The time of the last scheduled event, if any.
+    pub fn end_time(&self) -> Option<SimTime> {
+        self.events.iter().map(|e| e.at).max()
+    }
+
+    /// The events in stable time order (the injector's feed).
+    pub fn into_events(mut self) -> Vec<FaultEvent> {
+        self.events.sort_by_key(|e| e.at);
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blackout_expands_to_down_then_up() {
+        let events = FaultPlan::new()
+            .blackout(
+                FaultTarget::Wifi,
+                SimTime::from_secs(5),
+                SimDuration::from_secs(3),
+            )
+            .into_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, SimTime::from_secs(5));
+        assert_eq!(events[0].action, FaultAction::IfaceDown);
+        assert_eq!(events[1].at, SimTime::from_secs(8));
+        assert_eq!(events[1].action, FaultAction::IfaceUp);
+    }
+
+    #[test]
+    fn flap_train_alternates() {
+        let events = FaultPlan::new()
+            .flap_train(
+                FaultTarget::Wifi,
+                SimTime::from_secs(1),
+                3,
+                SimDuration::from_millis(500),
+                SimDuration::from_millis(1500),
+            )
+            .into_events();
+        assert_eq!(events.len(), 6);
+        // Third flap goes down at 1 s + 2 × 2 s = 5 s.
+        assert_eq!(events[4].at, SimTime::from_secs(5));
+        assert_eq!(events[4].action, FaultAction::IfaceDown);
+        assert_eq!(events[5].at, SimTime::from_millis(5500));
+    }
+
+    #[test]
+    fn events_sort_stably_by_time() {
+        let t = SimTime::from_secs(2);
+        let events = FaultPlan::new()
+            .at(t, FaultTarget::Wifi, FaultAction::IfaceDown)
+            .at(
+                SimTime::from_secs(1),
+                FaultTarget::Cellular,
+                FaultAction::IfaceDown,
+            )
+            .at(t, FaultTarget::Wifi, FaultAction::IfaceUp)
+            .into_events();
+        assert_eq!(events[0].target, FaultTarget::Cellular);
+        // Insertion order preserved at the tied timestamp.
+        assert_eq!(events[1].action, FaultAction::IfaceDown);
+        assert_eq!(events[2].action, FaultAction::IfaceUp);
+    }
+
+    #[test]
+    fn bandwidth_collapse_ramps_back() {
+        let events = FaultPlan::new()
+            .bandwidth_collapse(
+                FaultTarget::Wifi,
+                SimTime::from_secs(10),
+                SimDuration::from_secs(5),
+                500_000,
+                &[2_000_000, 6_000_000],
+                SimDuration::from_secs(1),
+            )
+            .into_events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].action, FaultAction::Rate(Some(500_000)));
+        assert_eq!(events[1].at, SimTime::from_secs(15));
+        assert_eq!(events[1].action, FaultAction::Rate(Some(2_000_000)));
+        assert_eq!(events[3].at, SimTime::from_secs(17));
+        assert_eq!(events[3].action, FaultAction::Rate(None));
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(FaultAction::IfaceDown.describe(), "iface_down");
+        assert_eq!(FaultAction::Rate(Some(1000)).describe(), "rate=1000");
+        assert_eq!(FaultAction::Loss(None).describe(), "loss=nominal");
+    }
+}

@@ -1,0 +1,118 @@
+//! A library of named failure scenarios.
+//!
+//! Each scenario is a deterministic [`FaultPlan`] modelling a failure
+//! pattern mobile MPTCP deployments actually meet. The timings assume the
+//! transfer starts at t = 0 and target the first ~20 s of the run, so a
+//! moderate download (a few tens of MB) is guaranteed to still be in
+//! flight when the fault lands.
+
+use crate::plan::{FaultAction, FaultPlan, FaultTarget};
+use emptcp_phy::GeParams;
+use emptcp_sim::{SimDuration, SimTime};
+
+/// A named scenario with a one-line description.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioSpec {
+    /// Stable CLI name.
+    pub name: &'static str,
+    /// What failure pattern it models.
+    pub summary: &'static str,
+}
+
+/// Every scenario in the library, in presentation order.
+pub const ALL: [ScenarioSpec; 5] = [
+    ScenarioSpec {
+        name: "ap-vanish",
+        summary: "the WiFi AP disappears for 8 s mid-transfer (power cycle, kicked client)",
+    },
+    ScenarioSpec {
+        name: "lte-tunnel",
+        summary: "cellular coverage drops for 6 s (tunnel, elevator) while WiFi survives",
+    },
+    ScenarioSpec {
+        name: "flappy-wifi",
+        summary: "six rapid WiFi association flaps (500 ms down, 1.5 s up) from a marginal AP",
+    },
+    ScenarioSpec {
+        name: "burst-loss-storm",
+        summary: "10 s of Gilbert-Elliott burst loss on WiFi (deep fades, microwave interference)",
+    },
+    ScenarioSpec {
+        name: "handover-walk",
+        summary:
+            "walking out of coverage: WiFi rate decays, a 4 s handover gap, cellular RRC stall",
+    },
+];
+
+/// The plan for a named scenario, or `None` for an unknown name.
+pub fn plan(name: &str) -> Option<FaultPlan> {
+    let s = SimTime::from_secs;
+    let d = SimDuration::from_secs;
+    let ms = SimDuration::from_millis;
+    match name {
+        "ap-vanish" => Some(FaultPlan::new().blackout(FaultTarget::Wifi, s(5), d(8))),
+        "lte-tunnel" => Some(FaultPlan::new().blackout(FaultTarget::Cellular, s(5), d(6))),
+        "flappy-wifi" => {
+            Some(FaultPlan::new().flap_train(FaultTarget::Wifi, s(3), 6, ms(500), ms(1500)))
+        }
+        "burst-loss-storm" => Some(FaultPlan::new().burst_loss(
+            FaultTarget::Wifi,
+            s(4),
+            d(10),
+            GeParams {
+                p_good_to_bad: 0.05,
+                p_bad_to_good: 0.25,
+                loss_good: 0.0,
+                loss_bad: 0.7,
+            },
+        )),
+        "handover-walk" => Some(
+            FaultPlan::new()
+                // Signal decays on the way out...
+                .at(s(3), FaultTarget::Wifi, FaultAction::Rate(Some(2_000_000)))
+                .at(s(6), FaultTarget::Wifi, FaultAction::Rate(Some(500_000)))
+                // ...the association drops for the walk between APs...
+                .blackout(FaultTarget::Wifi, s(9), d(4))
+                // ...full strength again once the new AP associates...
+                .at(s(13), FaultTarget::Wifi, FaultAction::Rate(None))
+                // ...while the suddenly-busy cellular radio stalls in RRC
+                // signalling for a moment.
+                .rrc_stall(s(9), d(2), ms(150)),
+        ),
+        _ => None,
+    }
+}
+
+/// The spec for a named scenario.
+pub fn spec(name: &str) -> Option<ScenarioSpec> {
+    ALL.iter().copied().find(|sp| sp.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_scenario_has_a_plan() {
+        for sp in ALL {
+            let p = plan(sp.name).unwrap_or_else(|| panic!("no plan for {}", sp.name));
+            assert!(!p.is_empty(), "{} is empty", sp.name);
+            assert!(
+                p.end_time().unwrap() <= SimTime::from_secs(30),
+                "{} runs past the guaranteed-in-flight window",
+                sp.name
+            );
+            assert!(spec(sp.name).is_some());
+        }
+        assert!(plan("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        for sp in ALL {
+            let a = plan(sp.name).unwrap().into_events();
+            let b = plan(sp.name).unwrap().into_events();
+            assert_eq!(a, b, "{} not deterministic", sp.name);
+        }
+    }
+}

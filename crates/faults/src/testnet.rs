@@ -1,0 +1,344 @@
+//! Shared chaos-test network rigs.
+//!
+//! The TCP and MPTCP chaos suites used to carry their own copy-pasted
+//! "lossy network" (an event queue plus per-path drop/dup/jitter draws).
+//! This module is the single shared implementation: a [`ChaosNet`] of
+//! [`ChaosPath`]s for segment transport, and an end-to-end [`MpChaosRig`]
+//! that pumps a full MPTCP connection pair through it and implements
+//! [`FaultSurface`], so a [`FaultPlan`] can be replayed against a live
+//! transfer in a few lines of test code.
+//!
+//! Randomness discipline: the rig seed is split with
+//! [`SimRng::fork_labeled`] into independent streams (`"traffic"` for the
+//! channel draws; callers fork more, e.g. `"faults"`, for their own use),
+//! so adding a new consumer never shifts an existing stream.
+//!
+//! Fidelity note: paths here are delay-based, not rate-serialized — the
+//! full queueing [`emptcp_phy::Link`] model lives in the experiment host.
+//! Consequently [`FaultSurface::set_rate`] on a rig only distinguishes
+//! `Some(0)` (a silent blackhole) from everything else (path passes
+//! traffic); intermediate rates are a no-op here.
+
+use crate::injector::{FaultInjector, FaultSurface};
+use crate::plan::{FaultPlan, FaultTarget};
+use emptcp_mptcp::{MpConnection, Role, SubflowId};
+use emptcp_phy::{IfaceKind, LossModel, LossProcess};
+use emptcp_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use emptcp_tcp::{Segment, TcpConfig};
+
+/// One bidirectional path through the chaos network.
+#[derive(Clone, Debug)]
+pub struct ChaosPath {
+    /// Channel loss process (shared semantics with [`emptcp_phy::Link`]).
+    pub loss: LossProcess,
+    /// The scenario's nominal loss model, restored by `set_loss(None)`.
+    nominal_loss: LossModel,
+    /// Probability an accepted packet is duplicated.
+    pub dup: f64,
+    /// Base one-way delay.
+    pub base_delay: SimDuration,
+    /// Fault-injected extra one-way delay.
+    pub extra_delay: SimDuration,
+    /// Uniform random extra delay up to this many ms (reordering source).
+    pub jitter_ms: u64,
+    /// Administrative up/down (fault-injected blackouts).
+    up: bool,
+    /// Silent rate-zero blackhole (no link-layer notification).
+    rate_zero: bool,
+}
+
+impl ChaosPath {
+    /// A path with i.i.d. loss, a base delay and a jitter bound.
+    pub fn new(loss: f64, base_delay: SimDuration, jitter_ms: u64) -> ChaosPath {
+        let model = LossModel::Bernoulli(loss);
+        ChaosPath {
+            loss: LossProcess::new(model),
+            nominal_loss: model,
+            dup: 0.0,
+            base_delay,
+            extra_delay: SimDuration::ZERO,
+            jitter_ms,
+            up: true,
+            rate_zero: false,
+        }
+    }
+
+    /// Add a duplication probability.
+    pub fn with_dup(mut self, dup: f64) -> ChaosPath {
+        self.dup = dup;
+        self
+    }
+
+    /// Whether the path currently passes traffic at all.
+    pub fn passes_traffic(&self) -> bool {
+        self.up && !self.rate_zero
+    }
+}
+
+/// A multi-path lossy, jittery, duplicating network between two endpoints.
+#[derive(Debug)]
+pub struct ChaosNet {
+    queue: EventQueue<(bool, u8, Segment)>,
+    /// The seed RNG; never drawn from directly, only forked by label.
+    root: SimRng,
+    /// The `"traffic"` stream: loss, duplication and jitter draws.
+    rng: SimRng,
+    /// The paths, indexed by [`FaultTarget::path_index`] convention.
+    pub paths: Vec<ChaosPath>,
+}
+
+impl ChaosNet {
+    /// A network over the given paths, seeded deterministically.
+    pub fn new(seed: u64, paths: Vec<ChaosPath>) -> ChaosNet {
+        let root = SimRng::new(seed);
+        let rng = root.fork_labeled("traffic");
+        ChaosNet {
+            queue: EventQueue::new(),
+            root,
+            rng,
+            paths,
+        }
+    }
+
+    /// An independent RNG stream derived from the rig seed; drawing from it
+    /// never perturbs the traffic stream (or any other fork).
+    pub fn fork(&self, label: &str) -> SimRng {
+        self.root.fork_labeled(label)
+    }
+
+    /// Offer a segment to `path` at `now`, heading to the client or server.
+    pub fn send(&mut self, now: SimTime, to_client: bool, path: u8, seg: Segment) {
+        let p = &mut self.paths[path as usize];
+        if !p.passes_traffic() || p.loss.lost(&mut self.rng) {
+            return;
+        }
+        let copies = if p.dup > 0.0 && self.rng.chance(p.dup) {
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let p = &self.paths[path as usize];
+            let jitter = SimDuration::from_millis(self.rng.below(p.jitter_ms + 1));
+            self.queue.schedule(
+                now + p.base_delay + p.extra_delay + jitter,
+                (to_client, path, seg),
+            );
+        }
+    }
+
+    /// When the next packet lands, if any is in flight.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// The next in-flight packet: `(arrival, (to_client, path, segment))`.
+    pub fn pop(&mut self) -> Option<(SimTime, (bool, u8, Segment))> {
+        self.queue.pop()
+    }
+}
+
+/// A complete two-host MPTCP rig over a [`ChaosNet`]: one subflow per
+/// path (path 0 is WiFi, later paths cellular), an optional attached
+/// [`FaultInjector`], and the event-loop pump shared by every chaos and
+/// fault test.
+pub struct MpChaosRig {
+    /// The network between the two connections.
+    pub net: ChaosNet,
+    /// The data receiver.
+    pub client: MpConnection,
+    /// The data sender.
+    pub server: MpConnection,
+    /// The attached fault injector, if any.
+    pub injector: Option<FaultInjector>,
+    /// Deliver link-layer up/down notifications to both stacks on
+    /// [`FaultSurface::set_iface_up`] (a real de-association is visible to
+    /// the kernel). Disable to force detection through RTOs alone.
+    pub notify_link_down: bool,
+    /// Absolute simulation cut-off for [`MpChaosRig::run`].
+    pub wall_limit: SimTime,
+}
+
+impl MpChaosRig {
+    /// A rig with one subflow per path on both ends.
+    pub fn new(seed: u64, paths: Vec<ChaosPath>) -> MpChaosRig {
+        let mut client = MpConnection::new(Role::Client, TcpConfig::default());
+        let mut server = MpConnection::new(Role::Server, TcpConfig::default());
+        for idx in 0..paths.len() {
+            let iface = if idx == 0 {
+                IfaceKind::Wifi
+            } else {
+                IfaceKind::CellularLte
+            };
+            client.add_subflow(SimTime::ZERO, iface);
+            server.add_subflow(SimTime::ZERO, iface);
+        }
+        MpChaosRig {
+            net: ChaosNet::new(seed, paths),
+            client,
+            server,
+            injector: None,
+            notify_link_down: true,
+            wall_limit: SimTime::from_secs(900),
+        }
+    }
+
+    /// Attach a fault plan to replay during [`MpChaosRig::run`].
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// Drain one side's pending transmissions into the network.
+    pub fn transmit(&mut self, now: SimTime, from_client: bool) {
+        loop {
+            let emission = if from_client {
+                self.client.poll_transmit(now)
+            } else {
+                self.server.poll_transmit(now)
+            };
+            let Some((sf, seg)) = emission else { break };
+            self.net.send(now, !from_client, sf.0, seg);
+        }
+    }
+
+    fn poll_faults(&mut self, now: SimTime) {
+        if let Some(mut inj) = self.injector.take() {
+            inj.poll(now, self);
+            self.injector = Some(inj);
+        }
+    }
+
+    /// Run until the client has `total` bytes, progress stops, or the wall
+    /// limit is hit; returns the bytes delivered.
+    pub fn run(&mut self, total: u64) -> u64 {
+        self.server.write(total);
+        self.poll_faults(SimTime::ZERO);
+        self.transmit(SimTime::ZERO, true);
+        self.transmit(SimTime::ZERO, false);
+        let mut guard = 0u64;
+        loop {
+            guard += 1;
+            if guard > 3_000_000 {
+                break;
+            }
+            let timer = self
+                .client
+                .next_deadline()
+                .into_iter()
+                .chain(self.server.next_deadline())
+                .chain(self.injector.as_ref().and_then(|i| i.next_deadline()))
+                .min();
+            let next_packet = self.net.peek_time();
+            let now = match (next_packet, timer) {
+                (Some(p), Some(t)) => p.min(t),
+                (Some(p), None) => p,
+                (None, Some(t)) => t,
+                (None, None) => break,
+            };
+            if now > self.wall_limit {
+                break;
+            }
+            self.poll_faults(now);
+            if Some(now) == next_packet {
+                let (_, (to_client, path, seg)) = self.net.pop().expect("peeked");
+                if to_client {
+                    self.client.on_segment(now, SubflowId(path), seg);
+                } else {
+                    self.server.on_segment(now, SubflowId(path), seg);
+                }
+            }
+            self.client.on_deadline(now);
+            self.server.on_deadline(now);
+            self.transmit(now, true);
+            self.transmit(now, false);
+            if self.client.bytes_delivered() >= total {
+                break;
+            }
+        }
+        self.client.bytes_delivered()
+    }
+}
+
+impl FaultSurface for MpChaosRig {
+    fn set_iface_up(&mut self, now: SimTime, target: FaultTarget, up: bool) {
+        let idx = target.path_index();
+        if idx >= self.net.paths.len() {
+            return;
+        }
+        self.net.paths[idx].up = up;
+        if self.notify_link_down {
+            let id = SubflowId(idx as u8);
+            self.client.set_subflow_link_up(now, id, up);
+            self.server.set_subflow_link_up(now, id, up);
+        }
+    }
+
+    fn set_rate(&mut self, _now: SimTime, target: FaultTarget, rate_bps: Option<u64>) {
+        // Delay-based paths have no serializer: only the rate-zero
+        // blackhole is meaningful here (see the module docs).
+        let idx = target.path_index();
+        if idx >= self.net.paths.len() {
+            return;
+        }
+        self.net.paths[idx].rate_zero = rate_bps == Some(0);
+    }
+
+    fn set_loss(&mut self, _now: SimTime, target: FaultTarget, model: Option<LossModel>) {
+        let idx = target.path_index();
+        if idx >= self.net.paths.len() {
+            return;
+        }
+        let path = &mut self.net.paths[idx];
+        path.loss.set_model(model.unwrap_or(path.nominal_loss));
+    }
+
+    fn set_extra_delay(&mut self, _now: SimTime, target: FaultTarget, extra: Option<SimDuration>) {
+        let idx = target.path_index();
+        if idx >= self.net.paths.len() {
+            return;
+        }
+        self.net.paths[idx].extra_delay = extra.unwrap_or(SimDuration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_paths() -> Vec<ChaosPath> {
+        vec![
+            ChaosPath::new(0.0, SimDuration::from_millis(12), 0),
+            ChaosPath::new(0.0, SimDuration::from_millis(35), 0),
+        ]
+    }
+
+    #[test]
+    fn clean_network_delivers_exactly() {
+        let mut rig = MpChaosRig::new(1, two_paths());
+        assert_eq!(rig.run(256 << 10), 256 << 10);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_extra_consumers() {
+        let net_a = ChaosNet::new(77, two_paths());
+        let net_b = ChaosNet::new(77, two_paths());
+        // Net B hands out a fault stream before traffic runs; the traffic
+        // stream must be unaffected.
+        let mut faults_rng = net_b.fork("faults");
+        let _ = faults_rng.below(1000);
+        let mut a = net_a.rng.clone();
+        let mut b = net_b.rng.clone();
+        for _ in 0..64 {
+            assert_eq!(a.below(u64::MAX), b.below(u64::MAX));
+        }
+    }
+
+    #[test]
+    fn downed_path_passes_nothing() {
+        let mut rig = MpChaosRig::new(3, two_paths());
+        rig.notify_link_down = false;
+        rig.set_iface_up(SimTime::ZERO, FaultTarget::Cellular, false);
+        assert_eq!(rig.run(64 << 10), 64 << 10);
+        assert_eq!(rig.client.delivered_by_iface(IfaceKind::CellularLte), 0);
+    }
+}

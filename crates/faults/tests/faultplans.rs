@@ -1,0 +1,173 @@
+//! End-to-end fault-plan properties.
+//!
+//! The core promise of the fault subsystem: *no generated fault plan can
+//! make MPTCP corrupt the byte stream*. Faults may slow a transfer down,
+//! kill subflows, and force reinjection — but the client must always end
+//! with exactly the bytes the server wrote, and the online invariant
+//! observer must stay silent.
+
+use emptcp_faults::plan::FaultAction;
+use emptcp_faults::testnet::{ChaosPath, MpChaosRig};
+use emptcp_faults::{FaultPlan, FaultTarget};
+use emptcp_mptcp::SubflowId;
+use emptcp_phy::{GeParams, IfaceKind};
+use emptcp_sim::{SimDuration, SimRng, SimTime};
+use emptcp_telemetry::Telemetry;
+use proptest::prelude::*;
+
+fn two_paths() -> Vec<ChaosPath> {
+    vec![
+        ChaosPath::new(0.01, SimDuration::from_millis(12), 3),
+        ChaosPath::new(0.02, SimDuration::from_millis(35), 3),
+    ]
+}
+
+/// Draw a random-but-reproducible fault plan: 1–4 primitives with random
+/// targets and timings, every one of which eventually restores the nominal
+/// state (so a transfer can always finish after the storm passes).
+fn gen_plan(rng: &mut SimRng) -> FaultPlan {
+    let ms = SimDuration::from_millis;
+    let mut plan = FaultPlan::new();
+    let n = 1 + rng.below(4);
+    for _ in 0..n {
+        let target = if rng.chance(0.5) {
+            FaultTarget::Wifi
+        } else {
+            FaultTarget::Cellular
+        };
+        let from = SimTime::from_millis(500 + rng.below(10_000));
+        plan = match rng.below(5) {
+            0 => plan.blackout(target, from, ms(200 + rng.below(4_000))),
+            1 => plan.flap_train(
+                target,
+                from,
+                1 + rng.below(3) as u32,
+                ms(100 + rng.below(500)),
+                ms(300 + rng.below(1_500)),
+            ),
+            2 => plan.burst_loss(
+                target,
+                from,
+                ms(1_000 + rng.below(6_000)),
+                GeParams {
+                    p_good_to_bad: 0.02 + 0.08 * rng.below(100) as f64 / 100.0,
+                    p_bad_to_good: 0.2,
+                    loss_good: 0.0,
+                    loss_bad: 0.5 + 0.4 * rng.below(100) as f64 / 100.0,
+                },
+            ),
+            3 => plan.rtt_spike(
+                target,
+                from,
+                ms(500 + rng.below(3_000)),
+                ms(50 + rng.below(200)),
+            ),
+            // A silent rate-zero blackhole: no link-layer notification, so
+            // only RTO-based failure detection can see it.
+            _ => plan.at(from, target, FaultAction::Rate(Some(0))).at(
+                from + ms(200 + rng.below(2_500)),
+                target,
+                FaultAction::Rate(None),
+            ),
+        };
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_fault_plans_preserve_exact_delivery(
+        total_kb in 32u64..128,
+        seed in 0u64..u64::MAX,
+    ) {
+        let total = total_kb << 10;
+        let mut rig = MpChaosRig::new(seed, two_paths());
+        let mut fault_rng = rig.net.fork("faults");
+        rig.attach_faults(gen_plan(&mut fault_rng));
+        let telemetry = Telemetry::builder().invariants(true).build();
+        rig.client.set_telemetry(telemetry.scope(0));
+        rig.server.set_telemetry(telemetry.scope(1));
+
+        let delivered = rig.run(total);
+        prop_assert_eq!(delivered, total, "byte stream gap under faults");
+        let violations = telemetry.violations();
+        prop_assert!(violations.is_empty(), "invariants violated: {violations:?}");
+    }
+}
+
+/// The ISSUE's regression case: the only *active* subflow is blacked out
+/// while a configured backup waits; the backup must be promoted and the
+/// transfer must complete with recovery visible in the stats.
+#[test]
+fn blackout_of_only_active_subflow_with_backup_completes() {
+    let mut rig = MpChaosRig::new(11, two_paths());
+    rig.client.subflow_mut(SubflowId(1)).backup = true;
+    rig.server.subflow_mut(SubflowId(1)).backup = true;
+    rig.attach_faults(FaultPlan::new().blackout(
+        FaultTarget::Wifi,
+        SimTime::from_millis(500),
+        SimDuration::from_secs(5),
+    ));
+    let total = 256 << 10;
+    assert_eq!(rig.run(total), total);
+    // The backup actually carried traffic during the blackout.
+    assert!(
+        rig.client.delivered_by_iface(IfaceKind::CellularLte) > 0,
+        "backup never promoted into service"
+    );
+    let stats = rig.server.recovery_stats();
+    assert!(stats.link_down_events >= 1, "{stats:?}");
+    assert!(stats.backup_promotions >= 1, "{stats:?}");
+    assert!(
+        stats.worst_recovery_latency().is_some(),
+        "recovery latency never measured: {stats:?}"
+    );
+}
+
+/// A silent blackhole (no link-layer notification) must be caught by the
+/// consecutive-RTO failure detector, and the subflow must be revived by
+/// ack progress once the hole heals.
+#[test]
+fn silent_blackhole_detected_by_rto_threshold() {
+    let mut rig = MpChaosRig::new(17, two_paths());
+    rig.notify_link_down = false;
+    rig.server.set_failure_threshold(2);
+    rig.attach_faults(
+        FaultPlan::new()
+            .at(
+                SimTime::from_millis(500),
+                FaultTarget::Wifi,
+                FaultAction::Rate(Some(0)),
+            )
+            .at(
+                SimTime::from_secs(8),
+                FaultTarget::Wifi,
+                FaultAction::Rate(None),
+            ),
+    );
+    let total = 512 << 10;
+    assert_eq!(rig.run(total), total);
+    let stats = rig.server.recovery_stats();
+    assert!(stats.subflow_failures >= 1, "{stats:?}");
+    assert!(stats.bytes_reinjected > 0, "{stats:?}");
+}
+
+/// Same seed + same plan ⇒ identical delivery trajectory and identical
+/// recovery accounting.
+#[test]
+fn fault_runs_are_deterministic() {
+    let run = || {
+        let mut rig = MpChaosRig::new(23, two_paths());
+        let mut fault_rng = rig.net.fork("faults");
+        rig.attach_faults(gen_plan(&mut fault_rng));
+        let delivered = rig.run(128 << 10);
+        (
+            delivered,
+            *rig.client.recovery_stats(),
+            *rig.server.recovery_stats(),
+        )
+    };
+    assert_eq!(run(), run());
+}

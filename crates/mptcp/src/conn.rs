@@ -37,6 +37,55 @@ pub enum Role {
     Server,
 }
 
+/// Summary of a connection's failure-recovery activity: how often subflows
+/// failed, how much data was rescued onto surviving paths, and how quickly
+/// the connection-level stream resumed after a failure.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Subflows declared dead by the consecutive-RTO detector.
+    pub subflow_failures: u64,
+    /// Link-down notifications received from the host.
+    pub link_down_events: u64,
+    /// Times a batch of unacked data was queued for reinjection.
+    pub reinjection_events: u64,
+    /// Total data-level bytes queued for reinjection on surviving subflows.
+    pub bytes_reinjected: u64,
+    /// Backup subflows promoted to regular because no regular path survived.
+    pub backup_promotions: u64,
+    /// Dead subflows that came back (link restored or acks resumed).
+    pub revivals: u64,
+    /// Worst observed failure-to-progress latency: from a failure event to
+    /// the next connection-level stream advance, in nanoseconds.
+    pub worst_recovery_latency_ns: Option<u64>,
+}
+
+impl RecoveryStats {
+    /// The worst observed recovery latency, if any failure happened.
+    pub fn worst_recovery_latency(&self) -> Option<SimDuration> {
+        self.worst_recovery_latency_ns.map(SimDuration::from_nanos)
+    }
+
+    fn note_latency(&mut self, latency: SimDuration) {
+        let ns = latency.as_nanos();
+        if self.worst_recovery_latency_ns.is_none_or(|w| ns > w) {
+            self.worst_recovery_latency_ns = Some(ns);
+        }
+    }
+
+    /// Merge another side's stats (latency keeps the worst of the two).
+    pub fn absorb(&mut self, other: &RecoveryStats) {
+        self.subflow_failures += other.subflow_failures;
+        self.link_down_events += other.link_down_events;
+        self.reinjection_events += other.reinjection_events;
+        self.bytes_reinjected += other.bytes_reinjected;
+        self.backup_promotions += other.backup_promotions;
+        self.revivals += other.revivals;
+        if let Some(ns) = other.worst_recovery_latency_ns {
+            self.note_latency(SimDuration::from_nanos(ns));
+        }
+    }
+}
+
 /// What [`MpConnection::on_segment`] produced.
 #[derive(Clone, Debug, Default)]
 pub struct MpSegmentOutcome {
@@ -78,6 +127,15 @@ pub struct MpConnection {
     /// Last LIA recomputation (rate-limited: alpha moves on RTT timescales,
     /// recomputing per segment is pure overhead).
     lia_refreshed_at: SimTime,
+    /// Consecutive RTO expirations (without `snd_una` progress) after which
+    /// a subflow is declared dead.
+    failure_threshold: u64,
+    /// Failure-recovery bookkeeping.
+    recovery: RecoveryStats,
+    /// An unresolved failure: when it happened and the connection-level
+    /// progress mark (`max(data_acked, data_delivered)`) at that instant.
+    /// Resolved — and the latency recorded — when the mark advances.
+    recovery_pending: Option<(SimTime, u64)>,
     /// Telemetry scope for connection-level events; propagated to subflow
     /// TCP endpoints (labelled with their subflow id) when attached.
     scope: TelemetryScope,
@@ -101,8 +159,23 @@ impl MpConnection {
             coupled: true,
             opportunistic: true,
             lia_refreshed_at: SimTime::ZERO,
+            failure_threshold: 3,
+            recovery: RecoveryStats::default(),
+            recovery_pending: None,
             scope: TelemetryScope::disabled(),
         }
+    }
+
+    /// Consecutive RTO expirations after which a subflow is declared dead
+    /// (default 3; Linux's TCP-level equivalent is conceptually
+    /// `net.ipv4.tcp_retries2`, scaled down to simulation timescales).
+    pub fn set_failure_threshold(&mut self, rtos: u64) {
+        self.failure_threshold = rtos.max(1);
+    }
+
+    /// Failure-recovery summary for this side of the connection.
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery
     }
 
     /// Attach a telemetry scope. Connection-level events (scheduler picks,
@@ -257,7 +330,9 @@ impl MpConnection {
 
     /// Mark a subflow's underlying link up or down (interface loss, e.g. a
     /// WiFi disassociation). Going down immediately queues its unacked data
-    /// for reinjection on the surviving subflows.
+    /// for reinjection on the surviving subflows and, if no regular subflow
+    /// survives, promotes the best backup. Coming back up clears failure
+    /// state so the subflow is immediately schedulable again.
     pub fn set_subflow_link_up(&mut self, now: SimTime, id: SubflowId, up: bool) {
         let idx = id.0 as usize;
         if self.subflows[idx].link_down != up {
@@ -270,12 +345,100 @@ impl MpConnection {
                 subflow: id.0,
                 reason: "link_down",
             });
-            if self.subflows.len() > 1 {
-                for range in self.subflows[idx].unacked_data_ranges() {
-                    self.reinject.push_back(range);
-                }
+            self.recovery.link_down_events += 1;
+            self.reinject_unacked(idx);
+            self.begin_recovery(now);
+            self.promote_backup_if_stranded(now);
+        } else {
+            self.subflows[idx].consecutive_rtos = 0;
+            if self.subflows[idx].dead {
+                self.revive(now, idx, "link_restored");
             }
         }
+    }
+
+    /// Queue subflow `idx`'s unacknowledged data ranges for reinjection on
+    /// the surviving subflows; returns the bytes queued. A single-subflow
+    /// connection has nowhere to reinject to.
+    fn reinject_unacked(&mut self, idx: usize) -> u64 {
+        if self.subflows.len() < 2 {
+            return 0;
+        }
+        let mut bytes = 0u64;
+        for range in self.subflows[idx].unacked_data_ranges() {
+            bytes += range.1 as u64;
+            self.reinject.push_back(range);
+        }
+        if bytes > 0 {
+            self.recovery.reinjection_events += 1;
+            self.recovery.bytes_reinjected += bytes;
+        }
+        bytes
+    }
+
+    /// Start the recovery-latency clock unless a failure is already pending.
+    fn begin_recovery(&mut self, now: SimTime) {
+        if self.recovery_pending.is_none() {
+            let progress = self.data_acked.max(self.data_delivered);
+            self.recovery_pending = Some((now, progress));
+        }
+    }
+
+    /// If no regular subflow is usable but a backup is, promote the best
+    /// backup (lowest RTT, then lowest id) to regular and tell the peer via
+    /// MP_PRIO — graceful degradation instead of riding the scheduler's
+    /// backup fallback with a peer that still believes the path is backup.
+    fn promote_backup_if_stranded(&mut self, now: SimTime) {
+        if self.subflows.iter().any(|sf| !sf.backup && sf.usable()) {
+            return;
+        }
+        let Some(idx) = self
+            .subflows
+            .iter()
+            .enumerate()
+            .filter(|(_, sf)| sf.backup && sf.usable())
+            .min_by_key(|(i, sf)| (sf.tcp.rtt().srtt_or_zero(), *i))
+            .map(|(i, _)| i)
+        else {
+            return;
+        };
+        let id = self.subflows[idx].id;
+        self.set_subflow_priority(now, id, false);
+        self.recovery.backup_promotions += 1;
+        self.scope.emit(now, |s| TraceEvent::BackupPromoted {
+            conn: s.conn,
+            subflow: id.0,
+        });
+    }
+
+    /// Declare subflow `idx` dead after crossing the consecutive-RTO
+    /// threshold. Its stranded data was already queued by the caller.
+    fn declare_dead(&mut self, now: SimTime, idx: usize, reinjected_bytes: u64) {
+        self.subflows[idx].dead = true;
+        let (id, rtos) = (self.subflows[idx].id, self.subflows[idx].consecutive_rtos);
+        self.scope.emit(now, |s| TraceEvent::SubflowDead {
+            conn: s.conn,
+            subflow: id.0,
+            reason: "rto_threshold",
+            consecutive_rtos: rtos,
+            reinjected_bytes,
+        });
+        self.recovery.subflow_failures += 1;
+        self.begin_recovery(now);
+        self.promote_backup_if_stranded(now);
+    }
+
+    /// A dead subflow produced evidence of life; put it back in service.
+    fn revive(&mut self, now: SimTime, idx: usize, reason: &'static str) {
+        self.subflows[idx].dead = false;
+        self.subflows[idx].consecutive_rtos = 0;
+        self.recovery.revivals += 1;
+        let id = self.subflows[idx].id;
+        self.scope.emit(now, |s| TraceEvent::SubflowRevived {
+            conn: s.conn,
+            subflow: id.0,
+            reason,
+        });
     }
 
     /// The earliest pending timer across subflows.
@@ -289,16 +452,21 @@ impl MpConnection {
     /// Fire due subflow timers; RTOs trigger reinjection of the victim's
     /// unacknowledged data so another subflow can carry it, and stalled
     /// subflows trigger opportunistic reinjection a couple of RTTs earlier.
+    /// Crossing the consecutive-RTO threshold declares the subflow dead.
     pub fn on_deadline(&mut self, now: SimTime) {
         for idx in 0..self.subflows.len() {
             self.subflows[idx].tcp.on_deadline(now);
             let timeouts = self.subflows[idx].tcp.timeouts();
             if timeouts > self.subflows[idx].seen_timeouts {
+                let fired = timeouts - self.subflows[idx].seen_timeouts;
                 self.subflows[idx].seen_timeouts = timeouts;
-                if self.subflows.len() > 1 {
-                    for range in self.subflows[idx].unacked_data_ranges() {
-                        self.reinject.push_back(range);
-                    }
+                self.subflows[idx].consecutive_rtos += fired;
+                let bytes = self.reinject_unacked(idx);
+                if !self.subflows[idx].dead
+                    && self.subflows.len() > 1
+                    && self.subflows[idx].consecutive_rtos >= self.failure_threshold
+                {
+                    self.declare_dead(now, idx, bytes);
                 }
             }
         }
@@ -341,9 +509,7 @@ impl MpConnection {
                 continue;
             }
             self.subflows[idx].reinjected_una = Some(una);
-            for range in self.subflows[idx].unacked_data_ranges() {
-                self.reinject.push_back(range);
-            }
+            self.reinject_unacked(idx);
         }
     }
 
@@ -497,6 +663,17 @@ impl MpConnection {
         let tcp_outcome = self.subflows[idx].tcp.on_segment(now, seg);
         outcome.established_now = tcp_outcome.established_now;
         outcome.mp_prio = tcp_outcome.mp_prio;
+
+        // Any subflow-level ack progress resets failure detection; a dead
+        // subflow producing progress is evidently alive again.
+        let una = self.subflows[idx].tcp.snd_una();
+        if una > self.subflows[idx].fd_una {
+            self.subflows[idx].fd_una = una;
+            self.subflows[idx].consecutive_rtos = 0;
+            if self.subflows[idx].dead {
+                self.revive(now, idx, "ack_progress");
+            }
+        }
         if outcome.established_now {
             let iface = self.subflows[idx].iface;
             self.scope.emit(now, |s| TraceEvent::SubflowEstablished {
@@ -540,6 +717,15 @@ impl MpConnection {
         self.scope.check_invariants(now, |obs| {
             obs.check_dss_coverage(now, "mptcp", self.data_delivered, self.data_rcv_nxt);
         });
+        // Resolve a pending failure once the connection-level stream moves
+        // (on the sender that is a higher data-ack, on the receiver a
+        // higher in-order delivery mark).
+        if let Some((since, progress)) = self.recovery_pending {
+            if self.data_acked.max(self.data_delivered) > progress {
+                self.recovery.note_latency(now.saturating_since(since));
+                self.recovery_pending = None;
+            }
+        }
         self.subflows[idx].gc_mappings();
         outcome
     }
@@ -810,6 +996,110 @@ mod tests {
         let mut c = MpConnection::new(Role::Server, TcpConfig::default());
         c.close();
         c.write(1);
+    }
+
+    #[test]
+    fn rto_threshold_declares_subflow_dead_and_promotes_backup() {
+        let mut p = Pair::new(&[IfaceKind::Wifi, IfaceKind::CellularLte]);
+        // Two consecutive RTOs (~0.6 s with the default RTO schedule) must
+        // land inside the transfer so promotion happens mid-stream.
+        p.server.set_failure_threshold(2);
+        // Handshake both subflows and mark LTE backup *before* any data
+        // exists, so the whole transfer runs under the blackhole below.
+        for _ in 0..3 {
+            Pair::flow(&mut p.now, &mut p.client, &mut p.server);
+            Pair::flow(&mut p.now, &mut p.server, &mut p.client);
+        }
+        p.client.set_subflow_priority(p.now, SubflowId(1), true);
+        for _ in 0..3 {
+            Pair::flow(&mut p.now, &mut p.client, &mut p.server);
+            Pair::flow(&mut p.now, &mut p.server, &mut p.client);
+        }
+        assert!(p.server.subflow(SubflowId(1)).backup);
+        p.server.write(2_000_000);
+        // Blackhole WiFi in both directions: the server's RTOs pile up
+        // until failure detection declares sf0 dead and promotes sf1.
+        let mut rounds = 0;
+        while p.client.bytes_delivered() < 2_000_000 && rounds < 8000 {
+            rounds += 1;
+            p.server.on_deadline(p.now);
+            let mut segs = Vec::new();
+            while let Some(pair) = p.server.poll_transmit(p.now) {
+                segs.push(pair);
+            }
+            p.now += HALF;
+            for (id, seg) in segs {
+                if id != SubflowId(0) {
+                    p.client.on_segment(p.now, id, seg);
+                }
+            }
+            p.client.on_deadline(p.now);
+            let mut acks = Vec::new();
+            while let Some(pair) = p.client.poll_transmit(p.now) {
+                acks.push(pair);
+            }
+            p.now += HALF;
+            for (id, seg) in acks {
+                if id != SubflowId(0) {
+                    p.server.on_segment(p.now, id, seg);
+                }
+            }
+        }
+        assert_eq!(p.client.bytes_delivered(), 2_000_000, "transfer stalled");
+        let stats = *p.server.recovery_stats();
+        assert!(stats.subflow_failures >= 1, "sf0 never declared dead");
+        assert_eq!(
+            stats.backup_promotions, 1,
+            "backup not promoted exactly once"
+        );
+        assert!(stats.bytes_reinjected > 0, "no bytes reinjected");
+        assert!(
+            stats.worst_recovery_latency().is_some(),
+            "recovery latency not measured"
+        );
+        assert!(p.server.subflow(SubflowId(0)).dead);
+        assert!(!p.server.subflow(SubflowId(1)).backup, "sf1 still backup");
+    }
+
+    #[test]
+    fn link_down_promotes_backup_and_link_up_revives() {
+        let mut p = Pair::new(&[IfaceKind::Wifi, IfaceKind::CellularLte]);
+        p.server.write(200_000);
+        for _ in 0..6 {
+            Pair::flow(&mut p.now, &mut p.server, &mut p.client);
+            Pair::flow(&mut p.now, &mut p.client, &mut p.server);
+        }
+        p.server.set_subflow_priority(p.now, SubflowId(1), true);
+        // WiFi association lost: sf0 down, sf1 must be promoted locally.
+        p.server.set_subflow_link_up(p.now, SubflowId(0), false);
+        assert_eq!(p.server.recovery_stats().link_down_events, 1);
+        assert_eq!(p.server.recovery_stats().backup_promotions, 1);
+        assert!(!p.server.subflow(SubflowId(1)).backup);
+        // Restoration clears the failure state.
+        p.server.set_subflow_link_up(p.now, SubflowId(0), true);
+        assert!(!p.server.subflow(SubflowId(0)).link_down);
+        p.run_until_delivered(200_000, 2000);
+    }
+
+    #[test]
+    fn recovery_stats_absorb_merges_and_keeps_worst_latency() {
+        let mut a = RecoveryStats {
+            subflow_failures: 1,
+            bytes_reinjected: 100,
+            worst_recovery_latency_ns: Some(5),
+            ..RecoveryStats::default()
+        };
+        let b = RecoveryStats {
+            subflow_failures: 2,
+            backup_promotions: 1,
+            worst_recovery_latency_ns: Some(9),
+            ..RecoveryStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.subflow_failures, 3);
+        assert_eq!(a.bytes_reinjected, 100);
+        assert_eq!(a.backup_promotions, 1);
+        assert_eq!(a.worst_recovery_latency_ns, Some(9));
     }
 
     #[test]

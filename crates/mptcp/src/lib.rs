@@ -11,6 +11,13 @@
 //! three operating modes (Full-MPTCP / Single-Path / Backup), and
 //! opportunistic **reinjection** of data stuck on a timed-out subflow.
 //!
+//! Failure recovery: a subflow whose retransmission timer expires a
+//! configurable number of times in a row without ack progress is declared
+//! **dead** — its stranded data-level ranges are reinjected on surviving
+//! subflows and, if no regular subflow survives, the best backup is
+//! **promoted** (MP_PRIO) so traffic keeps flowing. [`RecoveryStats`]
+//! summarises the failure/recovery activity of one connection side.
+//!
 //! The connection is poll-style, like the TCP endpoints it owns: hosts feed
 //! segments and deadlines in, and drain `(subflow, segment)` emissions out.
 
@@ -19,6 +26,6 @@ pub mod modes;
 pub mod sched;
 pub mod subflow;
 
-pub use conn::{MpConnection, MpSegmentOutcome, Role};
+pub use conn::{MpConnection, MpSegmentOutcome, RecoveryStats, Role};
 pub use modes::OperatingMode;
 pub use subflow::{Subflow, SubflowId};

@@ -12,7 +12,6 @@
 //!   *not* spill traffic onto backups.
 
 use crate::subflow::Subflow;
-use emptcp_tcp::TcpState;
 
 /// A scheduler decision with the evidence behind it, for trace emission:
 /// which subflow won, who was in the running, and why the winner won.
@@ -39,9 +38,7 @@ pub fn pick_subflow(subflows: &[Subflow]) -> Option<usize> {
 /// Like [`pick_subflow`], but also reports the candidate set and the reason
 /// for the choice so schedulers decisions can be traced.
 pub fn pick_subflow_detailed(subflows: &[Subflow]) -> Option<SchedDecision> {
-    let any_regular_alive = subflows
-        .iter()
-        .any(|sf| !sf.backup && !sf.link_down && sf.tcp.state() == TcpState::Established);
+    let any_regular_alive = subflows.iter().any(|sf| !sf.backup && sf.usable());
     // A backup subflow is a candidate only when no regular subflow is alive.
     let candidates: Vec<usize> = subflows
         .iter()
@@ -76,7 +73,7 @@ mod tests {
     use crate::subflow::SubflowId;
     use emptcp_phy::IfaceKind;
     use emptcp_sim::{SimDuration, SimTime};
-    use emptcp_tcp::{Segment, TcpConfig};
+    use emptcp_tcp::{Segment, TcpConfig, TcpState};
 
     /// Build an established client subflow by replaying a handshake.
     fn established(id: u8, iface: IfaceKind, rtt_ms: u64) -> Subflow {
@@ -177,6 +174,21 @@ mod tests {
         let mut backup_only = vec![established(0, IfaceKind::CellularLte, 60)];
         backup_only[0].backup = true;
         let d = pick_subflow_detailed(&backup_only).unwrap();
+        assert_eq!(d.reason, "backup_fallback");
+    }
+
+    #[test]
+    fn dead_subflow_excluded_and_backup_takes_over() {
+        let mut flows = vec![
+            established(0, IfaceKind::Wifi, 20),
+            established(1, IfaceKind::CellularLte, 60),
+        ];
+        flows[1].backup = true;
+        // The regular subflow is declared dead by failure detection: the
+        // backup becomes the fallback even though sf0's link is nominally up.
+        flows[0].dead = true;
+        let d = pick_subflow_detailed(&flows).unwrap();
+        assert_eq!(d.picked, 1);
         assert_eq!(d.reason, "backup_fallback");
     }
 

@@ -42,6 +42,11 @@ pub struct Subflow {
     /// lost). A down subflow is never scheduled; its in-flight data is
     /// rescued by RTO-triggered reinjection.
     pub link_down: bool,
+    /// Failure detection declared this subflow dead: its retransmission
+    /// timer expired [`MpConnection::set_failure_threshold`] times in a row
+    /// without `snd_una` moving. A dead subflow is never scheduled, but its
+    /// TCP machine keeps probing — an acknowledgement revives it.
+    pub dead: bool,
     /// Sender-side: subflow-seq → (data-seq, len) for data scheduled here.
     tx_mappings: BTreeMap<u64, (u64, u32)>,
     /// Receiver-side: mappings learned from arriving DSS options.
@@ -52,6 +57,10 @@ pub struct Subflow {
     /// Timeout count last observed by the connection (reinjection edge
     /// detector).
     pub(crate) seen_timeouts: u64,
+    /// RTO expirations since `snd_una` last advanced (failure detection).
+    pub(crate) consecutive_rtos: u64,
+    /// The `snd_una` high-water mark the failure detector last saw.
+    pub(crate) fd_una: u64,
     /// Stall tracking for opportunistic reinjection: the `snd_una` last
     /// observed, when it last advanced, and the `snd_una` at which a
     /// reinjection was already issued (once per stall).
@@ -78,10 +87,13 @@ impl Subflow {
             tcp,
             backup: false,
             link_down: false,
+            dead: false,
             tx_mappings: BTreeMap::new(),
             rx_mappings: BTreeMap::new(),
             push_seq: 1,
             seen_timeouts: 0,
+            consecutive_rtos: 0,
+            fd_una: 0,
             stall_una: 0,
             stall_since: SimTime::ZERO,
             reinjected_una: None,
@@ -194,13 +206,16 @@ impl Subflow {
         window.saturating_sub(self.tcp.bytes_in_flight())
     }
 
-    /// Eligible to be handed new data: established, its scheduled backlog
-    /// fully emitted, and window room available.
+    /// The subflow is usable for traffic: established, link up, and not
+    /// declared dead by failure detection.
+    pub fn usable(&self) -> bool {
+        !self.link_down && !self.dead && self.tcp.state() == emptcp_tcp::TcpState::Established
+    }
+
+    /// Eligible to be handed new data: usable, its scheduled backlog fully
+    /// emitted, and window room available.
     pub fn can_take_data(&self) -> bool {
-        !self.link_down
-            && self.tcp.state() == emptcp_tcp::TcpState::Established
-            && self.tcp.send_backlog() == 0
-            && self.send_room() > 0
+        self.usable() && self.tcp.send_backlog() == 0 && self.send_room() > 0
     }
 
     /// Apply the §3.6 resume tweaks to this side's endpoint.

@@ -1,118 +1,22 @@
 //! Chaos testing for MPTCP: two asymmetric lossy subflows must still
 //! deliver the exact connection-level byte stream, with reinjection
-//! rescuing data stranded on a dying path.
+//! rescuing data stranded on a dying path. The rig is the shared
+//! `emptcp-faults::testnet::MpChaosRig`.
 
-use emptcp_mptcp::{MpConnection, Role, SubflowId};
+use emptcp_faults::testnet::{ChaosPath, MpChaosRig};
+use emptcp_mptcp::SubflowId;
 use emptcp_phy::IfaceKind;
-use emptcp_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use emptcp_tcp::{Segment, TcpConfig};
+use emptcp_sim::SimDuration;
 use proptest::prelude::*;
 
-struct SubflowNet {
-    loss: f64,
-    delay: SimDuration,
-    jitter_ms: u64,
-}
-
-struct Rig {
-    queue: EventQueue<(bool, SubflowId, Segment)>,
-    rng: SimRng,
-    nets: [SubflowNet; 2],
-    client: MpConnection,
-    server: MpConnection,
-}
-
-impl Rig {
-    fn new(seed: u64, loss0: f64, loss1: f64, jitter_ms: u64) -> Rig {
-        let mut client = MpConnection::new(Role::Client, TcpConfig::default());
-        let mut server = MpConnection::new(Role::Server, TcpConfig::default());
-        for iface in [IfaceKind::Wifi, IfaceKind::CellularLte] {
-            client.add_subflow(SimTime::ZERO, iface);
-            server.add_subflow(SimTime::ZERO, iface);
-        }
-        Rig {
-            queue: EventQueue::new(),
-            rng: SimRng::new(seed),
-            nets: [
-                SubflowNet {
-                    loss: loss0,
-                    delay: SimDuration::from_millis(12),
-                    jitter_ms,
-                },
-                SubflowNet {
-                    loss: loss1,
-                    delay: SimDuration::from_millis(35),
-                    jitter_ms,
-                },
-            ],
-            client,
-            server,
-        }
-    }
-
-    fn transmit(&mut self, now: SimTime, from_client: bool) {
-        loop {
-            let emission = if from_client {
-                self.client.poll_transmit(now)
-            } else {
-                self.server.poll_transmit(now)
-            };
-            let Some((sf, seg)) = emission else { break };
-            let net = &self.nets[sf.0 as usize];
-            if self.rng.chance(net.loss) {
-                continue;
-            }
-            let jitter = SimDuration::from_millis(self.rng.below(net.jitter_ms + 1));
-            self.queue
-                .schedule(now + net.delay + jitter, (!from_client, sf, seg));
-        }
-    }
-
-    /// Run until the client has `total` bytes or progress stops.
-    fn run(&mut self, total: u64) -> u64 {
-        self.server.write(total);
-        self.transmit(SimTime::ZERO, true);
-        self.transmit(SimTime::ZERO, false);
-        let mut guard = 0u64;
-        loop {
-            guard += 1;
-            if guard > 3_000_000 {
-                break;
-            }
-            let timer = self
-                .client
-                .next_deadline()
-                .into_iter()
-                .chain(self.server.next_deadline())
-                .min();
-            let next_packet = self.queue.peek_time();
-            let now = match (next_packet, timer) {
-                (Some(p), Some(t)) => p.min(t),
-                (Some(p), None) => p,
-                (None, Some(t)) => t,
-                (None, None) => break,
-            };
-            if now > SimTime::from_secs(900) {
-                break;
-            }
-            if Some(now) == next_packet {
-                let (_, (to_client, sf, seg)) = self.queue.pop().expect("peeked");
-                if to_client {
-                    self.client.on_segment(now, sf, seg);
-                } else {
-                    self.server.on_segment(now, sf, seg);
-                }
-            }
-            self.client.on_deadline(now);
-            self.server.on_deadline(now);
-            self.transmit(now, true);
-            self.transmit(now, false);
-            if self.client.bytes_delivered() >= total {
-                break;
-            }
-        }
-        self.client.bytes_delivered()
-    }
+fn rig(seed: u64, loss0: f64, loss1: f64, jitter_ms: u64) -> MpChaosRig {
+    MpChaosRig::new(
+        seed,
+        vec![
+            ChaosPath::new(loss0, SimDuration::from_millis(12), jitter_ms),
+            ChaosPath::new(loss1, SimDuration::from_millis(35), jitter_ms),
+        ],
+    )
 }
 
 proptest! {
@@ -127,8 +31,8 @@ proptest! {
         seed in 0u64..u64::MAX,
     ) {
         let total = total_kb << 10;
-        let mut rig = Rig::new(seed, loss0, loss1, jitter_ms);
-        let delivered = rig.run(total);
+        let mut r = rig(seed, loss0, loss1, jitter_ms);
+        let delivered = r.run(total);
         prop_assert_eq!(delivered, total);
     }
 }
@@ -137,23 +41,23 @@ proptest! {
 fn one_dead_subflow_from_the_start() {
     // Subflow 1 loses everything: the connection must still complete over
     // subflow 0 (subflow 1 never even finishes its handshake).
-    let mut rig = Rig::new(3, 0.01, 1.0, 5);
-    assert_eq!(rig.run(128 << 10), 128 << 10);
+    let mut r = rig(3, 0.01, 1.0, 5);
+    assert_eq!(r.run(128 << 10), 128 << 10);
 }
 
 #[test]
 fn heavily_asymmetric_loss() {
-    let mut rig = Rig::new(5, 0.002, 0.35, 10);
-    assert_eq!(rig.run(256 << 10), 256 << 10);
+    let mut r = rig(5, 0.002, 0.35, 10);
+    assert_eq!(r.run(256 << 10), 256 << 10);
 }
 
 #[test]
 fn backup_subflow_with_loss() {
-    let mut rig = Rig::new(9, 0.05, 0.05, 10);
-    rig.client.subflow_mut(SubflowId(1)).backup = true;
-    rig.server.subflow_mut(SubflowId(1)).backup = true;
+    let mut r = rig(9, 0.05, 0.05, 10);
+    r.client.subflow_mut(SubflowId(1)).backup = true;
+    r.server.subflow_mut(SubflowId(1)).backup = true;
     let total = 64 << 10;
-    assert_eq!(rig.run(total), total);
+    assert_eq!(r.run(total), total);
     // Backup never carried data (subflow 0 stayed alive throughout).
-    assert_eq!(rig.client.delivered_by_iface(IfaceKind::CellularLte), 0);
+    assert_eq!(r.client.delivered_by_iface(IfaceKind::CellularLte), 0);
 }

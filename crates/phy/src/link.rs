@@ -7,10 +7,15 @@
 //! upstairs regulate themselves realistically.
 //!
 //! The link is poll-less: [`Link::enqueue`] immediately returns the delivery
-//! time (or the drop), and the host schedules the arrival event. Rate changes
-//! apply to subsequently enqueued packets; with the paper's modulation
-//! periods (tens of seconds) the error from in-flight packets draining at the
-//! old rate is bounded by one queue's worth of bytes.
+//! time (or the drop), and the host schedules the arrival event. A rate
+//! change re-serializes the queued backlog at the new rate from the change
+//! instant, so queue occupancy (and therefore drop-tail behaviour) always
+//! reflects the current rate; delivery times already handed out for
+//! committed packets are unaffected.
+//!
+//! Loss is a pluggable [`LossModel`]: the classic i.i.d. Bernoulli channel,
+//! or a Gilbert–Elliott two-state chain whose bad state produces the
+//! correlated burst losses real radios exhibit during fades.
 
 use emptcp_sim::{SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
@@ -43,6 +48,122 @@ impl LinkConfig {
     }
 }
 
+/// Parameters of the Gilbert–Elliott two-state burst-loss channel. All
+/// probabilities are per offered packet: the chain first takes one
+/// transition step, then the packet is lost with the loss probability of
+/// the state it landed in.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct GeParams {
+    /// P(good -> bad) per packet.
+    pub p_good_to_bad: f64,
+    /// P(bad -> good) per packet.
+    pub p_bad_to_good: f64,
+    /// Loss probability while in the good state.
+    pub loss_good: f64,
+    /// Loss probability while in the bad state.
+    pub loss_bad: f64,
+}
+
+impl GeParams {
+    /// Mean number of packets spent in the bad state per visit.
+    pub fn mean_burst_len(&self) -> f64 {
+        1.0 / self.p_bad_to_good.max(f64::MIN_POSITIVE)
+    }
+
+    /// Long-run marginal loss probability of the chain.
+    pub fn steady_state_loss(&self) -> f64 {
+        let denom = self.p_good_to_bad + self.p_bad_to_good;
+        if denom <= 0.0 {
+            return self.loss_good;
+        }
+        let pi_bad = self.p_good_to_bad / denom;
+        (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+    }
+}
+
+/// How a link loses packets to the channel (independent of queue state).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum LossModel {
+    /// Independent loss with a fixed probability (the historical model).
+    Bernoulli(f64),
+    /// Two-state burst loss: long good stretches punctuated by short bad
+    /// bursts where most packets die, as produced by fades and contention.
+    GilbertElliott(GeParams),
+}
+
+impl LossModel {
+    /// A loss-free channel.
+    pub fn loss_free() -> Self {
+        LossModel::Bernoulli(0.0)
+    }
+}
+
+/// A [`LossModel`] plus its channel state. Shared by [`Link`] and by the
+/// test rigs in `emptcp-faults`, so burst-loss semantics are identical in
+/// both places.
+#[derive(Clone, Debug)]
+pub struct LossProcess {
+    model: LossModel,
+    in_bad: bool,
+}
+
+impl LossProcess {
+    /// A process starting in the good state.
+    pub fn new(model: LossModel) -> Self {
+        LossProcess {
+            model,
+            in_bad: false,
+        }
+    }
+
+    /// The configured model.
+    pub fn model(&self) -> LossModel {
+        self.model
+    }
+
+    /// Replace the model; the burst state restarts in "good".
+    pub fn set_model(&mut self, model: LossModel) {
+        self.model = model;
+        self.in_bad = false;
+    }
+
+    /// Loss probability the *next* packet would face before its transition
+    /// step (for gauges and diagnostics).
+    pub fn instantaneous_loss(&self) -> f64 {
+        match self.model {
+            LossModel::Bernoulli(p) => p,
+            LossModel::GilbertElliott(g) => {
+                if self.in_bad {
+                    g.loss_bad
+                } else {
+                    g.loss_good
+                }
+            }
+        }
+    }
+
+    /// Offer one packet: advance the chain, return whether it is lost.
+    /// A `Bernoulli(0.0)` model consumes no randomness, preserving the
+    /// historical stream positions of loss-free links.
+    pub fn lost(&mut self, rng: &mut SimRng) -> bool {
+        match self.model {
+            LossModel::Bernoulli(p) => p > 0.0 && rng.chance(p),
+            LossModel::GilbertElliott(g) => {
+                let flip = if self.in_bad {
+                    g.p_bad_to_good
+                } else {
+                    g.p_good_to_bad
+                };
+                if rng.chance(flip) {
+                    self.in_bad = !self.in_bad;
+                }
+                let p = if self.in_bad { g.loss_bad } else { g.loss_good };
+                p > 0.0 && rng.chance(p)
+            }
+        }
+    }
+}
+
 /// Why a packet failed to enter the link.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DropReason {
@@ -69,7 +190,7 @@ pub struct Link {
     rate_bps: u64,
     prop_delay: SimDuration,
     queue_capacity: u64,
-    loss_prob: f64,
+    loss: LossProcess,
     /// When the serializer frees up.
     busy_until: SimTime,
     /// Wire bytes whose serialization completes in the future, for backlog
@@ -89,7 +210,7 @@ impl Link {
             rate_bps: config.rate_bps,
             prop_delay: config.prop_delay,
             queue_capacity: config.queue_capacity,
-            loss_prob: config.loss_prob,
+            loss: LossProcess::new(LossModel::Bernoulli(config.loss_prob)),
             busy_until: SimTime::ZERO,
             backlog: VecDeque::new(),
             backlog_bytes: 0,
@@ -105,19 +226,57 @@ impl Link {
     }
 
     /// Change the serialization rate (bandwidth modulation, contention,
-    /// mobility). Zero means the link is down.
-    pub fn set_rate_bps(&mut self, rate_bps: u64) {
+    /// mobility, fault injection). Zero means the link is down.
+    ///
+    /// The still-queued backlog is re-serialized at the new rate starting at
+    /// `now`: without this, a rate collapse would leave serialization-end
+    /// times computed at the old (fast) rate — or, worse, a later rate
+    /// *recovery* would leave far-future end times computed at the collapsed
+    /// rate, permanently stranding the queue at full occupancy so every new
+    /// packet tail-drops. Delivery times already returned for committed
+    /// packets are unaffected; only queue accounting is rewritten.
+    pub fn set_rate_bps(&mut self, now: SimTime, rate_bps: u64) {
+        if rate_bps == self.rate_bps {
+            return;
+        }
         self.rate_bps = rate_bps;
+        self.backlog_bytes(now); // drop the already-serialized prefix
+        if rate_bps == 0 {
+            // Down: new packets are refused before touching the serializer;
+            // packets already committed keep their old drain schedule.
+            return;
+        }
+        let mut cursor = now;
+        for entry in self.backlog.iter_mut() {
+            cursor += SimDuration::transmission(entry.1, rate_bps);
+            entry.0 = cursor;
+        }
+        self.busy_until = cursor;
     }
 
-    /// Change the random loss probability (contention raises it).
+    /// Change the random loss probability (contention raises it). This
+    /// installs an i.i.d. [`LossModel::Bernoulli`] channel, replacing any
+    /// burst-loss model.
     pub fn set_loss_prob(&mut self, p: f64) {
-        self.loss_prob = p.clamp(0.0, 1.0);
+        self.loss.set_model(LossModel::Bernoulli(p.clamp(0.0, 1.0)));
     }
 
-    /// Current random loss probability.
+    /// Install an arbitrary loss model (fault injection uses this to toggle
+    /// Gilbert–Elliott burst loss). The burst state restarts in "good".
+    pub fn set_loss_model(&mut self, model: LossModel) {
+        self.loss.set_model(model);
+    }
+
+    /// The configured loss model.
+    pub fn loss_model(&self) -> LossModel {
+        self.loss.model()
+    }
+
+    /// Loss probability the next packet would face in the current channel
+    /// state (the fixed `p` for Bernoulli, the state-dependent one for
+    /// Gilbert–Elliott).
     pub fn loss_prob(&self) -> f64 {
-        self.loss_prob
+        self.loss.instantaneous_loss()
     }
 
     /// One-way propagation delay.
@@ -148,7 +307,7 @@ impl Link {
         if self.rate_bps == 0 {
             return EnqueueOutcome::Dropped(DropReason::LinkDown);
         }
-        if self.loss_prob > 0.0 && rng.chance(self.loss_prob) {
+        if self.loss.lost(rng) {
             self.dropped_channel += 1;
             return EnqueueOutcome::Dropped(DropReason::Channel);
         }
@@ -296,7 +455,7 @@ mod tests {
     #[test]
     fn zero_rate_means_down() {
         let mut link = lossless(1_000_000, 0);
-        link.set_rate_bps(0);
+        link.set_rate_bps(SimTime::ZERO, 0);
         let mut rng = SimRng::new(1);
         assert_eq!(
             link.enqueue(SimTime::ZERO, 100, &mut rng),
@@ -305,16 +464,102 @@ mod tests {
     }
 
     #[test]
-    fn rate_change_affects_new_packets() {
+    fn rate_change_reserializes_backlog() {
         let mut link = lossless(12_000_000, 0);
         let mut rng = SimRng::new(1);
-        link.enqueue(SimTime::ZERO, 1500, &mut rng); // serializes by 1 ms
-        link.set_rate_bps(1_200_000); // 10x slower
+        link.enqueue(SimTime::ZERO, 1500, &mut rng); // would serialize by 1 ms
+        link.set_rate_bps(SimTime::ZERO, 1_200_000); // 10x slower
+                                                     // The queued packet now occupies the serializer until 10 ms, so the
+                                                     // next packet waits behind it and takes another 10 ms itself.
         match link.enqueue(SimTime::ZERO, 1500, &mut rng) {
-            // 1 ms (waiting) + 10 ms serialization
-            EnqueueOutcome::Delivered(t) => assert_eq!(t, SimTime::from_millis(11)),
+            EnqueueOutcome::Delivered(t) => assert_eq!(t, SimTime::from_millis(20)),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn rate_recovery_does_not_strand_queue() {
+        // Regression: fill the queue at a collapsed rate, restore the rate,
+        // and verify the queue drains instead of tail-dropping forever
+        // behind serialization-end times computed at the slow rate.
+        let mut link = Link::new(LinkConfig {
+            rate_bps: 10_000, // collapsed: 1500 B takes 1.2 s
+            prop_delay: SimDuration::ZERO,
+            queue_capacity: 6000,
+            loss_prob: 0.0,
+        });
+        let mut rng = SimRng::new(1);
+        for _ in 0..4 {
+            assert!(matches!(
+                link.enqueue(SimTime::ZERO, 1500, &mut rng),
+                EnqueueOutcome::Delivered(_)
+            ));
+        }
+        assert_eq!(
+            link.enqueue(SimTime::ZERO, 1500, &mut rng),
+            EnqueueOutcome::Dropped(DropReason::QueueFull)
+        );
+        // Recover to 12 Mbps at t = 100 ms: the backlog re-serializes at
+        // 1 ms per packet, so by t = 105 ms the queue must be empty again.
+        let t = SimTime::from_millis(100);
+        link.set_rate_bps(t, 12_000_000);
+        assert_eq!(link.backlog_bytes(SimTime::from_millis(105)), 0);
+        assert!(matches!(
+            link.enqueue(SimTime::from_millis(105), 1500, &mut rng),
+            EnqueueOutcome::Delivered(_)
+        ));
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Same marginal loss, radically different clustering: measure the
+        // mean run length of consecutive losses under GE vs Bernoulli.
+        let ge = GeParams {
+            p_good_to_bad: 0.01,
+            p_bad_to_good: 0.1,
+            loss_good: 0.0,
+            loss_bad: 0.5,
+        };
+        let marginal = ge.steady_state_loss();
+        let mean_run = |mut process: LossProcess, seed: u64| {
+            let mut rng = SimRng::new(seed);
+            let (mut runs, mut losses, mut in_run) = (0u64, 0u64, false);
+            for _ in 0..200_000 {
+                if process.lost(&mut rng) {
+                    losses += 1;
+                    if !in_run {
+                        runs += 1;
+                        in_run = true;
+                    }
+                } else {
+                    in_run = false;
+                }
+            }
+            (losses as f64 / 200_000.0, losses as f64 / runs as f64)
+        };
+        let (ge_rate, ge_run) = mean_run(LossProcess::new(LossModel::GilbertElliott(ge)), 31);
+        let (_, iid_run) = mean_run(LossProcess::new(LossModel::Bernoulli(marginal)), 31);
+        assert!((ge_rate - marginal).abs() < 0.01, "marginal {ge_rate}");
+        assert!(
+            ge_run > 1.5 * iid_run,
+            "GE run {ge_run} should exceed iid run {iid_run}"
+        );
+    }
+
+    #[test]
+    fn loss_model_switch_resets_burst_state() {
+        let ge = GeParams {
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 0.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let mut p = LossProcess::new(LossModel::GilbertElliott(ge));
+        let mut rng = SimRng::new(3);
+        assert!(p.lost(&mut rng)); // first packet flips to bad and dies
+        assert_eq!(p.instantaneous_loss(), 1.0);
+        p.set_model(LossModel::GilbertElliott(ge));
+        assert_eq!(p.instantaneous_loss(), 0.0, "back in the good state");
     }
 
     #[test]

@@ -54,6 +54,30 @@ impl SimRng {
         SimRng::with_stream(seed, label.wrapping_add(0xda3e39cb94b95bdb))
     }
 
+    /// Derive a child generator from a string label *without* advancing this
+    /// generator. Two subsystems forked from the same parent with different
+    /// labels draw from disjoint streams, and — because the parent is not
+    /// consumed — adding a new forked consumer (e.g. a fault plan) can never
+    /// shift the streams existing consumers (e.g. traffic) already use under
+    /// the same seed.
+    pub fn fork_labeled(&self, label: &str) -> SimRng {
+        // FNV-1a over the label, then splitmix64-style finalization mixing
+        // in the parent's position so distinct parents stay distinct.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in label.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mix = |mut z: u64| {
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let seed = mix(h ^ self.state.wrapping_mul(0x9E3779B97F4A7C15));
+        let stream = mix(h.wrapping_add(self.inc));
+        SimRng::with_stream(seed, stream)
+    }
+
     /// Next raw 32-bit output.
     pub fn next_u32(&mut self) -> u32 {
         let old = self.state;
@@ -239,6 +263,30 @@ mod tests {
         let mut b = root.fork(2);
         let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_labeled_does_not_perturb_parent() {
+        let mut with_fork = SimRng::new(99);
+        let mut without = SimRng::new(99);
+        let _faults = with_fork.fork_labeled("faults");
+        for _ in 0..1000 {
+            assert_eq!(with_fork.next_u64(), without.next_u64());
+        }
+    }
+
+    #[test]
+    fn fork_labeled_streams_are_distinct_and_deterministic() {
+        let root = SimRng::new(7);
+        let mut a = root.fork_labeled("traffic");
+        let mut b = root.fork_labeled("faults");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+        let mut a2 = SimRng::new(7).fork_labeled("traffic");
+        let mut a3 = SimRng::new(7).fork_labeled("traffic");
+        for _ in 0..64 {
+            assert_eq!(a2.next_u64(), a3.next_u64());
+        }
     }
 
     #[test]

@@ -1,47 +1,18 @@
 //! Chaos testing: the TCP endpoint pair must deliver the exact byte stream
 //! through any combination of loss, reordering and duplication the network
-//! can produce.
+//! can produce. The lossy network itself is the shared rig from
+//! `emptcp-faults::testnet` (one path, duplication enabled).
 
-use emptcp_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use emptcp_tcp::{Segment, TcpConfig, TcpEndpoint};
+use emptcp_faults::testnet::{ChaosNet, ChaosPath};
+use emptcp_sim::{SimDuration, SimTime};
+use emptcp_tcp::{TcpConfig, TcpEndpoint};
 use proptest::prelude::*;
 
-/// A two-endpoint rig whose "network" drops, delays and duplicates.
-struct ChaosNet {
-    queue: EventQueue<(bool, Segment)>, // (to_client, segment)
-    rng: SimRng,
-    loss: f64,
-    dup: f64,
-    /// Extra random delay up to this many ms (reordering source).
-    jitter_ms: u64,
-    base_delay: SimDuration,
-}
-
-impl ChaosNet {
-    fn send(&mut self, now: SimTime, to_client: bool, seg: Segment) {
-        if self.rng.chance(self.loss) {
-            return;
-        }
-        let copies = if self.rng.chance(self.dup) { 2 } else { 1 };
-        for _ in 0..copies {
-            let jitter = SimDuration::from_millis(self.rng.below(self.jitter_ms + 1));
-            self.queue
-                .schedule(now + self.base_delay + jitter, (to_client, seg));
-        }
-    }
-}
-
 /// Run a transfer through the chaotic network; returns bytes delivered at
-/// the client.
+/// the client and bytes the server saw acknowledged.
 fn run_chaos(total: u64, loss: f64, dup: f64, jitter_ms: u64, seed: u64) -> (u64, u64) {
-    let mut net = ChaosNet {
-        queue: EventQueue::new(),
-        rng: SimRng::new(seed),
-        loss,
-        dup,
-        jitter_ms,
-        base_delay: SimDuration::from_millis(10),
-    };
+    let path = ChaosPath::new(loss, SimDuration::from_millis(10), jitter_ms).with_dup(dup);
+    let mut net = ChaosNet::new(seed, vec![path]);
     let mut client = TcpEndpoint::client(TcpConfig::default());
     let mut server = TcpEndpoint::listener(TcpConfig::default());
     client.connect(SimTime::ZERO);
@@ -49,10 +20,10 @@ fn run_chaos(total: u64, loss: f64, dup: f64, jitter_ms: u64, seed: u64) -> (u64
 
     let drain = |now: SimTime, c: &mut TcpEndpoint, s: &mut TcpEndpoint, net: &mut ChaosNet| {
         while let Some(seg) = c.poll_transmit(now) {
-            net.send(now, false, seg);
+            net.send(now, false, 0, seg);
         }
         while let Some(seg) = s.poll_transmit(now) {
-            net.send(now, true, seg);
+            net.send(now, true, 0, seg);
         }
     };
     drain(SimTime::ZERO, &mut client, &mut server, &mut net);
@@ -69,7 +40,7 @@ fn run_chaos(total: u64, loss: f64, dup: f64, jitter_ms: u64, seed: u64) -> (u64
             .into_iter()
             .chain(server.next_deadline())
             .min();
-        let next_packet = net.queue.peek_time();
+        let next_packet = net.peek_time();
         let now = match (next_packet, timer) {
             (Some(p), Some(t)) => p.min(t),
             (Some(p), None) => p,
@@ -80,7 +51,7 @@ fn run_chaos(total: u64, loss: f64, dup: f64, jitter_ms: u64, seed: u64) -> (u64
             break;
         }
         if Some(now) == next_packet {
-            let (_, (to_client, seg)) = net.queue.pop().expect("peeked");
+            let (_, (to_client, _, seg)) = net.pop().expect("peeked");
             if to_client {
                 client.on_segment(now, seg);
             } else {

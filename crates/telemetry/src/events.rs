@@ -87,6 +87,36 @@ pub enum TraceEvent {
     PathUsage { conn: u32, decision: &'static str },
     /// An invariant observer caught a violated conservation property.
     InvariantViolated { name: &'static str, detail: String },
+    /// The fault injector applied a scripted fault to a target interface.
+    FaultInjected {
+        /// Interface label the fault applies to (`"wifi"`, `"cellular"`).
+        target: &'static str,
+        /// Human-readable action, e.g. `"iface_down"`, `"rate=500000"`.
+        action: String,
+    },
+    /// Failure detection declared a subflow dead (consecutive RTOs) or a
+    /// link-down notification arrived; its in-flight data was queued for
+    /// reinjection on surviving subflows.
+    SubflowDead {
+        conn: u32,
+        subflow: u8,
+        /// `"rto_threshold"` or `"link_down"`.
+        reason: &'static str,
+        /// Consecutive RTO expirations observed at declaration time.
+        consecutive_rtos: u64,
+        /// Bytes of unacknowledged data queued for reinjection.
+        reinjected_bytes: u64,
+    },
+    /// A subflow previously declared dead became usable again (link
+    /// restored or acknowledgements resumed).
+    SubflowRevived {
+        conn: u32,
+        subflow: u8,
+        reason: &'static str,
+    },
+    /// A backup subflow was promoted to regular because no regular subflow
+    /// survived (MP_PRIO is sent to the peer alongside).
+    BackupPromoted { conn: u32, subflow: u8 },
 }
 
 impl TraceEvent {
@@ -105,6 +135,10 @@ impl TraceEvent {
             TraceEvent::EnergyLevel { .. } => "EnergyLevel",
             TraceEvent::PathUsage { .. } => "PathUsage",
             TraceEvent::InvariantViolated { .. } => "InvariantViolated",
+            TraceEvent::FaultInjected { .. } => "FaultInjected",
+            TraceEvent::SubflowDead { .. } => "SubflowDead",
+            TraceEvent::SubflowRevived { .. } => "SubflowRevived",
+            TraceEvent::BackupPromoted { .. } => "BackupPromoted",
         }
     }
 }
