@@ -13,7 +13,13 @@
 //!   coupled vs uncoupled congestion control, hysteresis on/off, resume
 //!   tweaks on/off.
 //!
-//! The library itself only re-exports helpers shared by the bench targets.
+//! The [`snapshot`] module plus the `bench` binary turn a subset of these
+//! measurements into the machine-readable `BENCH.json` regression gate:
+//! `bench snapshot` writes a fresh snapshot, `bench snapshot --check`
+//! compares against the committed baseline and fails on regressions
+//! beyond tolerance (normalized by a per-machine calibration loop).
+
+pub mod snapshot;
 
 pub use emptcp_expr::figures::Config;
 

@@ -1,0 +1,369 @@
+//! Machine-readable benchmark snapshots and the regression gate.
+//!
+//! `bench snapshot` measures two metric families and writes them to
+//! `BENCH.json`:
+//!
+//! * **exhibits** — wall-clock milliseconds to regenerate each paper
+//!   table/figure at quick scale, serially (same code paths as
+//!   `repro --quick`, one entry per runner job, so the merged
+//!   `fig16+fig14` job is one metric);
+//! * **micro** — median nanoseconds per iteration of the hot-path
+//!   building blocks (event queue, RNG, EIB lookup, predictor update,
+//!   scheduler decision, an end-to-end transfer).
+//!
+//! Raw wall-clock numbers are not comparable across machines, so every
+//! snapshot also records a **calibration** measurement: the median time
+//! of a fixed pure-integer workload that never changes with the code
+//! under test. [`compare`] divides each metric by its snapshot's
+//! calibration before forming the new/baseline ratio, which cancels
+//! most machine-speed differences. The default tolerance still leaves
+//! 2x of headroom for scheduler noise and microarchitectural spread —
+//! the gate is meant to catch order-of-magnitude regressions (an
+//! accidentally quadratic loop, a lost `--release`), not 10% drift.
+
+use emptcp_expr::figures::Config;
+use emptcp_expr::repro::{self, ReproOptions};
+use emptcp_expr::runner::Runner;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Format version of `BENCH.json`.
+pub const SCHEMA: u32 = 1;
+
+/// Ratio past which a normalized metric counts as a regression.
+pub const DEFAULT_TOLERANCE: f64 = 2.0;
+
+/// One benchmark snapshot, as serialized to `BENCH.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Format version ([`SCHEMA`]).
+    pub schema: u32,
+    /// Median nanoseconds of the fixed calibration workload on the
+    /// machine that took the snapshot.
+    pub calibration_ns: f64,
+    /// Wall-clock milliseconds per exhibit job, quick scale, serial.
+    pub exhibits: BTreeMap<String, f64>,
+    /// Median nanoseconds per iteration of each micro-benchmark.
+    pub micro: BTreeMap<String, f64>,
+}
+
+/// Outcome of comparing a fresh snapshot against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Comparison {
+    /// `metric: baseline -> new (ratio)` lines past tolerance.
+    pub regressions: Vec<String>,
+    /// Metrics that got at least `1/tolerance` faster (informational).
+    pub improvements: Vec<String>,
+    /// Metrics in the baseline but absent from the fresh snapshot.
+    pub missing: Vec<String>,
+    /// Metrics in the fresh snapshot but absent from the baseline.
+    pub added: Vec<String>,
+}
+
+impl Comparison {
+    /// True when the gate should fail: a metric regressed or vanished.
+    pub fn failed(&self) -> bool {
+        !self.regressions.is_empty() || !self.missing.is_empty()
+    }
+}
+
+/// Median of timing `f` for `iters` iterations, `samples` times over.
+/// Returns nanoseconds per iteration.
+pub fn time_median_ns(samples: usize, iters: u32, mut f: impl FnMut()) -> f64 {
+    assert!(samples > 0 && iters > 0);
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// The fixed calibration workload: integer multiply-xor chain, long
+/// enough to dominate timer overhead, independent of the code under
+/// test. Returns its median nanoseconds.
+pub fn calibrate() -> f64 {
+    time_median_ns(9, 50, || {
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            x ^= x >> 29;
+        }
+        std::hint::black_box(x);
+    })
+}
+
+fn micro_benches() -> BTreeMap<String, f64> {
+    use emptcp::predictor::HoltWinters;
+    use emptcp::{EmptcpConfig, PathUsageController};
+    use emptcp_energy::{Eib, EnergyModel};
+    use emptcp_expr::scenario::{Scenario, Workload};
+    use emptcp_expr::{host, Strategy};
+    use emptcp_sim::{EventQueue, SimDuration, SimRng, SimTime};
+    use std::hint::black_box;
+
+    let mut micro = BTreeMap::new();
+
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut t = 0u64;
+    micro.insert(
+        "event_queue_push_pop".to_string(),
+        time_median_ns(9, 200_000, || {
+            t += 1;
+            q.schedule(SimTime::from_nanos(t * 1000), t);
+            if t.is_multiple_of(2) {
+                black_box(q.pop());
+            }
+        }),
+    );
+
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut t = 0u64;
+    micro.insert(
+        "event_queue_schedule_cancel".to_string(),
+        time_median_ns(9, 200_000, || {
+            t += 1;
+            let h = q.schedule(SimTime::from_nanos(t * 1000), t);
+            q.cancel(black_box(h));
+        }),
+    );
+
+    let mut rng = SimRng::new(crate::BENCH_SEED);
+    micro.insert(
+        "rng_exponential".to_string(),
+        time_median_ns(9, 500_000, || {
+            black_box(rng.exponential(0.05));
+        }),
+    );
+
+    let mut hw = HoltWinters::new(0.4, 0.2);
+    let mut x = 1.0;
+    micro.insert(
+        "holt_winters_observe".to_string(),
+        time_median_ns(9, 500_000, || {
+            x = (x * 1.1) % 20.0;
+            hw.observe(black_box(x));
+            black_box(hw.forecast());
+        }),
+    );
+
+    let model = EnergyModel::galaxy_s3_lte();
+    let eib = Eib::generate_default(&model);
+    let mut w = 0.1;
+    micro.insert(
+        "eib_lookup_choose".to_string(),
+        time_median_ns(9, 200_000, || {
+            w = (w + 0.37) % 12.0;
+            black_box(eib.choose(black_box(w), black_box(4.0)));
+        }),
+    );
+
+    let mut ctl = PathUsageController::new(EmptcpConfig::default().controller);
+    let mut w = 0.1;
+    let mut now = SimTime::ZERO;
+    micro.insert(
+        "controller_decide".to_string(),
+        time_median_ns(9, 200_000, || {
+            w = (w + 0.29) % 10.0;
+            now += SimDuration::from_secs(5);
+            black_box(ctl.decide(now, &eib, black_box(w), black_box(3.0)));
+        }),
+    );
+
+    micro.insert(
+        "end_to_end_4mb_download".to_string(),
+        time_median_ns(3, 1, || {
+            let mut s = Scenario::static_good_wifi();
+            s.workload = Workload::Download { size: 4 << 20 };
+            black_box(host::run(s, Strategy::TcpWifi, crate::BENCH_SEED));
+        }),
+    );
+
+    micro.insert(
+        "end_to_end_4mb_emptcp".to_string(),
+        time_median_ns(3, 1, || {
+            let mut s = Scenario::static_bad_wifi();
+            s.workload = Workload::Download { size: 4 << 20 };
+            black_box(host::run(s, Strategy::emptcp_default(), crate::BENCH_SEED));
+        }),
+    );
+
+    micro
+}
+
+fn exhibit_benches(out_dir: &std::path::Path) -> std::io::Result<BTreeMap<String, f64>> {
+    let ids: Vec<String> = repro::IDS.iter().map(|s| s.to_string()).collect();
+    let opts = ReproOptions {
+        cfg: Config::quick(),
+        out_dir: out_dir.to_path_buf(),
+        trace: false,
+    };
+    // Serial on purpose: per-job wall times are only stable when jobs
+    // don't contend for cores.
+    let reports = Runner::serial().install(|| repro::run_exhibits(&ids, &opts))?;
+    Ok(reports
+        .iter()
+        .map(|r| (r.ids.join("+"), r.wall_s * 1e3))
+        .collect())
+}
+
+/// Measure everything and assemble a [`Snapshot`]. Exhibit outputs are
+/// written to `scratch_dir` (they are a side effect, not the product).
+pub fn collect(scratch_dir: &std::path::Path) -> std::io::Result<Snapshot> {
+    Ok(Snapshot {
+        schema: SCHEMA,
+        calibration_ns: calibrate(),
+        exhibits: exhibit_benches(scratch_dir)?,
+        micro: micro_benches(),
+    })
+}
+
+fn compare_family(
+    family: &str,
+    base: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    scale: f64,
+    tolerance: f64,
+    out: &mut Comparison,
+) {
+    for (name, &base_val) in base {
+        let metric = format!("{family}.{name}");
+        match fresh.get(name) {
+            None => out.missing.push(metric),
+            Some(&new_val) if base_val > 0.0 && new_val > 0.0 => {
+                let ratio = (new_val / base_val) * scale;
+                let line =
+                    format!("{metric}: {base_val:.1} -> {new_val:.1} (x{ratio:.2} normalized)");
+                if ratio > tolerance {
+                    out.regressions.push(line);
+                } else if ratio < 1.0 / tolerance {
+                    out.improvements.push(line);
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    for name in fresh.keys() {
+        if !base.contains_key(name) {
+            out.added.push(format!("{family}.{name}"));
+        }
+    }
+}
+
+/// Compare a fresh snapshot against the committed baseline. Each ratio
+/// is normalized by the two snapshots' calibration measurements before
+/// the tolerance test, so a slower CI machine doesn't read as a
+/// regression.
+pub fn compare(base: &Snapshot, fresh: &Snapshot, tolerance: f64) -> Comparison {
+    assert!(tolerance > 1.0, "tolerance must exceed 1.0");
+    // new_val/new_calib vs base_val/base_calib, rearranged so the
+    // per-metric loop does one multiply.
+    let scale = if fresh.calibration_ns > 0.0 && base.calibration_ns > 0.0 {
+        base.calibration_ns / fresh.calibration_ns
+    } else {
+        1.0
+    };
+    let mut out = Comparison::default();
+    compare_family(
+        "exhibits",
+        &base.exhibits,
+        &fresh.exhibits,
+        scale,
+        tolerance,
+        &mut out,
+    );
+    compare_family(
+        "micro",
+        &base.micro,
+        &fresh.micro,
+        scale,
+        tolerance,
+        &mut out,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(calib: f64, pairs: &[(&str, f64)]) -> Snapshot {
+        Snapshot {
+            schema: SCHEMA,
+            calibration_ns: calib,
+            exhibits: BTreeMap::new(),
+            micro: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let s = snap(100.0, &[("a", 10.0), ("b", 2000.0)]);
+        let cmp = compare(&s, &s, DEFAULT_TOLERANCE);
+        assert!(!cmp.failed(), "{cmp:?}");
+        assert!(cmp.improvements.is_empty());
+    }
+
+    #[test]
+    fn large_regression_fails() {
+        let base = snap(100.0, &[("a", 10.0)]);
+        let fresh = snap(100.0, &[("a", 25.0)]);
+        let cmp = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(cmp.regressions.len(), 1, "{cmp:?}");
+        assert!(cmp.failed());
+    }
+
+    #[test]
+    fn calibration_excuses_a_slow_machine() {
+        // Metric 3x slower, but the machine itself measured 3x slower:
+        // normalized ratio is 1.0.
+        let base = snap(100.0, &[("a", 10.0)]);
+        let fresh = snap(300.0, &[("a", 30.0)]);
+        let cmp = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!cmp.failed(), "{cmp:?}");
+    }
+
+    #[test]
+    fn missing_metric_fails_and_added_is_informational() {
+        let base = snap(100.0, &[("gone", 10.0)]);
+        let fresh = snap(100.0, &[("new", 10.0)]);
+        let cmp = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(cmp.missing, vec!["micro.gone"]);
+        assert_eq!(cmp.added, vec!["micro.new"]);
+        assert!(cmp.failed());
+    }
+
+    #[test]
+    fn improvements_are_reported() {
+        let base = snap(100.0, &[("a", 100.0)]);
+        let fresh = snap(100.0, &[("a", 10.0)]);
+        let cmp = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!cmp.failed());
+        assert_eq!(cmp.improvements.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let s = snap(123.5, &[("a", 10.25)]);
+        let text = serde_json::to_string_pretty(&s).unwrap();
+        let back: Snapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.schema, SCHEMA);
+        assert_eq!(back.calibration_ns, 123.5);
+        assert_eq!(back.micro["a"], 10.25);
+    }
+
+    #[test]
+    fn calibration_is_stable_enough() {
+        let a = calibrate();
+        let b = calibrate();
+        assert!(a > 0.0 && b > 0.0);
+        let ratio = if a > b { a / b } else { b / a };
+        assert!(ratio < 1.5, "calibration medians diverged: {a} vs {b}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the Energy Information Base: threshold monotonicity
+//! over arbitrary throughputs and consistency between the EIB's
+//! classification, the steady-state model optimum, and the finite-transfer
+//! classification of `region.rs` in its large-size limit.
+
+use emptcp_energy::region::best_usage_for_size;
+use emptcp_energy::{Eib, EnergyModel, PathUsage};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn eib() -> &'static Eib {
+    static EIB: OnceLock<Eib> = OnceLock::new();
+    EIB.get_or_init(|| Eib::generate_default(&EnergyModel::galaxy_s3_lte()))
+}
+
+/// Usage rank along the WiFi axis: cellular-only < both < WiFi-only.
+fn rank(u: PathUsage) -> u8 {
+    match u {
+        PathUsage::CellularOnly => 0,
+        PathUsage::Both => 1,
+        PathUsage::WifiOnly => 2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both thresholds are monotone non-decreasing in the LTE rate and
+    /// ordered (T1 ≤ T2) at arbitrary — not just grid — rates.
+    #[test]
+    fn thresholds_monotone_in_lte_rate(
+        cell_lo in 0.01f64..30.0,
+        bump in 0.0f64..10.0,
+    ) {
+        let cell_hi = cell_lo + bump;
+        let (t1_lo, t2_lo) = eib().thresholds(cell_lo);
+        let (t1_hi, t2_hi) = eib().thresholds(cell_hi);
+        prop_assert!(t1_lo <= t2_lo, "T1 > T2 at {cell_lo} Mbps");
+        prop_assert!(t1_hi <= t2_hi, "T1 > T2 at {cell_hi} Mbps");
+        prop_assert!(t1_lo <= t1_hi + 1e-9, "T1 decreased: {t1_lo} -> {t1_hi}");
+        prop_assert!(t2_lo <= t2_hi + 1e-9, "T2 decreased: {t2_lo} -> {t2_hi}");
+    }
+
+    /// Along the WiFi axis the prescription only ever moves
+    /// cellular-only → both → WiFi-only; more WiFi never brings the
+    /// cellular radio back.
+    #[test]
+    fn choice_monotone_in_wifi_rate(
+        cell in 0.25f64..25.0,
+        wifi_a in 0.0f64..30.0,
+        bump in 0.0f64..15.0,
+    ) {
+        let a = eib().choose(wifi_a, cell);
+        let b = eib().choose(wifi_a + bump, cell);
+        prop_assert!(
+            rank(a) <= rank(b),
+            "usage regressed from {a:?} to {b:?} as WiFi rose \
+             ({wifi_a} -> {} Mbps at LTE {cell})",
+            wifi_a + bump
+        );
+    }
+
+    /// The classification is exactly the threshold comparison — the
+    /// region boundaries and the prescription can never disagree.
+    #[test]
+    fn choice_consistent_with_own_thresholds(
+        wifi in 0.0f64..30.0,
+        cell in 0.0f64..30.0,
+    ) {
+        let (t1, t2) = eib().thresholds(cell);
+        let expect = if wifi < t1 {
+            PathUsage::CellularOnly
+        } else if wifi >= t2 {
+            PathUsage::WifiOnly
+        } else {
+            PathUsage::Both
+        };
+        prop_assert_eq!(eib().choose(wifi, cell), expect);
+    }
+
+    /// Away from the threshold boundaries, the EIB's table lookup agrees
+    /// with the steady-state optimum recomputed from the model, and with
+    /// region.rs's finite-transfer classification in the large-size limit
+    /// (where the fixed radio costs amortize away).
+    #[test]
+    fn choice_consistent_with_model_and_region(
+        wifi in 0.05f64..20.0,
+        cell in 0.25f64..20.0,
+    ) {
+        let model = EnergyModel::galaxy_s3_lte();
+        let (t1, t2) = eib().thresholds(cell);
+        // Interpolation between grid rows makes boundary cells genuinely
+        // ambiguous; only demand agreement at a clear margin.
+        let margin = 0.05 + 0.05 * wifi;
+        if (wifi - t1).abs() < margin || (wifi - t2).abs() < margin {
+            return;
+        }
+        let by_eib = eib().choose(wifi, cell);
+        let (by_model, _) = model.best_usage(wifi, cell);
+        prop_assert_eq!(by_eib, by_model, "EIB vs steady model at ({wifi}, {cell})");
+        let huge = 64u64 << 30;
+        let (by_region, _) = best_usage_for_size(&model, huge, wifi, cell);
+        prop_assert_eq!(
+            by_eib, by_region,
+            "EIB vs region.rs large-transfer limit at ({wifi}, {cell})"
+        );
+    }
+}

@@ -8,93 +8,49 @@
 //! repro --out results all custom output directory
 //! repro --seed 7 fig5     override the experiment seed
 //! repro --quiet fig9      tables only, no progress or metrics chatter
+//! repro --jobs 4 all      run exhibits on a 4-thread pool
+//! repro --trace fig5      also write <out>/<id>.trace.jsonl
 //! ```
 //!
 //! Each experiment prints its tables and writes `<out>/<id>.{txt,json}`.
 //! Every experiment runs with a fresh telemetry pipeline (metrics +
-//! invariant observer, no trace sink), so a short metrics roll-up follows
-//! each one and invariant violations surface as warnings.
+//! invariant observer, plus a JSONL trace sink under `--trace`), so a
+//! short metrics roll-up follows each one and invariant violations
+//! surface as warnings.
+//!
+//! `--jobs N` fans exhibits — and the sweep points and repeated runs
+//! inside them — out across `N` threads. Output is byte-identical to
+//! `--jobs 1`: seeds derive from indices, never from scheduling. The
+//! default is the machine's available parallelism.
 
-use emptcp_expr::figures::{self, Config};
-use emptcp_telemetry::{info, log, warn, Telemetry};
+use emptcp_expr::figures::Config;
+use emptcp_expr::repro::{self, ReproOptions};
+use emptcp_expr::runner::Runner;
+use emptcp_telemetry::{info, log, warn};
 use std::path::PathBuf;
 use std::time::Instant;
-
-const IDS: &[&str] = &[
-    "table1",
-    "fig1",
-    "table2",
-    "fig3",
-    "fig4",
-    "eq1",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig12",
-    "fig13",
-    "sec46",
-    "fig14",
-    "fig15",
-    "fig16",
-    "fig17",
-    "handover",
-    "devices",
-    "ablations",
-    "upload",
-    "streaming",
-    "breakdown",
-    "sweep_hold",
-    "sweep_kappa",
-];
-
-/// `conn3` / `sf1` style path segments name an instance, not a family.
-fn is_instance_segment(seg: &str) -> bool {
-    ["conn", "sf"].iter().any(|prefix| {
-        seg.strip_prefix(prefix)
-            .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
-    })
-}
-
-/// Sum every per-connection/per-subflow counter into its stack-level family
-/// (`tcp.conn3.sf1.retransmits` -> `tcp.retransmits`) so the roll-up stays
-/// a handful of lines no matter how many flows an experiment spawned.
-fn summarize_metrics(telemetry: &Telemetry) -> Vec<(String, u64)> {
-    let Some(metrics) = telemetry.metrics() else {
-        return Vec::new();
-    };
-    let mut totals: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
-    for (name, value) in metrics.counters() {
-        let family = name
-            .split('.')
-            .filter(|seg| !is_instance_segment(seg))
-            .collect::<Vec<_>>()
-            .join(".");
-        *totals.entry(family).or_insert(0) += value;
-    }
-    totals.into_iter().collect()
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut quiet = false;
+    let mut trace = false;
     let mut seed: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--list" => {
-                for id in IDS {
+                for id in repro::IDS {
                     println!("{id}");
                 }
                 return;
             }
             "--quick" => quick = true,
             "--quiet" => quiet = true,
+            "--trace" => trace = true,
             "--out" => {
                 out_dir = PathBuf::from(it.next().expect("--out needs a directory"));
             }
@@ -106,14 +62,30 @@ fn main() {
                         .expect("--seed needs an integer"),
                 );
             }
-            "all" => ids.extend(IDS.iter().map(|s| s.to_string())),
+            "--jobs" => {
+                jobs = Some(
+                    it.next()
+                        .expect("--jobs needs a value")
+                        .parse()
+                        .expect("--jobs needs a positive integer"),
+                );
+            }
+            "all" => ids.extend(repro::IDS.iter().map(|s| s.to_string())),
             other => ids.push(other.to_string()),
         }
     }
     if ids.is_empty() {
-        eprintln!("usage: repro [--quick] [--quiet] [--out DIR] (all | <id>...)");
-        eprintln!("ids: {}", IDS.join(" "));
+        eprintln!(
+            "usage: repro [--quick] [--quiet] [--trace] [--jobs N] [--out DIR] (all | <id>...)"
+        );
+        eprintln!("ids: {}", repro::IDS.join(" "));
         std::process::exit(2);
+    }
+    for id in &ids {
+        if !repro::is_known(id) {
+            eprintln!("unknown experiment id: {id}");
+            std::process::exit(2);
+        }
     }
     if quiet {
         log::set_level(log::Level::Quiet);
@@ -128,86 +100,49 @@ fn main() {
     }
     ids.dedup();
 
-    // fig14 consumes fig16's traces; run them together when both are asked.
-    let mut fig16_traces = None;
-    for id in &ids {
-        let started = Instant::now();
-        // A fresh pipeline per experiment: simulations pick it up through
-        // the process-global handle, so counters never bleed across ids.
-        let telemetry = Telemetry::builder().invariants(true).build();
-        emptcp_telemetry::set_global(telemetry.clone());
-        let outputs = match id.as_str() {
-            "table1" => vec![figures::table1()],
-            "fig1" => vec![figures::fig1()],
-            "table2" => vec![figures::table2()],
-            "fig3" => vec![figures::fig3()],
-            "fig4" => vec![figures::fig4()],
-            "eq1" => vec![figures::eq1()],
-            "fig5" => vec![figures::fig5(&cfg)],
-            "fig6" => vec![figures::fig6(&cfg)],
-            "fig7" => vec![figures::fig7(&cfg)],
-            "fig8" => vec![figures::fig8(&cfg)],
-            "fig9" => vec![figures::fig9(&cfg)],
-            "fig10" => vec![figures::fig10(&cfg)],
-            "fig12" => vec![figures::fig12(&cfg)],
-            "fig13" => vec![figures::fig13(&cfg)],
-            "sec46" => vec![figures::sec46(&cfg)],
-            "fig15" => vec![figures::fig15(&cfg)],
-            "fig16" => {
-                let (out, traces) = figures::fig16(&cfg);
-                fig16_traces = Some(traces);
-                vec![out]
-            }
-            "fig14" => {
-                let traces = match fig16_traces.take() {
-                    Some(t) => t,
-                    None => {
-                        let (out, traces) = figures::fig16(&cfg);
-                        out.write_to(&out_dir).expect("write fig16");
-                        traces
-                    }
-                };
-                vec![figures::fig14(&traces)]
-            }
-            "fig17" => vec![figures::fig17(&cfg)],
-            "handover" => vec![figures::handover(&cfg)],
-            "devices" => vec![figures::devices(&cfg)],
-            "ablations" => vec![figures::ablations(&cfg)],
-            "upload" => vec![figures::upload(&cfg)],
-            "streaming" => vec![figures::streaming(&cfg)],
-            "breakdown" => vec![figures::breakdown(&cfg)],
-            "sweep_hold" => vec![figures::sweep_hold(&cfg)],
-            "sweep_kappa" => vec![figures::sweep_kappa(&cfg)],
-            other => {
-                eprintln!("unknown experiment id: {other}");
-                std::process::exit(2);
-            }
-        };
-        emptcp_telemetry::set_global(Telemetry::disabled());
-        for out in outputs {
-            print!("{}", out.render());
-            out.write_to(&out_dir)
-                .unwrap_or_else(|e| panic!("writing {}: {e}", out.id));
+    let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    let runner = Runner::new(jobs);
+    let opts = ReproOptions {
+        cfg,
+        out_dir,
+        trace,
+    };
+    let started = Instant::now();
+    let reports = runner
+        .install(|| repro::run_exhibits(&ids, &opts))
+        .unwrap_or_else(|e| panic!("running exhibits: {e}"));
+    for report in &reports {
+        print!("{}", report.rendered);
+        let label = report.ids.join("+");
+        for v in &report.violations {
+            warn!("[{label}] {v}");
         }
-        let violations = telemetry.violations();
-        for v in &violations {
-            warn!("[{id}] {v}");
+        if !report.violations.is_empty() {
+            warn!(
+                "[{label}] {} invariant violation(s)",
+                report.violations.len()
+            );
         }
-        if !violations.is_empty() {
-            warn!("[{id}] {} invariant violation(s)", violations.len());
-        }
-        let totals = summarize_metrics(&telemetry);
-        if !totals.is_empty() {
-            let line = totals
+        if !report.metrics.is_empty() {
+            let line = report
+                .metrics
                 .iter()
                 .map(|(name, value)| format!("{name}={value}"))
                 .collect::<Vec<_>>()
                 .join(" ");
-            info!("[{id}] metrics: {line}");
+            info!("[{label}] metrics: {line}");
         }
-        info!("[{id}] done in {:.1}s", started.elapsed().as_secs_f64());
         if !quiet {
             println!();
         }
+    }
+    if reports.len() > 1 {
+        let busy: f64 = reports.iter().map(|r| r.wall_s).sum();
+        info!(
+            "{} exhibits in {:.1}s wall ({:.1}s of work, {jobs} job(s))",
+            reports.len(),
+            started.elapsed().as_secs_f64(),
+            busy
+        );
     }
 }

@@ -9,6 +9,7 @@
 use crate::host::{run, RunResult};
 use crate::mdp::MdpPolicy;
 use crate::report::{f, pm, FigureOutput, Table};
+use crate::runner;
 use crate::scenario::{Scenario, Workload};
 use crate::strategy::Strategy;
 use crate::wild::{self, Category, WildTrace};
@@ -20,7 +21,6 @@ use emptcp_sim::stats::{MeanSem, WhiskerSummary};
 use emptcp_sim::SimDuration;
 use emptcp_workload::download::{KB, MB};
 use serde::Serialize;
-use std::sync::Mutex;
 
 /// Experiment scale.
 #[derive(Clone, Copy, Debug)]
@@ -61,26 +61,28 @@ impl Config {
     }
 }
 
-/// Run `runs` seeded repetitions of a strategy through a scenario, in
-/// parallel (independent runs only share nothing).
+/// Run `runs` seeded repetitions of a strategy through a scenario on the
+/// current [`runner`] pool. Run `i` always simulates with seed
+/// `seed0 + i·7919` and lands in slot `i`, so the result vector is
+/// byte-identical for every pool size. When the current telemetry
+/// pipeline writes a real trace, the repetitions run serially on the
+/// calling thread instead, keeping trace JSONL ordering reproducible.
 pub fn repeat_runs<F>(make: F, strategy: Strategy, runs: usize, seed0: u64) -> Vec<RunResult>
 where
     F: Fn() -> Scenario + Sync,
 {
-    let results: Mutex<Vec<(usize, RunResult)>> = Mutex::new(Vec::new());
-    std::thread::scope(|s| {
-        for i in 0..runs {
-            let make = &make;
-            let results = &results;
-            s.spawn(move || {
-                let r = run(make(), strategy, seed0.wrapping_add(i as u64 * 7919));
-                results.lock().expect("worker panicked").push((i, r));
-            });
-        }
-    });
-    let mut out = results.into_inner().expect("worker panicked");
-    out.sort_by_key(|&(i, _)| i);
-    out.into_iter().map(|(_, r)| r).collect()
+    let seed_of = |i: usize| seed0.wrapping_add(i as u64 * 7919);
+    runner::run_points(runs, |i| run(make(), strategy, seed_of(i)))
+}
+
+/// Fan `n` sweep points out across the current [`runner`] pool, collecting
+/// results in index order — the sweep-exhibit analogue of [`repeat_runs`].
+fn sweep_points<T, F>(n: usize, point: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    runner::run_points(n, point)
 }
 
 #[derive(Serialize)]
@@ -309,10 +311,10 @@ fn lab_strategies() -> [Strategy; 3] {
 }
 
 fn run_lab(make: impl Fn() -> Scenario + Sync, cfg: &Config) -> Vec<StrategySummary> {
-    lab_strategies()
-        .iter()
-        .map(|&st| summarize(&repeat_runs(&make, st, cfg.runs, cfg.seed)))
-        .collect()
+    let strategies = lab_strategies();
+    sweep_points(strategies.len(), |i| {
+        summarize(&repeat_runs(&make, strategies[i], cfg.runs, cfg.seed))
+    })
 }
 
 /// Fig 5: static good WiFi.
@@ -353,10 +355,9 @@ pub fn fig7(cfg: &Config) -> FigureOutput {
         };
         s
     };
-    let runs: Vec<RunResult> = lab_strategies()
-        .iter()
-        .map(|&st| run(make(), st, cfg.seed))
-        .collect();
+    let strategies = lab_strategies();
+    let runs: Vec<RunResult> =
+        sweep_points(strategies.len(), |i| run(make(), strategies[i], cfg.seed));
     let mut t = Table::new(
         "Fig 7: random WiFi bandwidth changes, single-run traces",
         &["strategy", "energy (J)", "time (s)", "trace points"],
@@ -392,10 +393,10 @@ pub fn fig8(cfg: &Config) -> FigureOutput {
         s
     };
     let runs = (cfg.runs * 2).max(2); // the paper uses 10 here
-    let summaries: Vec<StrategySummary> = lab_strategies()
-        .iter()
-        .map(|&st| summarize(&repeat_runs(make, st, runs, cfg.seed)))
-        .collect();
+    let strategies = lab_strategies();
+    let summaries: Vec<StrategySummary> = sweep_points(strategies.len(), |i| {
+        summarize(&repeat_runs(make, strategies[i], runs, cfg.seed))
+    });
     let t = energy_time_table("Fig 8: random WiFi bandwidth changes", &summaries);
     FigureOutput::new("fig8", vec![t], summaries)
 }
@@ -409,8 +410,10 @@ pub fn fig9(cfg: &Config) -> FigureOutput {
         };
         s
     };
-    let mptcp = run(make(), Strategy::Mptcp, cfg.seed);
-    let emptcp = run(make(), Strategy::emptcp_default(), cfg.seed);
+    let strategies = [Strategy::Mptcp, Strategy::emptcp_default()];
+    let mut pair = sweep_points(strategies.len(), |i| run(make(), strategies[i], cfg.seed));
+    let emptcp = pair.pop().expect("two runs");
+    let mptcp = pair.pop().expect("two runs");
     let mut t = Table::new(
         "Fig 9: background traffic traces (n=2, lambda_off=0.025)",
         &["strategy", "wifi MB", "cell MB", "time (s)"],
@@ -441,7 +444,11 @@ pub fn fig10(cfg: &Config) -> FigureOutput {
         &["setting", "strategy", "energy %", "time %"],
     );
     let mut payload = Vec::new();
-    for (n, loff) in combos {
+    // One sweep point per (n, λoff) combination; each point needs its
+    // MPTCP baseline before the relative numbers, so the three strategies
+    // stay nested inside the point.
+    let cells = sweep_points(combos.len(), |ci| {
+        let (n, loff) = combos[ci];
         let make = || {
             let mut s = Scenario::background_traffic(n, loff);
             s.workload = Workload::Download {
@@ -450,18 +457,24 @@ pub fn fig10(cfg: &Config) -> FigureOutput {
             s
         };
         let base = summarize(&repeat_runs(make, Strategy::Mptcp, cfg.runs, cfg.seed));
-        for st in [Strategy::emptcp_default(), Strategy::TcpWifi] {
-            let s = summarize(&repeat_runs(make, st, cfg.runs, cfg.seed));
-            let e_pct = 100.0 * s.energy.mean / base.energy.mean;
-            let t_pct = 100.0 * s.time.mean / base.time.mean;
-            t.row(vec![
-                format!("n={n}, loff={loff}"),
-                s.strategy.clone(),
-                f(e_pct),
-                f(t_pct),
-            ]);
-            payload.push((n, loff, s.strategy.clone(), e_pct, t_pct));
-        }
+        [Strategy::emptcp_default(), Strategy::TcpWifi]
+            .into_iter()
+            .map(|st| {
+                let s = summarize(&repeat_runs(make, st, cfg.runs, cfg.seed));
+                let e_pct = 100.0 * s.energy.mean / base.energy.mean;
+                let t_pct = 100.0 * s.time.mean / base.time.mean;
+                (n, loff, s.strategy.clone(), e_pct, t_pct)
+            })
+            .collect::<Vec<_>>()
+    });
+    for (n, loff, strategy, e_pct, t_pct) in cells.into_iter().flatten() {
+        t.row(vec![
+            format!("n={n}, loff={loff}"),
+            strategy.clone(),
+            f(e_pct),
+            f(t_pct),
+        ]);
+        payload.push((n, loff, strategy, e_pct, t_pct));
     }
     FigureOutput::new("fig10", vec![t], payload)
 }
@@ -469,10 +482,9 @@ pub fn fig10(cfg: &Config) -> FigureOutput {
 /// Fig 12: mobility accumulated-energy traces (single run per strategy).
 pub fn fig12(cfg: &Config) -> FigureOutput {
     let make = Scenario::mobility;
-    let runs: Vec<RunResult> = lab_strategies()
-        .iter()
-        .map(|&st| run(make(), st, cfg.seed))
-        .collect();
+    let strategies = lab_strategies();
+    let runs: Vec<RunResult> =
+        sweep_points(strategies.len(), |i| run(make(), strategies[i], cfg.seed));
     let mut t = Table::new(
         "Fig 12: mobility walk, single-run summary",
         &["strategy", "energy (J)", "downloaded MB", "J/MB"],
@@ -501,8 +513,11 @@ pub fn fig13(cfg: &Config) -> FigureOutput {
         &["strategy", "uJ/byte", "downloaded (MB)"],
     );
     let mut payload = Vec::new();
-    for &st in &lab_strategies() {
-        let results = repeat_runs(make, st, cfg.runs, cfg.seed);
+    let strategies = lab_strategies();
+    let per_strategy = sweep_points(strategies.len(), |i| {
+        repeat_runs(make, strategies[i], cfg.runs, cfg.seed)
+    });
+    for (&st, results) in strategies.iter().zip(&per_strategy) {
         let jpb = MeanSem::of(
             &results
                 .iter()
@@ -552,8 +567,10 @@ pub fn sec46(cfg: &Config) -> FigureOutput {
         &["strategy", "energy (J)", "downloaded MB", "cell MB"],
     );
     let mut payload = Vec::new();
-    for &st in &strategies {
-        let results = repeat_runs(make, st, cfg.runs, cfg.seed);
+    let per_strategy = sweep_points(strategies.len(), |i| {
+        repeat_runs(make, strategies[i], cfg.runs, cfg.seed)
+    });
+    for (&st, results) in strategies.iter().zip(&per_strategy) {
         let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
         let dl = MeanSem::of(
             &results
@@ -598,8 +615,10 @@ pub fn handover(cfg: &Config) -> FigureOutput {
         ],
     );
     let mut payload = Vec::new();
-    for &st in &strategies {
-        let results = repeat_runs(make, st, cfg.runs, cfg.seed);
+    let per_strategy = sweep_points(strategies.len(), |i| {
+        repeat_runs(make, strategies[i], cfg.runs, cfg.seed)
+    });
+    for (&st, results) in strategies.iter().zip(&per_strategy) {
         let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
         let time = MeanSem::of(
             &results
@@ -734,10 +753,10 @@ pub fn fig16(cfg: &Config) -> (FigureOutput, Vec<WildTrace>) {
 /// Fig 17: the web-browsing case study.
 pub fn fig17(cfg: &Config) -> FigureOutput {
     let make = Scenario::web_browsing;
-    let summaries: Vec<StrategySummary> = lab_strategies()
-        .iter()
-        .map(|&st| summarize(&repeat_runs(make, st, cfg.runs.max(3), cfg.seed)))
-        .collect();
+    let strategies = lab_strategies();
+    let summaries: Vec<StrategySummary> = sweep_points(strategies.len(), |i| {
+        summarize(&repeat_runs(make, strategies[i], cfg.runs.max(3), cfg.seed))
+    });
     let mut t = Table::new(
         "Fig 17: web browsing (107 objects, 6 connections)",
         &["strategy", "energy (J)", "latency (s)", "cell MB"],
@@ -764,23 +783,34 @@ pub fn devices(cfg: &Config) -> FigureOutput {
         &["device", "radio", "strategy", "energy (J)", "time (s)"],
     );
     let mut payload = Vec::new();
-    for (dev_name, profile) in [
+    let grid: Vec<(&str, DeviceProfile, IfaceKind)> = [
         ("Galaxy S3", DeviceProfile::galaxy_s3()),
         ("Nexus 5", DeviceProfile::nexus_5()),
-    ] {
-        for kind in [IfaceKind::CellularLte, IfaceKind::Cellular3g] {
-            let make = || {
-                let mut s = Scenario::static_bad_wifi();
-                s.workload = Workload::Download { size: 16 * MB };
-                s.profile = profile.clone();
-                s.cell_kind = kind;
-                // 3G tops out far lower than LTE.
-                if kind == IfaceKind::Cellular3g {
-                    s.cell_bps = 3_000_000;
-                }
-                s
-            };
-            for st in [Strategy::Mptcp, Strategy::emptcp_default()] {
+    ]
+    .into_iter()
+    .flat_map(|(dev_name, profile)| {
+        [IfaceKind::CellularLte, IfaceKind::Cellular3g]
+            .into_iter()
+            .map(move |kind| (dev_name, profile.clone(), kind))
+    })
+    .collect();
+    // One sweep point per (device, radio) cell.
+    let cells = sweep_points(grid.len(), |gi| {
+        let (dev_name, profile, kind) = &grid[gi];
+        let make = || {
+            let mut s = Scenario::static_bad_wifi();
+            s.workload = Workload::Download { size: 16 * MB };
+            s.profile = profile.clone();
+            s.cell_kind = *kind;
+            // 3G tops out far lower than LTE.
+            if *kind == IfaceKind::Cellular3g {
+                s.cell_bps = 3_000_000;
+            }
+            s
+        };
+        [Strategy::Mptcp, Strategy::emptcp_default()]
+            .into_iter()
+            .map(|st| {
                 let results = repeat_runs(make, st, cfg.runs.min(3), cfg.seed);
                 let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
                 let time = MeanSem::of(
@@ -789,16 +819,19 @@ pub fn devices(cfg: &Config) -> FigureOutput {
                         .map(|r| r.download_time_s)
                         .collect::<Vec<_>>(),
                 );
-                t.row(vec![
-                    dev_name.to_string(),
-                    kind.label().to_string(),
-                    st.label().to_string(),
-                    pm(e.mean, e.sem),
-                    pm(time.mean, time.sem),
-                ]);
-                payload.push((dev_name, kind.label(), st.label().to_string(), e, time));
-            }
-        }
+                (*dev_name, kind.label(), st.label().to_string(), e, time)
+            })
+            .collect::<Vec<_>>()
+    });
+    for (dev_name, kind_label, st_label, e, time) in cells.into_iter().flatten() {
+        t.row(vec![
+            dev_name.to_string(),
+            kind_label.to_string(),
+            st_label.clone(),
+            pm(e.mean, e.sem),
+            pm(time.mean, time.sem),
+        ]);
+        payload.push((dev_name, kind_label, st_label, e, time));
     }
     FigureOutput::new("devices", vec![t], payload)
 }
@@ -878,8 +911,11 @@ pub fn ablations(cfg: &Config) -> FigureOutput {
         ],
     );
     let mut payload = Vec::new();
-    for (name, variant) in variants {
-        let results = repeat_runs(make, Strategy::Emptcp(variant), cfg.runs, cfg.seed);
+    // One sweep point per ablation variant.
+    let per_variant = sweep_points(variants.len(), |vi| {
+        repeat_runs(make, Strategy::Emptcp(variants[vi].1), cfg.runs, cfg.seed)
+    });
+    for ((name, _), results) in variants.iter().zip(&per_variant) {
         let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
         let time = MeanSem::of(
             &results
@@ -912,14 +948,14 @@ pub fn upload(cfg: &Config) -> FigureOutput {
         };
         s
     };
-    let summaries: Vec<_> = [
+    let strategies = [
         Strategy::Mptcp,
         Strategy::emptcp_default(),
         Strategy::TcpWifi,
-    ]
-    .iter()
-    .map(|&st| summarize(&repeat_runs(make, st, cfg.runs, cfg.seed)))
-    .collect();
+    ];
+    let summaries: Vec<_> = sweep_points(strategies.len(), |i| {
+        summarize(&repeat_runs(make, strategies[i], cfg.runs, cfg.seed))
+    });
     let t = energy_time_table("Extension: upload over good WiFi", &summaries);
     FigureOutput::new("upload", vec![t], summaries)
 }
@@ -939,13 +975,16 @@ pub fn streaming(cfg: &Config) -> FigureOutput {
         ],
     );
     let mut payload = Vec::new();
-    for st in [
+    let strategies = [
         Strategy::Mptcp,
         Strategy::emptcp_default(),
         Strategy::TcpWifi,
         Strategy::WifiFirst,
-    ] {
-        let results = repeat_runs(make, st, cfg.runs, cfg.seed);
+    ];
+    let per_strategy = sweep_points(strategies.len(), |i| {
+        repeat_runs(make, strategies[i], cfg.runs, cfg.seed)
+    });
+    for (&st, results) in strategies.iter().zip(&per_strategy) {
         let e = MeanSem::of(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
         let rebuffers = MeanSem::of(
             &results
@@ -994,13 +1033,16 @@ pub fn breakdown(cfg: &Config) -> FigureOutput {
         ],
     );
     let mut payload = Vec::new();
-    for st in [
+    let strategies = [
         Strategy::Mptcp,
         Strategy::emptcp_default(),
         Strategy::TcpCellular,
         Strategy::WifiFirst,
-    ] {
-        let results = repeat_runs(make, st, cfg.runs.min(3), cfg.seed);
+    ];
+    let per_strategy = sweep_points(strategies.len(), |i| {
+        repeat_runs(make, strategies[i], cfg.runs.min(3), cfg.seed)
+    });
+    for (&st, results) in strategies.iter().zip(&per_strategy) {
         let total = results.iter().map(|r| r.energy_j).sum::<f64>() / results.len() as f64;
         let promo = results.iter().map(|r| r.promo_energy_j).sum::<f64>() / results.len() as f64;
         let tail = results.iter().map(|r| r.tail_energy_j).sum::<f64>() / results.len() as f64;
@@ -1031,7 +1073,10 @@ pub fn sweep_hold(cfg: &Config) -> FigureOutput {
         ],
     );
     let mut payload = Vec::new();
-    for hold in [10.0f64, 20.0, 40.0, 80.0] {
+    let holds = [10.0f64, 20.0, 40.0, 80.0];
+    // One sweep point per holding time.
+    let cells = sweep_points(holds.len(), |hi| {
+        let hold = holds[hi];
         let make = || {
             let mut s = Scenario::bandwidth_changes();
             s.wifi = crate::scenario::WifiEnvironment::Modulated {
@@ -1052,6 +1097,9 @@ pub fn sweep_hold(cfg: &Config) -> FigureOutput {
             results.iter().map(|r| r.promotions).sum::<u64>() as f64 / results.len() as f64;
         let e_pct = 100.0 * me.energy.mean / base.energy.mean;
         let t_pct = 100.0 * me.time.mean / base.time.mean;
+        (hold, e_pct, t_pct, switches, promos)
+    });
+    for (hold, e_pct, t_pct, switches, promos) in cells {
         t.row(vec![f(hold), f(e_pct), f(t_pct), f(switches), f(promos)]);
         payload.push((hold, e_pct, t_pct, switches, promos));
     }
@@ -1067,19 +1115,27 @@ pub fn sweep_kappa(cfg: &Config) -> FigureOutput {
         &["kappa", "256 kB", "1 MB", "16 MB"],
     );
     let mut payload = Vec::new();
-    for kappa in [64u64 << 10, 256 << 10, 1 << 20, 4 << 20] {
+    let kappas = [64u64 << 10, 256 << 10, 1 << 20, 4 << 20];
+    let sizes = [256u64 << 10, 1 << 20, 16 << 20];
+    // Every (kappa, size) cell is an independent sweep point.
+    let cells = sweep_points(kappas.len() * sizes.len(), |i| {
+        let kappa = kappas[i / sizes.len()];
+        let size = sizes[i % sizes.len()];
+        let make = || {
+            let mut s = Scenario::static_bad_wifi();
+            s.workload = Workload::Download { size };
+            s
+        };
+        let mut c = EmptcpConfig::default();
+        c.delay.kappa_bytes = kappa;
+        let results = repeat_runs(make, Strategy::Emptcp(c), cfg.runs.min(3), cfg.seed);
+        results.iter().map(|r| r.energy_j).sum::<f64>() / results.len() as f64
+    });
+    for (ki, &kappa) in kappas.iter().enumerate() {
         let mut row = vec![format!("{} kB", kappa >> 10)];
         let mut row_data = Vec::new();
-        for size in [256u64 << 10, 1 << 20, 16 << 20] {
-            let make = || {
-                let mut s = Scenario::static_bad_wifi();
-                s.workload = Workload::Download { size };
-                s
-            };
-            let mut c = EmptcpConfig::default();
-            c.delay.kappa_bytes = kappa;
-            let results = repeat_runs(make, Strategy::Emptcp(c), cfg.runs.min(3), cfg.seed);
-            let e = results.iter().map(|r| r.energy_j).sum::<f64>() / results.len() as f64;
+        for (si, &size) in sizes.iter().enumerate() {
+            let e = cells[ki * sizes.len() + si];
             row.push(f(e));
             row_data.push((size, e));
         }

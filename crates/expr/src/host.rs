@@ -163,6 +163,10 @@ pub struct Simulation {
     cell_path: Path,
     cell_pending: Vec<(usize, SubflowId, bool, Segment)>,
     cell_ready_scheduled: bool,
+    /// Reused transmit batch: [`Simulation::drain_conn`] runs on every
+    /// delivery, so allocating a fresh `Vec` per call would be the single
+    /// biggest allocation source in a run.
+    tx_scratch: Vec<(SubflowId, Segment, bool)>,
 
     modulator: Option<BandwidthModulator>,
     interferers: Option<InterfererSet>,
@@ -223,10 +227,12 @@ pub struct Simulation {
 
 impl Simulation {
     /// Build a simulation; `seed` controls every random process. Telemetry
-    /// comes from the process-wide default pipeline (disabled unless a
-    /// binary installed one via [`emptcp_telemetry::set_global`]).
+    /// comes from [`emptcp_telemetry::current`]: the calling thread's
+    /// override if one is installed (the parallel experiment runner sets
+    /// one per exhibit), otherwise the process-wide default installed via
+    /// [`emptcp_telemetry::set_global`], otherwise disabled.
     pub fn new(scenario: Scenario, strategy: Strategy, seed: u64) -> Simulation {
-        Simulation::new_with_telemetry(scenario, strategy, seed, emptcp_telemetry::global())
+        Simulation::new_with_telemetry(scenario, strategy, seed, emptcp_telemetry::current())
     }
 
     /// Build a simulation reporting through an explicit telemetry pipeline.
@@ -321,6 +327,7 @@ impl Simulation {
             cell_path,
             cell_pending: Vec::new(),
             cell_ready_scheduled: false,
+            tx_scratch: Vec::new(),
             modulator,
             interferers,
             mobility,
@@ -504,8 +511,11 @@ impl Simulation {
     }
 
     fn drain_conn(&mut self, now: SimTime, i: usize) {
+        // Reuse one batch buffer across calls (taken so `send` can borrow
+        // `self` mutably while we iterate).
+        let mut batch = std::mem::take(&mut self.tx_scratch);
         loop {
-            let mut batch: Vec<(SubflowId, Segment, bool)> = Vec::new();
+            batch.clear();
             while let Some((sf, seg)) = self.conns[i].client.poll_transmit(now) {
                 batch.push((sf, seg, true));
             }
@@ -515,10 +525,11 @@ impl Simulation {
             if batch.is_empty() {
                 break;
             }
-            for (sf, seg, from_client) in batch {
+            for &(sf, seg, from_client) in &batch {
                 self.send(now, i, sf, seg, from_client);
             }
         }
+        self.tx_scratch = batch;
     }
 
     fn drain_all(&mut self, now: SimTime) {

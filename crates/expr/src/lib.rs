@@ -15,7 +15,11 @@
 //!   Good/Bad × WiFi/LTE categorization of Fig 14;
 //! * [`figures`] — one runner per table/figure, producing printable tables
 //!   and machine-readable JSON;
-//! * [`report`] — table formatting and file output helpers.
+//! * [`report`] — table formatting and file output helpers;
+//! * [`runner`] — the deterministic work-stealing pool exhibits, sweep
+//!   points and repeated runs fan out on (`repro --jobs N`);
+//! * [`repro`] — the exhibit engine behind the `repro` binary: job
+//!   planning, per-exhibit telemetry, output files.
 //!
 //! The `repro` binary regenerates everything: `repro --list`, `repro fig5`,
 //! `repro all`.
@@ -37,10 +41,13 @@ pub mod figures;
 pub mod host;
 pub mod mdp;
 pub mod report;
+pub mod repro;
+pub mod runner;
 pub mod scenario;
 pub mod strategy;
 pub mod wild;
 
 pub use host::{RunResult, Simulation};
+pub use runner::Runner;
 pub use scenario::Scenario;
 pub use strategy::Strategy;

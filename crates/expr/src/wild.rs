@@ -171,9 +171,24 @@ pub struct WildTrace {
 
 /// Run the full §5 sweep for one transfer size: every server × venue ×
 /// iteration, all three strategies per draw.
+///
+/// Split into two phases for the parallel runner: the population draws
+/// consume the parent RNG in a fixed nesting order and therefore stay
+/// serial (they are pure RNG work, microseconds in total), while the
+/// simulations — the actual cost — fan out one trace per job. Each trace
+/// carries its own pre-drawn `run_seed`, so the result is byte-identical
+/// to the old fully-serial loop for any pool size.
 pub fn run_study(size_bytes: u64, iterations: u32, seed: u64) -> Vec<WildTrace> {
+    struct Draw {
+        server: Server,
+        venue: Venue,
+        iteration: u32,
+        wifi_bps: u64,
+        lte_bps: u64,
+        run_seed: u64,
+    }
     let mut rng = SimRng::new(seed);
-    let mut traces = Vec::new();
+    let mut draws = Vec::new();
     for &server in &Server::ALL {
         for &venue in &Venue::ALL {
             for iteration in 0..iterations {
@@ -181,42 +196,57 @@ pub fn run_study(size_bytes: u64, iterations: u32, seed: u64) -> Vec<WildTrace> 
                     rng.fork((server as u64) << 32 | (venue as u64) << 16 | iteration as u64);
                 let wifi_bps = venue.draw_wifi_bps(&mut draw_rng);
                 let lte_bps = draw_lte_bps(&mut draw_rng);
-                let wifi_rtt = server.base_rtt() + SimDuration::from_millis(5);
-                let cell_rtt = server.base_rtt() + SimDuration::from_millis(40);
-                let name = format!("wild-{}-{}-{iteration}", server.label(), venue.label());
-                let scenario =
-                    || Scenario::wild(&name, wifi_bps, lte_bps, wifi_rtt, cell_rtt, size_bytes);
                 let run_seed = draw_rng.next_u64();
-                let mptcp = run(scenario(), Strategy::Mptcp, run_seed);
-                let emptcp = run(scenario(), Strategy::emptcp_default(), run_seed);
-                let tcp_wifi = run(scenario(), Strategy::TcpWifi, run_seed);
-                // Categorize by the MPTCP run's measured throughputs, like
-                // the paper; fall back to capacities if a path went unused.
-                let wifi_meas = if mptcp.avg_wifi_mbps > 0.1 {
-                    mptcp.avg_wifi_mbps
-                } else {
-                    wifi_bps as f64 / 1e6
-                };
-                let lte_meas = if mptcp.avg_cell_mbps > 0.1 {
-                    mptcp.avg_cell_mbps
-                } else {
-                    lte_bps as f64 / 1e6
-                };
-                traces.push(WildTrace {
+                draws.push(Draw {
                     server,
                     venue,
                     iteration,
                     wifi_bps,
                     lte_bps,
-                    category: Category::of(wifi_meas, lte_meas),
-                    mptcp,
-                    emptcp,
-                    tcp_wifi,
+                    run_seed,
                 });
             }
         }
     }
-    traces
+    crate::runner::run_points(draws.len(), |i| {
+        let d = &draws[i];
+        let wifi_rtt = d.server.base_rtt() + SimDuration::from_millis(5);
+        let cell_rtt = d.server.base_rtt() + SimDuration::from_millis(40);
+        let name = format!(
+            "wild-{}-{}-{}",
+            d.server.label(),
+            d.venue.label(),
+            d.iteration
+        );
+        let scenario =
+            || Scenario::wild(&name, d.wifi_bps, d.lte_bps, wifi_rtt, cell_rtt, size_bytes);
+        let mptcp = run(scenario(), Strategy::Mptcp, d.run_seed);
+        let emptcp = run(scenario(), Strategy::emptcp_default(), d.run_seed);
+        let tcp_wifi = run(scenario(), Strategy::TcpWifi, d.run_seed);
+        // Categorize by the MPTCP run's measured throughputs, like
+        // the paper; fall back to capacities if a path went unused.
+        let wifi_meas = if mptcp.avg_wifi_mbps > 0.1 {
+            mptcp.avg_wifi_mbps
+        } else {
+            d.wifi_bps as f64 / 1e6
+        };
+        let lte_meas = if mptcp.avg_cell_mbps > 0.1 {
+            mptcp.avg_cell_mbps
+        } else {
+            d.lte_bps as f64 / 1e6
+        };
+        WildTrace {
+            server: d.server,
+            venue: d.venue,
+            iteration: d.iteration,
+            wifi_bps: d.wifi_bps,
+            lte_bps: d.lte_bps,
+            category: Category::of(wifi_meas, lte_meas),
+            mptcp,
+            emptcp,
+            tcp_wifi,
+        }
+    })
 }
 
 #[cfg(test)]

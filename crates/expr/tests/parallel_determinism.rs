@@ -1,0 +1,100 @@
+//! The runner's determinism contract, end to end: running exhibits on a
+//! 1-job pool and a multi-job pool must write byte-identical files —
+//! results, and trace JSONL under tracing. This is the in-process version
+//! of `repro --jobs 1` vs `repro --jobs N`; CI smoke-tests the binary the
+//! same way.
+
+use emptcp_expr::figures::Config;
+use emptcp_expr::repro::{self, ReproOptions};
+use emptcp_expr::runner::Runner;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A fast, representative exhibit subset: model-only (table2), repeated
+/// runs (fig5), single-run traces (fig9), the §5 study plus the merged
+/// fig16+fig14 job, and a whisker exhibit (fig15).
+const SUBSET: &[&str] = &["table2", "fig5", "fig9", "fig15", "fig16", "fig14"];
+
+fn run_with(jobs: usize, dir: &Path, trace: bool) -> BTreeMap<String, Vec<u8>> {
+    let ids: Vec<String> = SUBSET.iter().map(|s| s.to_string()).collect();
+    let opts = ReproOptions {
+        cfg: Config::quick(),
+        out_dir: dir.to_path_buf(),
+        trace,
+    };
+    let runner = Runner::new(jobs);
+    runner
+        .install(|| repro::run_exhibits(&ids, &opts))
+        .expect("exhibits run");
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("out dir") {
+        let path = entry.expect("entry").path();
+        files.insert(
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            std::fs::read(&path).expect("read output"),
+        );
+    }
+    assert!(!files.is_empty(), "no output files written");
+    files
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("emptcp-determinism-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_identical(a: &BTreeMap<String, Vec<u8>>, b: &BTreeMap<String, Vec<u8>>) {
+    assert_eq!(
+        a.keys().collect::<Vec<_>>(),
+        b.keys().collect::<Vec<_>>(),
+        "file sets differ"
+    );
+    for (name, bytes) in a {
+        assert_eq!(bytes, &b[name], "{name} differs between pool sizes");
+    }
+}
+
+#[test]
+fn results_are_byte_identical_across_pool_sizes() {
+    let d1 = tmp("j1");
+    let d4 = tmp("j4");
+    let serial = run_with(1, &d1, false);
+    let parallel = run_with(4, &d4, false);
+    // Sanity: the subset actually produced the expected artifacts.
+    assert!(serial.contains_key("fig5.json") && serial.contains_key("fig14.json"));
+    assert_identical(&serial, &parallel);
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d4);
+}
+
+#[test]
+fn traces_are_byte_identical_across_pool_sizes() {
+    let d1 = tmp("t1");
+    let d4 = tmp("t4");
+    let serial = run_with(1, &d1, true);
+    let parallel = run_with(4, &d4, true);
+    let traced: Vec<&String> = serial
+        .keys()
+        .filter(|name| name.ends_with(".trace.jsonl"))
+        .collect();
+    assert!(!traced.is_empty(), "tracing produced no JSONL");
+    assert!(!serial[traced[0]].is_empty(), "empty trace");
+    assert_identical(&serial, &parallel);
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d4);
+}
+
+#[test]
+fn repeated_serial_runs_are_stable() {
+    // Guards against hidden global state leaking between runs in the same
+    // process (telemetry override, runner fallback, thread-locals).
+    let da = tmp("a");
+    let db = tmp("b");
+    let first = run_with(1, &da, false);
+    let second = run_with(1, &db, false);
+    assert_identical(&first, &second);
+    let _ = std::fs::remove_dir_all(&da);
+    let _ = std::fs::remove_dir_all(&db);
+}

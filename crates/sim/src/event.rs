@@ -11,42 +11,61 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Handle to a scheduled event, used for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TimerId(u64);
 
-#[derive(Clone, Debug)]
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+/// Hasher for event sequence numbers: a single Fibonacci multiply plus a
+/// xor-fold. Sequence numbers are dense, monotonically assigned integers,
+/// so a strong (SipHash) hasher buys nothing — this keeps the per-event
+/// slab lookup to a couple of cycles on the simulator's hottest path.
+#[derive(Default)]
+pub struct SeqHasher(u64);
+
+impl Hasher for SeqHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached for non-u64 keys; FNV-1a keeps it correct.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let h = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
+/// Compact when at least this many tombstones accumulated …
+const COMPACT_MIN_TOMBSTONES: usize = 64;
+/// … and they make up more than half the heap.
+const COMPACT_RATIO: usize = 2;
 
-/// A priority queue of timestamped events with stable same-time ordering and
-/// O(log n) cancellation (tombstones resolved lazily at pop time).
+/// A priority queue of timestamped events with stable same-time ordering
+/// and O(log n) cancellation.
+///
+/// The heap holds only 16-byte `(time, seq)` keys; event payloads (which
+/// for a simulated network include whole segments) live in a sequence-
+/// indexed slab, so sift operations move two words instead of the full
+/// event. Cancellation removes the payload immediately and leaves a key
+/// tombstone that is dropped lazily at pop/peek; when tombstones dominate
+/// the heap it is compacted in one O(n) pass, so a cancel-heavy workload
+/// (e.g. a retransmit timer re-armed on every ack) stays bounded.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<u64>,
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    events: HashMap<u64, E, BuildHasherDefault<SeqHasher>>,
+    tombstones: usize,
     next_seq: u64,
     now: SimTime,
 }
@@ -62,7 +81,8 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            events: HashMap::default(),
+            tombstones: 0,
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -84,7 +104,8 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, event }));
+        self.heap.push(Reverse((at, seq)));
+        self.events.insert(seq, event);
         TimerId(seq)
     }
 
@@ -94,47 +115,61 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancel a previously scheduled event. Cancelling an already-fired or
-    /// already-cancelled event is a no-op.
+    /// already-cancelled event is a no-op. The payload is dropped
+    /// immediately; its heap key becomes a tombstone.
     pub fn cancel(&mut self, id: TimerId) {
-        if id.0 < self.next_seq {
-            self.cancelled.insert(id.0);
+        if self.events.remove(&id.0).is_some() {
+            self.tombstones += 1;
+            if self.tombstones >= COMPACT_MIN_TOMBSTONES
+                && self.tombstones * COMPACT_RATIO > self.heap.len()
+            {
+                self.compact();
+            }
         }
+    }
+
+    /// Rebuild the heap without tombstoned keys: one O(n) pass.
+    fn compact(&mut self) {
+        let heap = std::mem::take(&mut self.heap);
+        self.heap = heap
+            .into_iter()
+            .filter(|&Reverse((_, seq))| self.events.contains_key(&seq))
+            .collect();
+        self.tombstones = 0;
     }
 
     /// Pop the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+        while let Some(Reverse((at, seq))) = self.heap.pop() {
+            if let Some(event) = self.events.remove(&seq) {
+                self.now = at;
+                return Some((at, event));
             }
-            self.now = entry.at;
-            return Some((entry.at, entry.event));
+            self.tombstones -= 1;
         }
         None
     }
 
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-                continue;
+        while let Some(&Reverse((at, seq))) = self.heap.peek() {
+            if self.events.contains_key(&seq) {
+                return Some(at);
             }
-            return Some(entry.at);
+            self.heap.pop();
+            self.tombstones -= 1;
         }
         None
     }
 
     /// Number of live events still queued.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.events.len()
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.events.is_empty()
     }
 }
 
@@ -245,6 +280,66 @@ mod tests {
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, vec!["a", "c"]);
         q.cancel(a); // cancelling a fired event is a no-op
+    }
+
+    #[test]
+    fn cancelling_a_fired_event_keeps_len_exact() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        q.cancel(a); // no-op: already fired
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn heavy_cancellation_compacts_the_heap() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        // Re-arm a timer thousands of times: schedule, cancel, repeat —
+        // the pattern of a retransmit timer reset on every ack.
+        let mut id = q.schedule(t, 0u32);
+        for i in 1..5_000u32 {
+            q.cancel(id);
+            id = q.schedule(t, i);
+        }
+        assert_eq!(q.len(), 1);
+        // Compaction must have kept the heap near the live size rather
+        // than letting all 4 999 tombstones accumulate.
+        assert!(
+            q.heap.len() < COMPACT_MIN_TOMBSTONES * 2 + 1,
+            "heap holds {} entries for 1 live event",
+            q.heap.len()
+        );
+        assert_eq!(q.pop().map(|(_, e)| e), Some(4_999));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_clock() {
+        let mut q = EventQueue::new();
+        let mut keep = Vec::new();
+        for i in 0..500u64 {
+            let id = q.schedule(SimTime::from_millis(1000 - i), i);
+            if i % 5 == 0 {
+                keep.push(i);
+            } else {
+                q.cancel(id);
+            }
+        }
+        assert_eq!(q.len(), keep.len());
+        let mut popped = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            popped.push(e);
+        }
+        // Live events come out in time order (descending i ⇒ ascending
+        // time), untouched by the compactions the cancels triggered.
+        keep.reverse();
+        assert_eq!(popped, keep);
+        assert_eq!(q.now(), SimTime::from_millis(1000));
     }
 
     #[test]

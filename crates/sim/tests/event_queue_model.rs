@@ -1,0 +1,153 @@
+//! Model-based property test for the event queue: drive random
+//! schedule/cancel/pop/peek interleavings through [`EventQueue`] and a
+//! naive sorted-`Vec` reference side by side; every observation must
+//! agree. This pins the queue's contract — (time, sequence) ordering,
+//! exact `len`, idempotent cancellation, clock monotonicity — against
+//! the tombstone/compaction machinery in the real implementation.
+
+use emptcp_sim::{EventQueue, SimTime, TimerId};
+use proptest::prelude::*;
+
+/// The reference: a flat vector of live `(time_nanos, seq, payload)`
+/// entries. Correct by inspection, O(n) everything.
+#[derive(Default)]
+struct Reference {
+    live: Vec<(u64, u64, u32)>,
+    next_seq: u64,
+    now: u64,
+}
+
+impl Reference {
+    fn schedule(&mut self, at: u64, payload: u32) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.push((at.max(self.now), seq, payload));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) {
+        self.live.retain(|&(_, s, _)| s != seq);
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let best = self
+            .live
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(at, seq, _))| (at, seq))?
+            .0;
+        let (at, _, payload) = self.live.swap_remove(best);
+        self.now = at;
+        Some((at, payload))
+    }
+
+    fn peek_time(&self) -> Option<u64> {
+        self.live
+            .iter()
+            .map(|&(at, seq, _)| (at, seq))
+            .min()
+            .map(|(at, _)| at)
+    }
+}
+
+/// One splitmix64 step, for deriving op sequences from a proptest seed.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn queue_matches_reference_under_arbitrary_interleavings(
+        seed in 0u64..u64::MAX,
+        ops in 100usize..600,
+        cancel_weight in 1u64..6,
+        horizon_ns in 1_000u64..1_000_000,
+    ) {
+        let mut state = seed;
+        let mut queue: EventQueue<u32> = EventQueue::new();
+        let mut reference = Reference::default();
+        // Handles of not-yet-popped schedules, kept in lockstep; stale
+        // entries (fired or cancelled) stay eligible so cancel exercises
+        // its no-op paths too.
+        let mut handles: Vec<(TimerId, u64)> = Vec::new();
+
+        for _ in 0..ops {
+            match mix(&mut state) % (4 + cancel_weight) {
+                // Schedule at now + delta (delta may be 0: same-time
+                // events must preserve FIFO order).
+                0..=2 => {
+                    let delta = mix(&mut state) % horizon_ns;
+                    let payload = mix(&mut state) as u32;
+                    let at = queue.now() + emptcp_sim::SimDuration::from_nanos(delta);
+                    let id = queue.schedule(at, payload);
+                    let seq = reference.schedule(at.as_nanos(), payload);
+                    handles.push((id, seq));
+                }
+                // Pop one event.
+                3 => {
+                    let got = queue.pop();
+                    let want = reference.pop();
+                    prop_assert_eq!(
+                        got.map(|(t, p)| (t.as_nanos(), p)),
+                        want,
+                        "pop diverged"
+                    );
+                }
+                // Cancel a random handle — possibly already fired or
+                // already cancelled (both must be exact no-ops).
+                _ => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let pick = (mix(&mut state) as usize) % handles.len();
+                    let (id, seq) = handles[pick];
+                    queue.cancel(id);
+                    reference.cancel(seq);
+                }
+            }
+            // Invariants checked after every step.
+            prop_assert_eq!(queue.len(), reference.live.len(), "len diverged");
+            prop_assert_eq!(queue.is_empty(), reference.live.is_empty());
+            prop_assert_eq!(
+                queue.peek_time().map(|t| t.as_nanos()),
+                reference.peek_time(),
+                "peek diverged"
+            );
+            prop_assert_eq!(queue.now().as_nanos(), reference.now, "clock diverged");
+        }
+
+        // Drain: remaining events must come out in exactly (time, seq)
+        // order with the right payloads.
+        while let Some((t, p)) = queue.pop() {
+            let want = reference.pop();
+            prop_assert_eq!(Some((t.as_nanos(), p)), want, "drain diverged");
+        }
+        prop_assert!(reference.pop().is_none(), "reference had leftovers");
+        prop_assert_eq!(queue.len(), 0);
+    }
+
+    #[test]
+    fn clock_is_monotone_and_matches_pop_times(
+        seed in 0u64..u64::MAX,
+        n in 1usize..200,
+    ) {
+        let mut state = seed;
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        for i in 0..n {
+            let at = SimTime::from_nanos(mix(&mut state) % 1_000_000);
+            queue.schedule(at, i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = queue.pop() {
+            prop_assert!(t >= last, "time went backwards: {t:?} after {last:?}");
+            prop_assert_eq!(queue.now(), t);
+            last = t;
+        }
+    }
+}

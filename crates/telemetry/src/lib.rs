@@ -38,6 +38,8 @@ struct Inner {
     sink: Mutex<Box<dyn TraceSink>>,
     metrics: Mutex<MetricsRegistry>,
     invariants: Option<Mutex<InvariantObserver>>,
+    /// True when the sink actually records events (not a [`NullSink`]).
+    traced: bool,
 }
 
 /// Handle to a telemetry pipeline. Clones share the same sink, metrics
@@ -73,6 +75,14 @@ impl Telemetry {
     #[inline]
     pub fn enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// True when emitted events are actually recorded somewhere (the
+    /// pipeline was built with a non-null sink). Parallel harnesses use
+    /// this to serialize work whose trace ordering must be reproducible.
+    #[inline]
+    pub fn tracing_active(&self) -> bool {
+        self.inner.as_ref().is_some_and(|inner| inner.traced)
     }
 
     /// Emit a trace event; the closure only runs when telemetry is enabled.
@@ -208,6 +218,7 @@ impl Builder {
 
     /// Build the enabled telemetry handle.
     pub fn build(self) -> Telemetry {
+        let traced = !self.sink.is_null();
         Telemetry {
             inner: Some(Arc::new(Inner {
                 sink: Mutex::new(self.sink),
@@ -215,6 +226,7 @@ impl Builder {
                 invariants: self
                     .invariants
                     .then(|| Mutex::new(InvariantObserver::new())),
+                traced,
             })),
         }
     }
@@ -318,6 +330,42 @@ pub fn global() -> Telemetry {
         .unwrap_or_default()
 }
 
+thread_local! {
+    /// Per-thread pipeline override; see [`with_current`].
+    static THREAD_OVERRIDE: std::cell::RefCell<Option<Telemetry>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The pipeline simulations created on this thread should report into:
+/// the innermost [`with_current`] override if one is active, otherwise
+/// the process-wide [`global`] pipeline.
+///
+/// Parallel experiment runners install a per-exhibit pipeline around each
+/// job with [`with_current`], so exhibits running concurrently on a
+/// thread pool keep their metrics and traces separated exactly as a
+/// serial `set_global`-per-exhibit loop would.
+pub fn current() -> Telemetry {
+    if let Some(t) = THREAD_OVERRIDE.with(|o| o.borrow().clone()) {
+        return t;
+    }
+    global()
+}
+
+/// Run `f` with `telemetry` installed as this thread's [`current`]
+/// pipeline, restoring the previous override afterwards (also on panic).
+pub fn with_current<R>(telemetry: Telemetry, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Telemetry>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            THREAD_OVERRIDE.with(|o| *o.borrow_mut() = prev);
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|o| o.borrow_mut().replace(telemetry));
+    let _restore = Restore(prev);
+    f()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +415,32 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn tracing_active_tracks_the_sink() {
+        assert!(!Telemetry::disabled().tracing_active());
+        assert!(!Telemetry::builder().build().tracing_active());
+        let traced = Telemetry::builder()
+            .sink(Box::new(MemorySink::new()))
+            .build();
+        assert!(traced.tracing_active());
+    }
+
+    #[test]
+    fn with_current_shadows_and_restores() {
+        let outer = Telemetry::builder().build();
+        let inner = Telemetry::builder().build();
+        with_current(outer.clone(), || {
+            current().with_metrics(|m| m.counter_add("outer", 1));
+            with_current(inner.clone(), || {
+                current().with_metrics(|m| m.counter_add("inner", 1));
+            });
+            current().with_metrics(|m| m.counter_add("outer", 1));
+        });
+        assert_eq!(outer.metrics().unwrap().counter("outer"), 2);
+        assert_eq!(outer.metrics().unwrap().counter("inner"), 0);
+        assert_eq!(inner.metrics().unwrap().counter("inner"), 1);
     }
 
     #[test]

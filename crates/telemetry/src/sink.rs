@@ -18,6 +18,14 @@ pub trait TraceSink: Send {
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
     }
+
+    /// True when records are discarded ([`NullSink`]). The experiment
+    /// runner uses this to keep run fan-out serial while a real trace is
+    /// being written, so trace files stay byte-identical across job
+    /// counts.
+    fn is_null(&self) -> bool {
+        false
+    }
 }
 
 /// Sink that drops everything. Used by [`crate::Telemetry::disabled`];
@@ -29,6 +37,10 @@ pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn record(&mut self, _t: SimTime, _event: &TraceEvent) {}
+
+    fn is_null(&self) -> bool {
+        true
+    }
 }
 
 /// Sink that serializes each event as one compact JSON object per line:
@@ -79,6 +91,10 @@ impl<S: TraceSink> TraceSink for std::sync::Arc<std::sync::Mutex<S>> {
 
     fn flush(&mut self) -> io::Result<()> {
         self.lock().expect("shared sink poisoned").flush()
+    }
+
+    fn is_null(&self) -> bool {
+        self.lock().expect("shared sink poisoned").is_null()
     }
 }
 

@@ -20,6 +20,82 @@ fn scenario(wifi_kbps: u64, cell_kbps: u64, rtt_ms: u64, size_kb: u64) -> Scenar
     s
 }
 
+/// One §5.2-style misjudged activation: the historical failure envelope of
+/// `emptcp_never_worse_than_both_baselines_together` (see the pinned
+/// regressions below and `host_properties.proptest-regressions`).
+fn assert_emptcp_within_envelope(wifi_kbps: u64, cell_kbps: u64, seed: u64) {
+    let size_kb = 2048;
+    let e = host::run(
+        scenario(wifi_kbps, cell_kbps, 40, size_kb),
+        Strategy::emptcp_default(),
+        seed,
+    );
+    let m = host::run(
+        scenario(wifi_kbps, cell_kbps, 40, size_kb),
+        Strategy::Mptcp,
+        seed,
+    );
+    let t = host::run(
+        scenario(wifi_kbps, cell_kbps, 40, size_kb),
+        Strategy::TcpWifi,
+        seed,
+    );
+    assert!(e.completed && m.completed && t.completed);
+    let worse = m.energy_j.max(t.energy_j);
+    assert!(
+        e.energy_j <= worse * 1.3 + 12.0 + 2.0,
+        "eMPTCP {:.1} J vs baselines ({:.1}, {:.1}) J",
+        e.energy_j,
+        m.energy_j,
+        t.energy_j
+    );
+}
+
+/// Pinned from `host_properties.proptest-regressions` (first entry,
+/// shrunk to wifi_kbps = 1000, cell_kbps = 1000, seed = 0): symmetric
+/// 1 Mbps links sit squarely between the EIB thresholds, so eMPTCP
+/// activates LTE and then switches usage repeatedly (historically 4
+/// switches), stacking the promotion+tail overhead on a near-MPTCP
+/// steady cost while single-path WiFi stays far cheaper. The envelope's
+/// one-activation slack term exists for exactly this case.
+#[test]
+fn pinned_symmetric_slow_links_pay_one_activation() {
+    assert_emptcp_within_envelope(1000, 1000, 0);
+    // The mechanism, not just the bound: the activation really happens.
+    let e = host::run(
+        scenario(1000, 1000, 40, 2048),
+        Strategy::emptcp_default(),
+        0,
+    );
+    assert_eq!(e.promotions, 1, "expected exactly one misjudged activation");
+    assert!(
+        e.usage_switches >= 2,
+        "expected mid-transfer usage switches"
+    );
+    assert!(e.cell_bytes > 0);
+}
+
+/// Pinned from `host_properties.proptest-regressions` (second entry,
+/// shrunk to wifi_kbps = 1990, cell_kbps = 2546, seed = 187100570144337597):
+/// WiFi just below the WiFi-only threshold for a mid-rate LTE — the
+/// predictor's early samples straddle the boundary, eMPTCP opens LTE for
+/// under a quarter of the bytes, and the fixed cost dominates the saving.
+#[test]
+fn pinned_threshold_straddling_wifi_pays_for_little_lte_help() {
+    assert_emptcp_within_envelope(1990, 2546, 187100570144337597);
+    let e = host::run(
+        scenario(1990, 2546, 40, 2048),
+        Strategy::emptcp_default(),
+        187100570144337597,
+    );
+    assert_eq!(e.promotions, 1);
+    assert!(
+        e.cell_bytes > 0 && e.cell_bytes < (2048 << 10) / 3,
+        "LTE carried {} bytes — the point is that it helps only marginally",
+        e.cell_bytes
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
