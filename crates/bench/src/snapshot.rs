@@ -194,6 +194,51 @@ fn micro_benches() -> BTreeMap<String, f64> {
         }),
     );
 
+    {
+        use emptcp_net::{NodeId, Port, PortOutcome};
+        use emptcp_phy::LinkConfig;
+        use emptcp_telemetry::Telemetry;
+        let mut port = Port::new(
+            NodeId(0),
+            NodeId(1),
+            LinkConfig {
+                rate_bps: 1_000_000_000,
+                prop_delay: SimDuration::from_micros(50),
+                queue_capacity: 256 * 1024,
+                loss_prob: 0.0,
+            },
+        );
+        let scope = Telemetry::disabled().scope(0);
+        let mut rng = SimRng::new(crate::BENCH_SEED);
+        let mut now = SimTime::ZERO;
+        micro.insert(
+            "router_enqueue".to_string(),
+            time_median_ns(9, 200_000, || {
+                // Offered just under line rate, so the queue breathes
+                // around the ECN threshold instead of saturating.
+                now += SimDuration::from_micros(13);
+                black_box(port.transmit(now, 1500, &mut rng, 0, 0, &scope));
+            }),
+        );
+        // Keep the outcome type alive for the optimizer.
+        black_box(matches!(
+            port.transmit(now, 1, &mut rng, 0, 0, &scope),
+            PortOutcome::Forwarded { .. }
+        ));
+    }
+
+    {
+        use emptcp_net::{FleetConfig, FleetSim};
+        micro.insert(
+            "fabric_fleet".to_string(),
+            time_median_ns(3, 1, || {
+                let mut cfg = FleetConfig::contended(8, crate::BENCH_SEED);
+                cfg.duration = SimDuration::from_secs(2);
+                black_box(FleetSim::new(cfg).run());
+            }),
+        );
+    }
+
     micro
 }
 

@@ -10,6 +10,7 @@
 //! repro --quiet fig9      tables only, no progress or metrics chatter
 //! repro --jobs 4 all      run exhibits on a 4-thread pool
 //! repro --trace fig5      also write <out>/<id>.trace.jsonl
+//! repro --clients 100 fleet   size the fleet exhibit's client count
 //! ```
 //!
 //! Each experiment prints its tables and writes `<out>/<id>.{txt,json}`.
@@ -37,6 +38,7 @@ fn main() {
     let mut trace = false;
     let mut seed: Option<u64> = None;
     let mut jobs: Option<usize> = None;
+    let mut clients: Option<usize> = None;
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -70,13 +72,21 @@ fn main() {
                         .expect("--jobs needs a positive integer"),
                 );
             }
+            "--clients" => {
+                clients = Some(
+                    it.next()
+                        .expect("--clients needs a value")
+                        .parse()
+                        .expect("--clients needs a positive integer"),
+                );
+            }
             "all" => ids.extend(repro::IDS.iter().map(|s| s.to_string())),
             other => ids.push(other.to_string()),
         }
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--quiet] [--trace] [--jobs N] [--out DIR] (all | <id>...)"
+            "usage: repro [--quick] [--quiet] [--trace] [--jobs N] [--clients N] [--out DIR] (all | <id>...)"
         );
         eprintln!("ids: {}", repro::IDS.join(" "));
         std::process::exit(2);
@@ -97,6 +107,9 @@ fn main() {
     };
     if let Some(seed) = seed {
         cfg.seed = seed;
+    }
+    if let Some(clients) = clients {
+        cfg.fleet_clients = clients;
     }
     ids.dedup();
 

@@ -28,7 +28,9 @@ pub const TRANSFER_BYTES: u64 = 16 << 20;
 /// controller normally keeps cellular asleep and must wake it to recover.
 pub fn strategy_for(name: &str) -> Strategy {
     match name {
-        "lte-tunnel" => Strategy::Mptcp,
+        // A congested core hits every path at once, so it also wants both
+        // subflows live before the collapse.
+        "lte-tunnel" | "congested_core" => Strategy::Mptcp,
         _ => Strategy::emptcp_default(),
     }
 }
@@ -191,6 +193,24 @@ pub fn check(report: &ResilienceReport) -> Vec<String> {
             expect(
                 report.bytes_reinjected > 0,
                 "stranded cellular data was reinjected",
+            );
+        }
+        "congested_core" => {
+            // The collapse is a silent blackhole on every path: no
+            // link-down notification exists, so recovery must come from
+            // the consecutive-RTO failure detector and ack-progress
+            // revival once the core ramps back.
+            expect(
+                report.subflow_failures >= 1,
+                "RTO detector declared a subflow dead during the collapse",
+            );
+            expect(
+                report.subflow_revivals >= 1,
+                "a dead subflow revived after the core ramped back",
+            );
+            expect(
+                report.worst_recovery_latency_s > 0.0,
+                "recovery latency was measured",
             );
         }
         _ => {}

@@ -33,6 +33,8 @@ pub struct Config {
     pub large_size: u64,
     /// Wild-study iterations per (server, venue).
     pub wild_iterations: u32,
+    /// Client stacks in the fleet exhibit's shared-bottleneck run.
+    pub fleet_clients: usize,
     /// Root seed.
     pub seed: u64,
 }
@@ -45,6 +47,7 @@ impl Config {
             bulk_size: 256 * MB,
             large_size: 16 * MB,
             wild_iterations: 10,
+            fleet_clients: 100,
             seed: 0xE0_07C9,
         }
     }
@@ -56,6 +59,7 @@ impl Config {
             bulk_size: 8 * MB,
             large_size: 2 * MB,
             wild_iterations: 1,
+            fleet_clients: 32,
             seed: 0xE0_07C9,
         }
     }
@@ -1143,6 +1147,89 @@ pub fn sweep_kappa(cfg: &Config) -> FigureOutput {
         payload.push((kappa, row_data));
     }
     FigureOutput::new("sweep_kappa", vec![t], payload)
+}
+
+// ----------------------------------------------------------------------
+// Fleet extensions: many clients behind one bottleneck (emptcp-net)
+// ----------------------------------------------------------------------
+
+/// Extension: a `cfg.fleet_clients`-strong fleet (half MPTCP, half TCP)
+/// behind one 100 Mbps core bottleneck with bursty cross-traffic, LIA
+/// coupling versus uncoupled per-subflow Reno. The LIA row is the "do no
+/// harm" story at population scale; the uncoupled row is the ablation
+/// showing what coupling buys the single-path clients.
+pub fn fleet(cfg: &Config) -> FigureOutput {
+    use emptcp_net::{FleetConfig, FleetSim};
+    let variants = [("MPTCP (LIA)", true), ("MPTCP uncoupled", false)];
+    let reports = sweep_points(variants.len(), |i| {
+        let mut fc = FleetConfig::contended(cfg.fleet_clients, cfg.seed);
+        fc.duration = SimDuration::from_secs(5);
+        fc.coupled = variants[i].1;
+        FleetSim::new(fc).run()
+    });
+    let mut t = Table::new(
+        format!(
+            "Extension: {} clients share a 100 Mbps core (fleet harness)",
+            cfg.fleet_clients
+        ),
+        &[
+            "variant",
+            "aggregate (Mbps)",
+            "MPTCP mean",
+            "TCP mean",
+            "MPTCP/TCP",
+            "Jain",
+            "drops",
+            "ECN marks",
+            "peak queue kB",
+        ],
+    );
+    let mut payload = Vec::new();
+    for ((label, _), r) in variants.iter().zip(&reports) {
+        t.row(vec![
+            label.to_string(),
+            f(r.aggregate_mbps),
+            f(r.mptcp_mean_mbps),
+            f(r.tcp_mean_mbps),
+            f(r.mptcp_tcp_ratio),
+            f(r.jain_index),
+            r.bottleneck_drops.to_string(),
+            r.bottleneck_ecn_marks.to_string(),
+            (r.bottleneck_peak_queue_bytes >> 10).to_string(),
+        ]);
+        payload.push((label.to_string(), r.clone()));
+    }
+    FigureOutput::new("fleet", vec![t], payload)
+}
+
+/// Extension: the minimal "do no harm" cell — one MPTCP client (two
+/// subflows) against one TCP client on a tight shared bottleneck, LIA
+/// versus uncoupled. With LIA the MPTCP aggregate stays near the TCP
+/// flow's share; uncoupled it takes roughly two flows' worth.
+pub fn fairness(cfg: &Config) -> FigureOutput {
+    use emptcp_net::FleetSim;
+    let variants = [("MPTCP (LIA)", true), ("MPTCP uncoupled", false)];
+    let reports = sweep_points(variants.len(), |i| {
+        let mut fc = emptcp_net::FleetConfig::do_no_harm_cell(cfg.seed);
+        fc.coupled = variants[i].1;
+        FleetSim::new(fc).run()
+    });
+    let mut t = Table::new(
+        "Extension: do-no-harm at a shared bottleneck (1 MPTCP vs 1 TCP)",
+        &["variant", "MPTCP (Mbps)", "TCP (Mbps)", "MPTCP/TCP", "Jain"],
+    );
+    let mut payload = Vec::new();
+    for ((label, _), r) in variants.iter().zip(&reports) {
+        t.row(vec![
+            label.to_string(),
+            f(r.mptcp_mean_mbps),
+            f(r.tcp_mean_mbps),
+            f(r.mptcp_tcp_ratio),
+            f(r.jain_index),
+        ]);
+        payload.push((label.to_string(), r.clone()));
+    }
+    FigureOutput::new("fairness", vec![t], payload)
 }
 
 #[cfg(test)]

@@ -1216,6 +1216,12 @@ impl FaultSurface for Simulation {
                 self.cell_path.down_mut().set_rate_bps(now, down);
                 self.cell_path.up_mut().set_rate_bps(now, up_rate);
             }
+            // This host has no explicit core hop: a congested core is both
+            // access paths failing at once.
+            FaultTarget::Core => {
+                self.set_iface_up(now, FaultTarget::Wifi, up);
+                self.set_iface_up(now, FaultTarget::Cellular, up);
+            }
         }
     }
 
@@ -1227,6 +1233,10 @@ impl FaultSurface for Simulation {
             FaultTarget::Cellular => {
                 let rate = rate_bps.unwrap_or(self.nominal_cell_rates.0);
                 self.cell_path.down_mut().set_rate_bps(now, rate);
+            }
+            FaultTarget::Core => {
+                self.set_rate(now, FaultTarget::Wifi, rate_bps);
+                self.set_rate(now, FaultTarget::Cellular, rate_bps);
             }
         }
     }
@@ -1250,6 +1260,10 @@ impl FaultSurface for Simulation {
                     .down_mut()
                     .set_loss_prob(self.nominal_cell_loss),
             },
+            FaultTarget::Core => {
+                self.set_loss(_now, FaultTarget::Wifi, model);
+                self.set_loss(_now, FaultTarget::Cellular, model);
+            }
         }
     }
 
@@ -1257,6 +1271,11 @@ impl FaultSurface for Simulation {
         // The spike rides the downlink: one extra one-way delay is one
         // extra RTT contribution, which is what an RRC reconfiguration or
         // a congested AP queue looks like from the transport.
+        if target == FaultTarget::Core {
+            self.set_extra_delay(_now, FaultTarget::Wifi, extra);
+            self.set_extra_delay(_now, FaultTarget::Cellular, extra);
+            return;
+        }
         let extra = extra.unwrap_or(SimDuration::ZERO);
         match target {
             FaultTarget::Wifi => self
@@ -1267,6 +1286,7 @@ impl FaultSurface for Simulation {
                 .cell_path
                 .down_mut()
                 .set_prop_delay(self.nominal_cell_prop + extra),
+            FaultTarget::Core => unreachable!(),
         }
     }
 }

@@ -52,6 +52,8 @@ pub const IDS: &[&str] = &[
     "breakdown",
     "sweep_hold",
     "sweep_kappa",
+    "fleet",
+    "fairness",
 ];
 
 /// True when `id` names an exhibit.
@@ -98,9 +100,10 @@ pub struct ExhibitReport {
     pub wall_s: f64,
 }
 
-/// `conn3` / `sf1` style path segments name an instance, not a family.
+/// `conn3` / `sf1` / `router0` / `port5` style path segments name an
+/// instance, not a family.
 fn is_instance_segment(seg: &str) -> bool {
-    ["conn", "sf"].iter().any(|prefix| {
+    ["conn", "sf", "router", "port"].iter().any(|prefix| {
         seg.strip_prefix(prefix)
             .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
     })
@@ -192,6 +195,8 @@ fn dispatch(
         "breakdown" => vec![figures::breakdown(cfg)],
         "sweep_hold" => vec![figures::sweep_hold(cfg)],
         "sweep_kappa" => vec![figures::sweep_kappa(cfg)],
+        "fleet" => vec![figures::fleet(cfg)],
+        "fairness" => vec![figures::fairness(cfg)],
         other => panic!("unknown exhibit id: {other}"),
     })
 }

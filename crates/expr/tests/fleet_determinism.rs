@@ -1,0 +1,66 @@
+//! The fleet harness under the exhibit engine's determinism contract:
+//! `fleet` and `fairness` — many independent client stacks fanned out
+//! across worker threads — must write byte-identical result files on a
+//! 1-job pool and a multi-job pool. This is the in-process version of
+//! `repro fleet --jobs 1` vs `repro fleet --jobs 4`.
+
+use emptcp_expr::figures::Config;
+use emptcp_expr::repro::{self, ReproOptions};
+use emptcp_expr::runner::Runner;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn run_with(jobs: usize, dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let ids = vec!["fleet".to_string(), "fairness".to_string()];
+    let mut cfg = Config::quick();
+    // Small fleet: the determinism argument is scale-free (seeds derive
+    // from indices, never from scheduling) and CI time is not.
+    cfg.fleet_clients = 8;
+    let opts = ReproOptions {
+        cfg,
+        out_dir: dir.to_path_buf(),
+        trace: false,
+    };
+    let runner = Runner::new(jobs);
+    runner
+        .install(|| repro::run_exhibits(&ids, &opts))
+        .expect("exhibits run");
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("out dir") {
+        let path = entry.expect("entry").path();
+        files.insert(
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            std::fs::read(&path).expect("read output"),
+        );
+    }
+    assert!(files.contains_key("fleet.json"), "fleet output missing");
+    assert!(
+        files.contains_key("fairness.json"),
+        "fairness output missing"
+    );
+    files
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("emptcp-fleet-det-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn fleet_results_are_byte_identical_across_pool_sizes() {
+    let d1 = tmp("j1");
+    let d4 = tmp("j4");
+    let serial = run_with(1, &d1);
+    let parallel = run_with(4, &d4);
+    assert_eq!(
+        serial.keys().collect::<Vec<_>>(),
+        parallel.keys().collect::<Vec<_>>(),
+        "file sets differ"
+    );
+    for (name, bytes) in &serial {
+        assert_eq!(bytes, &parallel[name], "{name} differs between pool sizes");
+    }
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d4);
+}

@@ -19,6 +19,10 @@ pub enum FaultTarget {
     Wifi,
     /// The cellular path (path index 1 in the test rigs).
     Cellular,
+    /// A shared core bottleneck that every path traverses. Surfaces with
+    /// per-path state apply the fault to all paths at once; the network
+    /// fabric applies it to its designated bottleneck ports.
+    Core,
 }
 
 impl FaultTarget {
@@ -27,14 +31,17 @@ impl FaultTarget {
         match self {
             FaultTarget::Wifi => "wifi",
             FaultTarget::Cellular => "cellular",
+            FaultTarget::Core => "core",
         }
     }
 
-    /// Path index convention used by the test rigs (WiFi first).
-    pub fn path_index(self) -> usize {
+    /// Path index convention used by the test rigs (WiFi first). `None`
+    /// means the target is not a single path (the shared core).
+    pub fn path_index(self) -> Option<usize> {
         match self {
-            FaultTarget::Wifi => 0,
-            FaultTarget::Cellular => 1,
+            FaultTarget::Wifi => Some(0),
+            FaultTarget::Cellular => Some(1),
+            FaultTarget::Core => None,
         }
     }
 }

@@ -20,7 +20,7 @@ pub struct ScenarioSpec {
 }
 
 /// Every scenario in the library, in presentation order.
-pub const ALL: [ScenarioSpec; 5] = [
+pub const ALL: [ScenarioSpec; 6] = [
     ScenarioSpec {
         name: "ap-vanish",
         summary: "the WiFi AP disappears for 8 s mid-transfer (power cycle, kicked client)",
@@ -41,6 +41,11 @@ pub const ALL: [ScenarioSpec; 5] = [
         name: "handover-walk",
         summary:
             "walking out of coverage: WiFi rate decays, a 4 s handover gap, cellular RRC stall",
+    },
+    ScenarioSpec {
+        name: "congested_core",
+        summary:
+            "a shared core bottleneck collapses to a blackhole, then ramps back while RTTs spike",
     },
 ];
 
@@ -78,6 +83,23 @@ pub fn plan(name: &str) -> Option<FaultPlan> {
                 // ...while the suddenly-busy cellular radio stalls in RRC
                 // signalling for a moment.
                 .rrc_stall(s(9), d(2), ms(150)),
+        ),
+        "congested_core" => Some(
+            FaultPlan::new()
+                // Congestion builds: every path crossing the core sees its
+                // RTT inflate well before the router keels over...
+                .rtt_spike(FaultTarget::Core, s(3), d(12), ms(120))
+                // ...then the core collapses to a silent blackhole for 5 s
+                // (long enough for consecutive-RTO failure detection to
+                // declare subflows dead) and ramps back in stages.
+                .bandwidth_collapse(
+                    FaultTarget::Core,
+                    s(5),
+                    d(5),
+                    0,
+                    &[1_000_000, 8_000_000],
+                    d(2),
+                ),
         ),
         _ => None,
     }

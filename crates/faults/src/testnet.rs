@@ -259,45 +259,50 @@ impl MpChaosRig {
     }
 }
 
+impl MpChaosRig {
+    /// Paths a fault target maps onto: a single path for the interface
+    /// targets, every path for the shared core (a congested core hits all
+    /// traffic crossing it). Out-of-range single targets map to nothing.
+    fn target_paths(&self, target: FaultTarget) -> std::ops::Range<usize> {
+        match target.path_index() {
+            Some(idx) if idx < self.net.paths.len() => idx..idx + 1,
+            Some(_) => 0..0,
+            None => 0..self.net.paths.len(),
+        }
+    }
+}
+
 impl FaultSurface for MpChaosRig {
     fn set_iface_up(&mut self, now: SimTime, target: FaultTarget, up: bool) {
-        let idx = target.path_index();
-        if idx >= self.net.paths.len() {
-            return;
-        }
-        self.net.paths[idx].up = up;
-        if self.notify_link_down {
-            let id = SubflowId(idx as u8);
-            self.client.set_subflow_link_up(now, id, up);
-            self.server.set_subflow_link_up(now, id, up);
+        for idx in self.target_paths(target) {
+            self.net.paths[idx].up = up;
+            if self.notify_link_down {
+                let id = SubflowId(idx as u8);
+                self.client.set_subflow_link_up(now, id, up);
+                self.server.set_subflow_link_up(now, id, up);
+            }
         }
     }
 
     fn set_rate(&mut self, _now: SimTime, target: FaultTarget, rate_bps: Option<u64>) {
         // Delay-based paths have no serializer: only the rate-zero
         // blackhole is meaningful here (see the module docs).
-        let idx = target.path_index();
-        if idx >= self.net.paths.len() {
-            return;
+        for idx in self.target_paths(target) {
+            self.net.paths[idx].rate_zero = rate_bps == Some(0);
         }
-        self.net.paths[idx].rate_zero = rate_bps == Some(0);
     }
 
     fn set_loss(&mut self, _now: SimTime, target: FaultTarget, model: Option<LossModel>) {
-        let idx = target.path_index();
-        if idx >= self.net.paths.len() {
-            return;
+        for idx in self.target_paths(target) {
+            let path = &mut self.net.paths[idx];
+            path.loss.set_model(model.unwrap_or(path.nominal_loss));
         }
-        let path = &mut self.net.paths[idx];
-        path.loss.set_model(model.unwrap_or(path.nominal_loss));
     }
 
     fn set_extra_delay(&mut self, _now: SimTime, target: FaultTarget, extra: Option<SimDuration>) {
-        let idx = target.path_index();
-        if idx >= self.net.paths.len() {
-            return;
+        for idx in self.target_paths(target) {
+            self.net.paths[idx].extra_delay = extra.unwrap_or(SimDuration::ZERO);
         }
-        self.net.paths[idx].extra_delay = extra.unwrap_or(SimDuration::ZERO);
     }
 }
 

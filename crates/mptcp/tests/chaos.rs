@@ -61,3 +61,38 @@ fn backup_subflow_with_loss() {
     // Backup never carried data (subflow 0 stayed alive throughout).
     assert_eq!(r.client.delivered_by_iface(IfaceKind::CellularLte), 0);
 }
+
+/// The shared-bottleneck library scenario: `congested_core` collapses
+/// every path at once (a silent blackhole — no link-layer notification),
+/// so both subflows must be declared dead by the consecutive-RTO detector
+/// and revived by ack progress once the core ramps back. The byte stream
+/// must still arrive exactly, with the recovery visible in the stats.
+#[test]
+fn congested_core_scenario_recovers_with_stats() {
+    // Long-ish RTTs keep a large transfer in flight through the scenario's
+    // 5 s collapse window (the rig is delay-based, so throughput is
+    // window-limited rather than rate-limited).
+    let mut r = MpChaosRig::new(
+        41,
+        vec![
+            ChaosPath::new(0.0, SimDuration::from_millis(100), 2),
+            ChaosPath::new(0.0, SimDuration::from_millis(130), 2),
+        ],
+    );
+    // The collapse is silent; detection must come from RTOs alone.
+    r.notify_link_down = false;
+    r.server.set_failure_threshold(2);
+    r.attach_faults(emptcp_faults::scenarios::plan("congested_core").expect("library scenario"));
+    // Window-limited at these RTTs the rig moves ~100 KB/s, so 8 MB keeps
+    // the transfer in flight through the whole collapse and still finishes
+    // far inside the wall limit.
+    let total = 8 << 20;
+    assert_eq!(r.run(total), total);
+    let stats = r.server.recovery_stats();
+    assert!(stats.subflow_failures >= 1, "{stats:?}");
+    assert!(stats.revivals >= 1, "{stats:?}");
+    assert!(
+        stats.worst_recovery_latency().is_some(),
+        "recovery latency never measured: {stats:?}"
+    );
+}

@@ -1,0 +1,309 @@
+//! The fabric: a topology made operational.
+//!
+//! A [`Fabric`] instantiates one [`Port`] per directed edge of a
+//! [`Topology`] and routes packets hop by hop. It is poll-less like the
+//! underlying links: [`Fabric::step`] charges the packet to the current
+//! hop's port and returns where (and when) it surfaces next — the caller
+//! owns the event queue and schedules the arrival, because downstream
+//! queue occupancy depends on arrival times the caller controls.
+//!
+//! The fabric implements [`FaultSurface`], so the same scripted
+//! [`FaultPlan`]s that batter the single-device host can batter a
+//! backbone: fault targets are *designated* onto port sets
+//! ([`Fabric::designate`]), with [`FaultTarget::Core`] conventionally
+//! mapped to the shared bottleneck.
+//!
+//! [`FaultPlan`]: emptcp_faults::FaultPlan
+
+use crate::port::{Port, PortOutcome};
+use crate::topology::{NodeId, Topology};
+use emptcp_faults::injector::FaultSurface;
+use emptcp_faults::FaultTarget;
+use emptcp_phy::link::DropReason;
+use emptcp_phy::LossModel;
+use emptcp_sim::{SimDuration, SimRng, SimTime};
+use emptcp_telemetry::TelemetryScope;
+
+/// Where a packet went after one hop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Hop {
+    /// The packet is at its destination; deliver it to the local stack.
+    Arrived,
+    /// Committed to a port; it surfaces at `node` at time `at`.
+    Forwarded {
+        /// The node the packet arrives at next.
+        node: NodeId,
+        /// When it arrives there.
+        at: SimTime,
+        /// ECN accounting bit (entered a standing queue above threshold).
+        marked: bool,
+    },
+    /// Dropped by the current hop's output port.
+    Dropped(DropReason),
+    /// No route from here to the destination.
+    Unroutable,
+}
+
+/// A running fabric: topology + ports + fault designations.
+pub struct Fabric {
+    topo: Topology,
+    ports: Vec<Port>,
+    scope: TelemetryScope,
+    /// Port sets the three fault targets map onto.
+    wifi_ports: Vec<usize>,
+    cellular_ports: Vec<usize>,
+    core_ports: Vec<usize>,
+}
+
+impl Fabric {
+    /// Bring a topology up: one port per directed edge, telemetry off.
+    pub fn new(topo: Topology) -> Fabric {
+        let ports = (0..topo.edge_count())
+            .map(|eid| {
+                let e = topo.edge(eid);
+                Port::new(e.from, e.to, e.config)
+            })
+            .collect();
+        Fabric {
+            topo,
+            ports,
+            scope: TelemetryScope::disabled(),
+            wifi_ports: Vec::new(),
+            cellular_ports: Vec::new(),
+            core_ports: Vec::new(),
+        }
+    }
+
+    /// Attach a telemetry scope for `RouterDrop` / `QueueDepth` events.
+    pub fn set_telemetry(&mut self, scope: TelemetryScope) {
+        self.scope = scope;
+    }
+
+    /// The frozen topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// A port by id (= directed edge id).
+    pub fn port(&self, id: usize) -> &Port {
+        &self.ports[id]
+    }
+
+    /// Mutable port access (threshold tuning, direct injection tests).
+    pub fn port_mut(&mut self, id: usize) -> &mut Port {
+        &mut self.ports[id]
+    }
+
+    /// Map a fault target onto a set of ports. Core conventionally gets
+    /// the shared bottleneck edge(s); Wifi/Cellular get access edges.
+    pub fn designate(&mut self, target: FaultTarget, ports: Vec<usize>) {
+        match target {
+            FaultTarget::Wifi => self.wifi_ports = ports,
+            FaultTarget::Cellular => self.cellular_ports = ports,
+            FaultTarget::Core => self.core_ports = ports,
+        }
+    }
+
+    fn designated(&self, target: FaultTarget) -> &[usize] {
+        match target {
+            FaultTarget::Wifi => &self.wifi_ports,
+            FaultTarget::Cellular => &self.cellular_ports,
+            FaultTarget::Core => &self.core_ports,
+        }
+    }
+
+    /// Advance a packet sitting at `at_node` toward `dst` by one hop.
+    pub fn step(
+        &mut self,
+        now: SimTime,
+        at_node: NodeId,
+        dst: NodeId,
+        wire_bytes: u64,
+        rng: &mut SimRng,
+    ) -> Hop {
+        if at_node == dst {
+            return Hop::Arrived;
+        }
+        let Some(eid) = self.topo.route(at_node, dst) else {
+            return Hop::Unroutable;
+        };
+        let next = self.topo.edge(eid).to;
+        match self.ports[eid].transmit(now, wire_bytes, rng, at_node.0, eid as u32, &self.scope) {
+            PortOutcome::Forwarded { at, marked } => Hop::Forwarded {
+                node: next,
+                at,
+                marked,
+            },
+            PortOutcome::Dropped(reason) => Hop::Dropped(reason),
+        }
+    }
+
+    /// Publish per-router drop/ECN counters and peak queue gauges into the
+    /// metrics registry (one shot, typically at end of run). Counter names
+    /// follow the `net.router{R}.port{P}.*` convention so the experiment
+    /// summaries can roll them up per family.
+    pub fn publish_metrics(&self) {
+        self.scope.with_metrics(|_, m| {
+            for (eid, port) in self.ports.iter().enumerate() {
+                let router = port.from().0;
+                let base = format!("net.router{router}.port{eid}");
+                let link = port.link();
+                m.counter_add(&format!("{base}.delivered"), link.delivered_packets());
+                m.counter_add(&format!("{base}.drops_queue"), link.dropped_queue());
+                m.counter_add(&format!("{base}.drops_channel"), link.dropped_channel());
+                m.counter_add(&format!("{base}.ecn_marked"), port.ecn_marked());
+                m.gauge_set(
+                    &format!("{base}.peak_queue_bytes"),
+                    port.peak_queue_bytes() as f64,
+                );
+            }
+        });
+    }
+
+    /// Total queue drops across all ports (bottleneck pressure at a glance).
+    pub fn total_queue_drops(&self) -> u64 {
+        self.ports.iter().map(|p| p.link().dropped_queue()).sum()
+    }
+
+    /// Total ECN marks across all ports.
+    pub fn total_ecn_marks(&self) -> u64 {
+        self.ports.iter().map(|p| p.ecn_marked()).sum()
+    }
+}
+
+impl FaultSurface for Fabric {
+    fn set_iface_up(&mut self, now: SimTime, target: FaultTarget, up: bool) {
+        for i in 0..self.designated(target).len() {
+            let pid = self.designated(target)[i];
+            self.ports[pid].set_admin_up(now, up);
+        }
+    }
+
+    fn set_rate(&mut self, now: SimTime, target: FaultTarget, rate_bps: Option<u64>) {
+        for i in 0..self.designated(target).len() {
+            let pid = self.designated(target)[i];
+            self.ports[pid].set_rate(now, rate_bps);
+        }
+    }
+
+    fn set_loss(&mut self, _now: SimTime, target: FaultTarget, model: Option<LossModel>) {
+        for i in 0..self.designated(target).len() {
+            let pid = self.designated(target)[i];
+            self.ports[pid].set_loss(model);
+        }
+    }
+
+    fn set_extra_delay(&mut self, _now: SimTime, target: FaultTarget, extra: Option<SimDuration>) {
+        for i in 0..self.designated(target).len() {
+            let pid = self.designated(target)[i];
+            self.ports[pid].set_extra_delay(extra);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use emptcp_phy::LinkConfig;
+
+    /// a — r — z with a thin r→z hop.
+    fn fabric() -> (Fabric, NodeId, NodeId, usize) {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a");
+        let r = b.router("r");
+        let z = b.host("z");
+        b.symmetric_link(a, r, LinkConfig::backbone(SimDuration::from_millis(1)));
+        let (thin, _) = b.link(
+            r,
+            z,
+            LinkConfig {
+                rate_bps: 1_200_000,
+                prop_delay: SimDuration::from_millis(5),
+                queue_capacity: 4500,
+                loss_prob: 0.0,
+            },
+            LinkConfig::backbone(SimDuration::from_millis(5)),
+        );
+        (Fabric::new(b.build()), a, z, thin)
+    }
+
+    #[test]
+    fn multi_hop_delivery_accumulates_delays() {
+        let (mut f, a, z, _) = fabric();
+        let mut rng = SimRng::new(1);
+        // Hop 1: backbone, 1500 B at 1 Gbps is 12 µs + 1 ms.
+        let Hop::Forwarded {
+            node: r, at: t1, ..
+        } = f.step(SimTime::ZERO, a, z, 1500, &mut rng)
+        else {
+            panic!("hop 1 failed")
+        };
+        assert!(t1 > SimTime::from_millis(1));
+        // Hop 2: thin 1.2 Mbps, 1500 B is 10 ms + 5 ms propagation.
+        let Hop::Forwarded {
+            node: end, at: t2, ..
+        } = f.step(t1, r, z, 1500, &mut rng)
+        else {
+            panic!("hop 2 failed")
+        };
+        assert_eq!(end, z);
+        assert_eq!(t2, t1 + SimDuration::from_millis(15));
+        assert_eq!(f.step(t2, end, z, 1500, &mut rng), Hop::Arrived);
+    }
+
+    #[test]
+    fn thin_hop_tail_drops_under_burst() {
+        let (mut f, _a, z, thin) = fabric();
+        let mut rng = SimRng::new(2);
+        let mut drops = 0;
+        let mut t = SimTime::ZERO;
+        for _ in 0..8 {
+            // All offered back-to-back at the router: 4500 B of queue holds
+            // three packets; the rest tail-drop.
+            if matches!(
+                f.step(t, f.topology().edge(thin).from, z, 1500, &mut rng),
+                Hop::Dropped(DropReason::QueueFull)
+            ) {
+                drops += 1;
+            }
+            t += SimDuration::from_micros(10);
+        }
+        assert!(drops >= 4, "{drops} drops");
+        assert_eq!(f.total_queue_drops(), drops);
+        assert!(f.total_ecn_marks() >= 1);
+    }
+
+    #[test]
+    fn core_fault_designation_hits_the_bottleneck() {
+        let (mut f, a, z, thin) = fabric();
+        f.designate(FaultTarget::Core, vec![thin]);
+        let mut rng = SimRng::new(3);
+        f.set_rate(SimTime::ZERO, FaultTarget::Core, Some(0));
+        let r = f.topology().edge(thin).from;
+        assert_eq!(
+            f.step(SimTime::ZERO, r, z, 1500, &mut rng),
+            Hop::Dropped(DropReason::LinkDown)
+        );
+        // The access edge is untouched.
+        assert!(matches!(
+            f.step(SimTime::ZERO, a, z, 1500, &mut rng),
+            Hop::Forwarded { .. }
+        ));
+        f.set_rate(SimTime::ZERO, FaultTarget::Core, None);
+        assert!(matches!(
+            f.step(SimTime::ZERO, r, z, 1500, &mut rng),
+            Hop::Forwarded { .. }
+        ));
+    }
+
+    #[test]
+    fn unroutable_when_no_path() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a");
+        let z = b.host("z");
+        let mut f = Fabric::new(b.build());
+        let mut rng = SimRng::new(4);
+        assert_eq!(f.step(SimTime::ZERO, a, z, 100, &mut rng), Hop::Unroutable);
+    }
+}

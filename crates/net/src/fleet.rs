@@ -1,0 +1,654 @@
+//! The fleet harness: many client stacks sharing one bottleneck.
+//!
+//! One server host feeds N clients through a two-router core whose
+//! forward edge is the shared bottleneck. Clients alternate between plain
+//! TCP (one subflow) and MPTCP (a WiFi-like and an LTE-like access path,
+//! LIA-coupled by default) — which is exactly the population the paper's
+//! "do no harm" property is stated over: at a shared bottleneck an MPTCP
+//! connection's aggregate must not out-compete a single TCP flow.
+//!
+//! Each client's access links are modelled as leaf "NIC" nodes hanging
+//! off the client-side router, one per interface, so static destination
+//! routing steers every subflow over its own access edge while all of
+//! them cross the same core port. Optional unresponsive cross-traffic
+//! sources ([`CrossTrafficSource`]) load the bottleneck further.
+//!
+//! The whole fleet is one deterministic discrete-event simulation over
+//! the shared [`EventQueue`]: same config + same seed ⇒ byte-identical
+//! reports, which is what lets the experiment runner farm fleet scenarios
+//! out across worker threads without changing the output.
+
+use crate::fabric::{Fabric, Hop};
+use crate::topology::{NodeId, TopologyBuilder};
+use emptcp_faults::injector::FaultInjector;
+use emptcp_faults::{FaultPlan, FaultTarget};
+use emptcp_mptcp::{MpConnection, Role, SubflowId};
+use emptcp_phy::modulation::OnOff;
+use emptcp_phy::{IfaceKind, LinkConfig};
+use emptcp_sim::{EventQueue, SimDuration, SimRng, SimTime, TimerId};
+use emptcp_tcp::{CcAlgorithm, Segment, TcpConfig};
+use emptcp_telemetry::Telemetry;
+use emptcp_workload::CrossTrafficSource;
+use serde::Serialize;
+
+/// Configuration of a fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of client stacks.
+    pub clients: usize,
+    /// Every `mptcp_every`-th client (starting at 0) runs MPTCP with two
+    /// subflows; the rest are single-subflow TCP. `1` = all MPTCP,
+    /// `usize::MAX` ≈ all TCP.
+    pub mptcp_every: usize,
+    /// LIA coupling for the MPTCP clients (false = per-subflow Reno, the
+    /// ablation that demonstrates why "do no harm" needs coupling).
+    pub coupled: bool,
+    /// The shared core bottleneck (router → router, toward the clients).
+    pub bottleneck: LinkConfig,
+    /// WiFi-like access edge (client-side router → NIC a).
+    pub access_a: LinkConfig,
+    /// LTE-like access edge (client-side router → NIC b).
+    pub access_b: LinkConfig,
+    /// Timed-bulk horizon: every client downloads as much as it can until
+    /// this much simulated time has passed.
+    pub duration: SimDuration,
+    /// Unresponsive on-off cross-traffic sources loading the bottleneck.
+    pub cross_sources: usize,
+    /// Mean offered rate per cross source while On, bits/s.
+    pub cross_rate_bps: u64,
+    /// Root seed for all randomness in the run.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A contended defaults set: `clients` stacks behind a 100 Mbps core
+    /// with roomy access links, half MPTCP, light cross-traffic.
+    pub fn contended(clients: usize, seed: u64) -> FleetConfig {
+        let ms = SimDuration::from_millis;
+        FleetConfig {
+            clients,
+            mptcp_every: 2,
+            coupled: true,
+            bottleneck: LinkConfig {
+                rate_bps: 100_000_000,
+                prop_delay: ms(10),
+                queue_capacity: 256 * 1024,
+                loss_prob: 0.0,
+            },
+            access_a: LinkConfig {
+                rate_bps: 50_000_000,
+                prop_delay: ms(3),
+                queue_capacity: 128 * 1024,
+                loss_prob: 0.0,
+            },
+            access_b: LinkConfig {
+                rate_bps: 30_000_000,
+                prop_delay: ms(15),
+                queue_capacity: 128 * 1024,
+                loss_prob: 0.0,
+            },
+            duration: SimDuration::from_secs(10),
+            cross_sources: 2,
+            cross_rate_bps: 4_000_000,
+            seed,
+        }
+    }
+
+    /// The minimal "do no harm" cell: one MPTCP client (two subflows)
+    /// against one TCP client on a tight core with a BDP-ish queue and no
+    /// cross-traffic, so congestion control alone decides the split.
+    /// Shared by the `fairness` exhibit and the LIA golden test.
+    pub fn do_no_harm_cell(seed: u64) -> FleetConfig {
+        let mut fc = FleetConfig::contended(2, seed);
+        fc.mptcp_every = 2;
+        fc.bottleneck.rate_bps = 16_000_000;
+        fc.bottleneck.queue_capacity = 64 * 1024;
+        fc.cross_sources = 0;
+        fc.duration = SimDuration::from_secs(8);
+        fc
+    }
+}
+
+/// What one fleet run produced.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetReport {
+    /// Client stack count.
+    pub clients: usize,
+    /// Simulated horizon (s).
+    pub duration_s: f64,
+    /// Per-client goodput, Mbit/s, in client order.
+    pub per_client_mbps: Vec<f64>,
+    /// Sum of per-client goodput.
+    pub aggregate_mbps: f64,
+    /// Mean goodput of the MPTCP clients (0 when none).
+    pub mptcp_mean_mbps: f64,
+    /// Mean goodput of the TCP clients (0 when none).
+    pub tcp_mean_mbps: f64,
+    /// `mptcp_mean_mbps / tcp_mean_mbps` — the "do no harm" ratio
+    /// (0 when either side is absent).
+    pub mptcp_tcp_ratio: f64,
+    /// Jain's fairness index over per-client goodput (1 = perfectly fair).
+    pub jain_index: f64,
+    /// Tail drops at the designated bottleneck port.
+    pub bottleneck_drops: u64,
+    /// ECN marks at the bottleneck port.
+    pub bottleneck_ecn_marks: u64,
+    /// Deepest bottleneck queue observed (bytes).
+    pub bottleneck_peak_queue_bytes: u64,
+    /// Queue drops across every port of the fabric.
+    pub total_queue_drops: u64,
+    /// Cross-traffic packets offered to the core.
+    pub cross_packets: u64,
+    /// Fault events applied (0 without an attached plan).
+    pub faults_injected: u64,
+}
+
+const CLIENT_REQUEST_BYTES: u64 = 400;
+
+struct ClientStack {
+    client: MpConnection,
+    server: MpConnection,
+    /// Destination NIC node per subflow index.
+    nic_nodes: Vec<NodeId>,
+    mptcp: bool,
+    request_answered: bool,
+}
+
+enum Event {
+    /// A packet surfacing at `node`, heading to a stack.
+    Hop {
+        conn: u32,
+        sf: SubflowId,
+        to_client: bool,
+        node: NodeId,
+        seg: Segment,
+    },
+    /// A cross-traffic packet surfacing at `node` (sinked on arrival).
+    CrossHop { src: u32, node: NodeId },
+    /// A cross source is due to emit (or toggle).
+    CrossPoll { src: u32 },
+    /// Re-armed RTO/timer sweep over every stack.
+    TimerCheck,
+}
+
+/// A many-client fleet simulation over a [`Fabric`].
+pub struct FleetSim {
+    cfg: FleetConfig,
+    fabric: Fabric,
+    queue: EventQueue<Event>,
+    rng: SimRng,
+    stacks: Vec<ClientStack>,
+    server_node: NodeId,
+    /// Where cross-traffic enters (the core router) and dies (a sink host).
+    cross_entry: NodeId,
+    cross_sink: NodeId,
+    cross: Vec<CrossTrafficSource>,
+    cross_packets: u64,
+    bottleneck_port: usize,
+    timer_handle: Option<(SimTime, TimerId)>,
+    injector: Option<FaultInjector>,
+    faults_applied: u64,
+    telemetry: Telemetry,
+    tx_scratch: Vec<(SubflowId, Segment, bool)>,
+}
+
+impl FleetSim {
+    /// Build the fleet: topology, fabric, stacks, cross-traffic.
+    pub fn new(cfg: FleetConfig) -> FleetSim {
+        FleetSim::new_with_telemetry(cfg, Telemetry::disabled())
+    }
+
+    /// Build with an attached telemetry pipeline (trace events from every
+    /// stack and router, metrics published at end of run).
+    pub fn new_with_telemetry(cfg: FleetConfig, telemetry: Telemetry) -> FleetSim {
+        let now = SimTime::ZERO;
+        let mut b = TopologyBuilder::new();
+        let server = b.host("server");
+        let core_in = b.router("core-in");
+        let core_out = b.router("core-out");
+        let backbone = LinkConfig::backbone(SimDuration::from_millis(1));
+        b.symmetric_link(server, core_in, backbone);
+        // The forward core edge is the shared bottleneck; the reverse
+        // (ack) direction is generous.
+        let (bottleneck_port, _) = b.link(
+            core_in,
+            core_out,
+            cfg.bottleneck,
+            LinkConfig::backbone(cfg.bottleneck.prop_delay),
+        );
+        let cross_sink = b.host("cross-sink");
+        b.symmetric_link(core_out, cross_sink, backbone);
+
+        let mut nic_nodes_per_client = Vec::with_capacity(cfg.clients);
+        for i in 0..cfg.clients {
+            let mptcp = cfg.mptcp_every != 0 && i % cfg.mptcp_every == 0;
+            // Access uplinks mirror the downlink config: contention there
+            // is real (acks queue behind data on slow uplinks).
+            let nic_a = b.host(&format!("c{i}-nic-a"));
+            b.link(core_out, nic_a, cfg.access_a, cfg.access_a);
+            let mut nics = vec![nic_a];
+            if mptcp {
+                let nic_b = b.host(&format!("c{i}-nic-b"));
+                b.link(core_out, nic_b, cfg.access_b, cfg.access_b);
+                nics.push(nic_b);
+            }
+            nic_nodes_per_client.push(nics);
+        }
+
+        let mut fabric = Fabric::new(b.build());
+        fabric.designate(FaultTarget::Core, vec![bottleneck_port]);
+        fabric.set_telemetry(telemetry.scope(u32::MAX));
+
+        let root = SimRng::new(cfg.seed);
+        let mut cross_rng = root.fork_labeled("cross");
+        let cross = (0..cfg.cross_sources)
+            .map(|i| {
+                CrossTrafficSource::new(
+                    now,
+                    if i % 2 == 0 { OnOff::On } else { OnOff::Off },
+                    cfg.cross_rate_bps,
+                    1500,
+                    0.5,
+                    0.5,
+                    cross_rng.fork(i as u64),
+                )
+            })
+            .collect::<Vec<_>>();
+
+        let mut stacks = Vec::with_capacity(cfg.clients);
+        // LIA coupling needs the subflow CC to run the Lia increase rule —
+        // `TcpConfig::default()` is plain Reno, under which `set_lia` is a
+        // documented no-op. TCP clients always stay Reno.
+        let mut mp_tcfg = TcpConfig::default();
+        if cfg.coupled {
+            mp_tcfg.algorithm = CcAlgorithm::Lia;
+        }
+        for (i, nics) in nic_nodes_per_client.iter().enumerate() {
+            let mptcp = nics.len() > 1;
+            let tcfg = if mptcp { mp_tcfg } else { TcpConfig::default() };
+            let mut client = MpConnection::new(Role::Client, tcfg);
+            let mut server_conn = MpConnection::new(Role::Server, tcfg);
+            client.set_telemetry(telemetry.scope(i as u32));
+            server_conn.set_telemetry(telemetry.scope(i as u32));
+            client.set_coupled(cfg.coupled);
+            server_conn.set_coupled(cfg.coupled);
+            client.add_subflow(now, IfaceKind::Wifi);
+            server_conn.add_subflow(now, IfaceKind::Wifi);
+            if mptcp {
+                client.add_subflow(now, IfaceKind::CellularLte);
+                server_conn.add_subflow(now, IfaceKind::CellularLte);
+            }
+            // The request flows once the handshake completes; the server
+            // answers with an effectively unbounded timed-bulk payload.
+            client.write(CLIENT_REQUEST_BYTES);
+            stacks.push(ClientStack {
+                client,
+                server: server_conn,
+                nic_nodes: nics.clone(),
+                mptcp,
+                request_answered: false,
+            });
+        }
+
+        let mut sim = FleetSim {
+            cfg,
+            fabric,
+            queue: EventQueue::new(),
+            rng: root.fork_labeled("net"),
+            stacks,
+            server_node: server,
+            cross_entry: core_in,
+            cross_sink,
+            cross,
+            cross_packets: 0,
+            bottleneck_port,
+            timer_handle: None,
+            injector: None,
+            faults_applied: 0,
+            telemetry,
+            tx_scratch: Vec::new(),
+        };
+        for i in 0..sim.cross.len() {
+            let at = sim.cross[i].next_event();
+            sim.queue.schedule(at, Event::CrossPoll { src: i as u32 });
+        }
+        sim
+    }
+
+    /// Attach a fault plan; `FaultTarget::Core` hits the bottleneck port.
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        let mut injector = FaultInjector::new(plan);
+        injector.set_telemetry(self.telemetry.scope(u32::MAX));
+        self.injector = Some(injector);
+    }
+
+    /// The designated bottleneck port id.
+    pub fn bottleneck_port(&self) -> usize {
+        self.bottleneck_port
+    }
+
+    /// The fabric (port counters, topology).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    fn poll_faults(&mut self, now: SimTime) {
+        if let Some(mut inj) = self.injector.take() {
+            self.faults_applied += inj.poll(now, &mut self.fabric) as u64;
+            self.injector = Some(inj);
+        }
+    }
+
+    /// Launch a packet from whichever node owns the transmitting end.
+    fn send(&mut self, now: SimTime, conn: u32, sf: SubflowId, seg: Segment, from_client: bool) {
+        let stack = &self.stacks[conn as usize];
+        let (start, dst) = if from_client {
+            (stack.nic_nodes[sf.0 as usize], self.server_node)
+        } else {
+            (self.server_node, stack.nic_nodes[sf.0 as usize])
+        };
+        self.hop(now, conn, sf, !from_client, start, dst, seg);
+    }
+
+    /// Advance a packet one hop; schedule the next surface or drop it.
+    #[allow(clippy::too_many_arguments)]
+    fn hop(
+        &mut self,
+        now: SimTime,
+        conn: u32,
+        sf: SubflowId,
+        to_client: bool,
+        node: NodeId,
+        dst: NodeId,
+        seg: Segment,
+    ) {
+        match self
+            .fabric
+            .step(now, node, dst, seg.wire_bytes(), &mut self.rng)
+        {
+            Hop::Arrived => self.deliver(now, conn, sf, to_client, seg),
+            Hop::Forwarded { node, at, .. } => {
+                self.queue.schedule(
+                    at,
+                    Event::Hop {
+                        conn,
+                        sf,
+                        to_client,
+                        node,
+                        seg,
+                    },
+                );
+            }
+            Hop::Dropped(_) | Hop::Unroutable => {}
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime, conn: u32, sf: SubflowId, to_client: bool, seg: Segment) {
+        let i = conn as usize;
+        if to_client {
+            self.stacks[i].client.on_segment(now, sf, seg);
+        } else {
+            self.stacks[i].server.on_segment(now, sf, seg);
+            self.feed_server(i);
+        }
+        self.drain_stack(now, i);
+    }
+
+    /// Timed bulk: the first complete request unlocks a response far
+    /// larger than any horizon can drain.
+    fn feed_server(&mut self, i: usize) {
+        let stack = &mut self.stacks[i];
+        if !stack.request_answered && stack.server.bytes_delivered() >= CLIENT_REQUEST_BYTES {
+            stack.request_answered = true;
+            stack.server.write(1 << 42);
+        }
+    }
+
+    fn drain_stack(&mut self, now: SimTime, i: usize) {
+        let mut batch = std::mem::take(&mut self.tx_scratch);
+        loop {
+            batch.clear();
+            while let Some((sf, seg)) = self.stacks[i].client.poll_transmit(now) {
+                batch.push((sf, seg, true));
+            }
+            while let Some((sf, seg)) = self.stacks[i].server.poll_transmit(now) {
+                batch.push((sf, seg, false));
+            }
+            if batch.is_empty() {
+                break;
+            }
+            for &(sf, seg, from_client) in &batch {
+                self.send(now, i as u32, sf, seg, from_client);
+            }
+        }
+        self.tx_scratch = batch;
+    }
+
+    fn schedule_timers(&mut self, now: SimTime) {
+        let next = self
+            .stacks
+            .iter()
+            .flat_map(|s| [s.client.next_deadline(), s.server.next_deadline()])
+            .flatten()
+            .chain(self.injector.as_ref().and_then(|i| i.next_deadline()))
+            .min();
+        if let Some(d) = next {
+            let d = d.max(now);
+            let need = match self.timer_handle {
+                Some((t, _)) => d < t,
+                None => true,
+            };
+            if need {
+                if let Some((_, id)) = self.timer_handle.take() {
+                    self.queue.cancel(id);
+                }
+                let id = self.queue.schedule(d, Event::TimerCheck);
+                self.timer_handle = Some((d, id));
+            }
+        }
+    }
+
+    fn on_timer_check(&mut self, now: SimTime) {
+        self.timer_handle = None;
+        self.poll_faults(now);
+        for i in 0..self.stacks.len() {
+            self.stacks[i].client.on_deadline(now);
+            self.stacks[i].server.on_deadline(now);
+            self.drain_stack(now, i);
+        }
+    }
+
+    fn on_cross_poll(&mut self, now: SimTime, src: u32) {
+        let i = src as usize;
+        let packets = self.cross[i].poll(now);
+        let bytes = self.cross[i].packet_bytes();
+        for _ in 0..packets {
+            self.cross_packets += 1;
+            self.cross_hop(now, src, self.cross_entry, bytes);
+        }
+        let at = self.cross[i].next_event();
+        self.queue.schedule(at, Event::CrossPoll { src });
+    }
+
+    fn cross_hop(&mut self, now: SimTime, src: u32, node: NodeId, bytes: u64) {
+        // Arrived packets are sinked; drops are the point.
+        if let Hop::Forwarded { node, at, .. } =
+            self.fabric
+                .step(now, node, self.cross_sink, bytes, &mut self.rng)
+        {
+            self.queue.schedule(at, Event::CrossHop { src, node });
+        }
+    }
+
+    /// Run the fleet to its horizon and summarize.
+    pub fn run(&mut self) -> FleetReport {
+        let horizon = SimTime::ZERO + self.cfg.duration;
+        self.poll_faults(SimTime::ZERO);
+        for i in 0..self.stacks.len() {
+            self.drain_stack(SimTime::ZERO, i);
+        }
+        self.schedule_timers(SimTime::ZERO);
+        while let Some((now, event)) = self.queue.pop() {
+            if now > horizon {
+                break;
+            }
+            match event {
+                Event::Hop {
+                    conn,
+                    sf,
+                    to_client,
+                    node,
+                    seg,
+                } => {
+                    self.poll_faults(now);
+                    let dst = if to_client {
+                        self.stacks[conn as usize].nic_nodes[sf.0 as usize]
+                    } else {
+                        self.server_node
+                    };
+                    self.hop(now, conn, sf, to_client, node, dst, seg);
+                }
+                Event::CrossHop { src, node } => {
+                    let bytes = self.cross[src as usize].packet_bytes();
+                    self.cross_hop(now, src, node, bytes);
+                }
+                Event::CrossPoll { src } => self.on_cross_poll(now, src),
+                Event::TimerCheck => self.on_timer_check(now),
+            }
+            self.schedule_timers(now);
+        }
+        self.fabric.publish_metrics();
+        self.report()
+    }
+
+    fn report(&self) -> FleetReport {
+        let secs = self.cfg.duration.as_secs_f64();
+        let mbps = |bytes: u64| bytes as f64 * 8.0 / secs / 1e6;
+        let per_client: Vec<f64> = self
+            .stacks
+            .iter()
+            .map(|s| {
+                // Goodput is response payload only; the 400 B request rides
+                // the other direction and is excluded by construction.
+                mbps(s.client.bytes_delivered())
+            })
+            .collect();
+        let mean = |xs: &[f64]| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+        let mptcp: Vec<f64> = per_client
+            .iter()
+            .zip(&self.stacks)
+            .filter(|(_, s)| s.mptcp)
+            .map(|(&x, _)| x)
+            .collect();
+        let tcp: Vec<f64> = per_client
+            .iter()
+            .zip(&self.stacks)
+            .filter(|(_, s)| !s.mptcp)
+            .map(|(&x, _)| x)
+            .collect();
+        let (m_mean, t_mean) = (mean(&mptcp), mean(&tcp));
+        let sum: f64 = per_client.iter().sum();
+        let sq_sum: f64 = per_client.iter().map(|x| x * x).sum();
+        let jain = if sq_sum > 0.0 {
+            sum * sum / (per_client.len() as f64 * sq_sum)
+        } else {
+            0.0
+        };
+        let bp = self.fabric.port(self.bottleneck_port);
+        FleetReport {
+            clients: self.cfg.clients,
+            duration_s: secs,
+            aggregate_mbps: sum,
+            mptcp_mean_mbps: m_mean,
+            tcp_mean_mbps: t_mean,
+            mptcp_tcp_ratio: if t_mean > 0.0 && m_mean > 0.0 {
+                m_mean / t_mean
+            } else {
+                0.0
+            },
+            jain_index: jain,
+            bottleneck_drops: bp.link().dropped_queue(),
+            bottleneck_ecn_marks: bp.ecn_marked(),
+            bottleneck_peak_queue_bytes: bp.peak_queue_bytes(),
+            total_queue_drops: self.fabric.total_queue_drops(),
+            cross_packets: self.cross_packets,
+            faults_injected: self.faults_applied,
+            per_client_mbps: per_client,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(clients: usize, seed: u64) -> FleetConfig {
+        let mut cfg = FleetConfig::contended(clients, seed);
+        cfg.duration = SimDuration::from_secs(4);
+        cfg.bottleneck.rate_bps = 20_000_000;
+        cfg.cross_sources = 1;
+        cfg
+    }
+
+    #[test]
+    fn every_client_makes_progress() {
+        let mut sim = FleetSim::new(small(6, 9));
+        let report = sim.run();
+        assert_eq!(report.per_client_mbps.len(), 6);
+        for (i, &mbps) in report.per_client_mbps.iter().enumerate() {
+            assert!(mbps > 0.05, "client {i} starved: {mbps} Mbps");
+        }
+        assert!(report.aggregate_mbps > 5.0, "{report:?}");
+        assert!(report.jain_index > 0.5, "{report:?}");
+    }
+
+    #[test]
+    fn bottleneck_is_actually_shared() {
+        // Offered load (6 clients + cross traffic) far exceeds 20 Mbps, so
+        // the core queue must overflow and the aggregate must saturate
+        // near (but never beyond) the bottleneck rate.
+        let mut sim = FleetSim::new(small(6, 10));
+        let report = sim.run();
+        assert!(report.bottleneck_drops > 0, "{report:?}");
+        assert!(report.aggregate_mbps <= 20.0, "{report:?}");
+        assert!(report.aggregate_mbps > 12.0, "{report:?}");
+        assert!(report.bottleneck_ecn_marks > 0, "{report:?}");
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = FleetSim::new(small(5, 77)).run();
+        let b = FleetSim::new(small(5, 77)).run();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn core_fault_plan_stalls_and_recovers() {
+        let mut cfg = small(4, 5);
+        cfg.duration = SimDuration::from_secs(8);
+        let mut sim = FleetSim::new(cfg);
+        sim.attach_faults(FaultPlan::new().bandwidth_collapse(
+            FaultTarget::Core,
+            SimTime::from_secs(2),
+            SimDuration::from_secs(2),
+            0,
+            &[5_000_000],
+            SimDuration::from_secs(1),
+        ));
+        let report = sim.run();
+        assert!(report.faults_injected >= 2, "{report:?}");
+        // Everyone still finishes the horizon with bytes on the board.
+        for &mbps in &report.per_client_mbps {
+            assert!(mbps > 0.0, "{report:?}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Deterministic multi-hop network fabric for the eMPTCP testbed.
+//!
+//! Where `emptcp-expr`'s host simulation models one device with two
+//! dedicated access paths, this crate models the *network between*
+//! devices: a topology graph of hosts and routers ([`topology`]), router
+//! output ports with drop-tail queues and ECN-style accounting built on
+//! the same rate-serializing [`Link`](emptcp_phy::Link) ([`port`]), a
+//! routed fabric that implements the fault surface ([`fabric`]), and a
+//! fleet harness that runs many independent TCP/MPTCP client stacks over
+//! one shared bottleneck ([`fleet`]).
+//!
+//! Everything is driven by the shared discrete-event queue and forked
+//! [`SimRng`](emptcp_sim::SimRng) streams, so a fleet run is a pure
+//! function of its config and seed — the property the parallel experiment
+//! runner relies on for byte-identical output at any `--jobs` level.
+
+#![warn(missing_docs)]
+
+pub mod fabric;
+pub mod fleet;
+pub mod port;
+pub mod topology;
+
+pub use fabric::{Fabric, Hop};
+pub use fleet::{FleetConfig, FleetReport, FleetSim};
+pub use port::{Port, PortOutcome};
+pub use topology::{NodeId, NodeKind, Topology, TopologyBuilder};

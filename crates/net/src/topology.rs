@@ -1,0 +1,275 @@
+//! Topology graphs and static shortest-path routing.
+//!
+//! A topology is a directed graph of named nodes (hosts at the edge,
+//! routers in the middle) whose edges are [`LinkConfig`]s — each direction
+//! of a physical link is its own edge, so asymmetric access links (fat
+//! downlink, thin uplink) fall out naturally.
+//!
+//! Routing is static and computed once at [`TopologyBuilder::build`]:
+//! a BFS per destination (fewest hops; ties broken by smallest edge id,
+//! which is insertion order) yields a full next-hop table. Deterministic
+//! by construction — the same builder calls always produce the same
+//! routes, independent of any hashing.
+
+use emptcp_phy::LinkConfig;
+use serde::Serialize;
+
+/// A node in the topology graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize)]
+pub struct NodeId(pub u32);
+
+/// What a node is; only routers forward traffic for others.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum NodeKind {
+    /// An endpoint: sources and sinks traffic, never forwards.
+    Host,
+    /// A forwarding element with one output port per outgoing edge.
+    Router,
+}
+
+/// One directed edge of the graph.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// The link this edge's port is built from.
+    pub config: LinkConfig,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    name: String,
+    kind: NodeKind,
+}
+
+/// Builder for a [`Topology`].
+#[derive(Clone, Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl TopologyBuilder {
+    /// An empty builder.
+    pub fn new() -> TopologyBuilder {
+        TopologyBuilder::default()
+    }
+
+    fn add_node(&mut self, name: &str, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind,
+        });
+        id
+    }
+
+    /// Add a host (endpoint) node.
+    pub fn host(&mut self, name: &str) -> NodeId {
+        self.add_node(name, NodeKind::Host)
+    }
+
+    /// Add a router node.
+    pub fn router(&mut self, name: &str) -> NodeId {
+        self.add_node(name, NodeKind::Router)
+    }
+
+    /// Add a bidirectional link between `a` and `b`: the `a → b` direction
+    /// uses `ab`, the reverse uses `ba`. Returns the directed edge ids
+    /// `(a→b, b→a)` — these double as port ids in the fabric.
+    pub fn link(&mut self, a: NodeId, b: NodeId, ab: LinkConfig, ba: LinkConfig) -> (usize, usize) {
+        let fwd = self.edges.len();
+        self.edges.push(Edge {
+            from: a,
+            to: b,
+            config: ab,
+        });
+        self.edges.push(Edge {
+            from: b,
+            to: a,
+            config: ba,
+        });
+        (fwd, fwd + 1)
+    }
+
+    /// Add a symmetric bidirectional link.
+    pub fn symmetric_link(&mut self, a: NodeId, b: NodeId, config: LinkConfig) -> (usize, usize) {
+        self.link(a, b, config, config)
+    }
+
+    /// Freeze the graph and compute the next-hop table.
+    pub fn build(self) -> Topology {
+        let n = self.nodes.len();
+        // Outgoing edge ids per node, in insertion order (the tie-break).
+        let mut out = vec![Vec::new(); n];
+        for (eid, e) in self.edges.iter().enumerate() {
+            out[e.from.0 as usize].push(eid);
+        }
+        // Incoming edges per node, for the reverse BFS from each dst.
+        let mut inc = vec![Vec::new(); n];
+        for (eid, e) in self.edges.iter().enumerate() {
+            inc[e.to.0 as usize].push(eid);
+        }
+        // next_hop[node][dst] = outgoing edge id toward dst.
+        let mut next_hop = vec![vec![None; n]; n];
+        let mut dist = vec![u32::MAX; n];
+        let mut frontier = std::collections::VecDeque::new();
+        for dst in 0..n {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[dst] = 0;
+            frontier.clear();
+            frontier.push_back(dst);
+            while let Some(v) = frontier.pop_front() {
+                // Only routers relay; hosts terminate paths (except the
+                // destination itself, which may be a host).
+                if v != dst && self.nodes[v].kind == NodeKind::Host {
+                    continue;
+                }
+                for &eid in &inc[v] {
+                    let u = self.edges[eid].from.0 as usize;
+                    if dist[u] == u32::MAX {
+                        dist[u] = dist[v] + 1;
+                        next_hop[u][dst] = Some(eid);
+                        frontier.push_back(u);
+                    } else if dist[u] == dist[v] + 1 {
+                        // Equal-cost tie: keep the smallest edge id so the
+                        // route is a pure function of insertion order.
+                        if let Some(cur) = next_hop[u][dst] {
+                            if eid < cur {
+                                next_hop[u][dst] = Some(eid);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Topology {
+            nodes: self.nodes,
+            edges: self.edges,
+            next_hop,
+        }
+    }
+}
+
+/// A frozen topology: the graph plus its static next-hop table.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    next_hop: Vec<Vec<Option<usize>>>,
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges (= ports in the fabric).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// A node's display name.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0 as usize].name
+    }
+
+    /// A node's kind.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.0 as usize].kind
+    }
+
+    /// The directed edge behind a port id.
+    pub fn edge(&self, id: usize) -> &Edge {
+        &self.edges[id]
+    }
+
+    /// The outgoing edge `at` uses toward `dst`, or `None` when `dst` is
+    /// unreachable (or `at == dst`).
+    pub fn route(&self, at: NodeId, dst: NodeId) -> Option<usize> {
+        self.next_hop[at.0 as usize][dst.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emptcp_sim::SimDuration;
+
+    fn cfg() -> LinkConfig {
+        LinkConfig::backbone(SimDuration::from_millis(1))
+    }
+
+    /// host A — router R0 — router R1 — host B, plus a spur host C on R0.
+    fn line() -> (Topology, [NodeId; 5]) {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a");
+        let r0 = b.router("r0");
+        let r1 = b.router("r1");
+        let bb = b.host("b");
+        let c = b.host("c");
+        b.symmetric_link(a, r0, cfg());
+        b.symmetric_link(r0, r1, cfg());
+        b.symmetric_link(r1, bb, cfg());
+        b.symmetric_link(r0, c, cfg());
+        (b.build(), [a, r0, r1, bb, c])
+    }
+
+    #[test]
+    fn routes_follow_the_line() {
+        let (t, [a, r0, r1, bb, c]) = line();
+        // a → b crosses a→r0, r0→r1, r1→b.
+        let e0 = t.route(a, bb).unwrap();
+        assert_eq!(t.edge(e0).to, r0);
+        let e1 = t.route(r0, bb).unwrap();
+        assert_eq!(t.edge(e1).to, r1);
+        let e2 = t.route(r1, bb).unwrap();
+        assert_eq!(t.edge(e2).to, bb);
+        // Spur: b → c goes back through both routers.
+        let e = t.route(bb, c).unwrap();
+        assert_eq!(t.edge(e).to, r1);
+        assert_eq!(t.route(c, c), None);
+    }
+
+    #[test]
+    fn hosts_do_not_relay() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a");
+        let mid = b.host("mid"); // a host in the middle must not forward
+        let z = b.host("z");
+        b.symmetric_link(a, mid, cfg());
+        b.symmetric_link(mid, z, cfg());
+        let t = b.build();
+        assert_eq!(t.route(a, z), None, "host relayed traffic");
+        assert!(t.route(a, mid).is_some());
+    }
+
+    #[test]
+    fn equal_cost_ties_break_by_edge_insertion_order() {
+        // Two parallel routers between a and z; the first-inserted path
+        // must win deterministically.
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a");
+        let r0 = b.router("r0");
+        let r1 = b.router("r1");
+        let z = b.host("z");
+        let (a_r0, _) = b.symmetric_link(a, r0, cfg());
+        b.symmetric_link(a, r1, cfg());
+        b.symmetric_link(r0, z, cfg());
+        b.symmetric_link(r1, z, cfg());
+        let t = b.build();
+        assert_eq!(t.route(a, z), Some(a_r0));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut b = TopologyBuilder::new();
+        let a = b.host("a");
+        let z = b.host("z");
+        let t = b.build();
+        assert_eq!(t.route(a, z), None);
+    }
+}

@@ -1,0 +1,46 @@
+//! LIA "do no harm" golden test (RFC 6356 goal 2, the paper's fairness
+//! premise): at a shared bottleneck, an MPTCP connection's aggregate must
+//! not take (much) more capacity than a single-path TCP flow — and the
+//! uncoupled ablation shows that this is LIA's doing, not an accident of
+//! the topology.
+
+use emptcp_net::{FleetConfig, FleetSim};
+
+fn ratio(coupled: bool, seed: u64) -> f64 {
+    let mut cfg = FleetConfig::do_no_harm_cell(seed);
+    cfg.coupled = coupled;
+    let report = FleetSim::new(cfg).run();
+    assert!(
+        report.mptcp_mean_mbps > 0.5 && report.tcp_mean_mbps > 0.5,
+        "both flows must make real progress: {report:?}"
+    );
+    report.mptcp_tcp_ratio
+}
+
+#[test]
+fn lia_does_no_harm_at_a_shared_bottleneck() {
+    for seed in [1u64, 42, 0xE0_07C9] {
+        let lia = ratio(true, seed);
+        // The bound is deliberately loose — scheduling still jitters the
+        // split — but it must hold from both sides: MPTCP neither starves
+        // nor meaningfully beats the competing TCP flow.
+        assert!(
+            (0.6..=1.35).contains(&lia),
+            "seed {seed}: LIA ratio {lia} outside do-no-harm bounds"
+        );
+    }
+}
+
+#[test]
+fn uncoupled_subflows_take_more_than_lia() {
+    for seed in [1u64, 42, 0xE0_07C9] {
+        let lia = ratio(true, seed);
+        let reno = ratio(false, seed);
+        // Two uncoupled Reno subflows behave like two flows against one.
+        assert!(
+            reno > lia + 0.2,
+            "seed {seed}: uncoupled {reno} not clearly above LIA {lia}"
+        );
+        assert!(reno > 1.25, "seed {seed}: uncoupled ratio {reno} too tame");
+    }
+}

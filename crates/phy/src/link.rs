@@ -284,6 +284,11 @@ impl Link {
         self.prop_delay
     }
 
+    /// Drop-tail queue capacity in bytes.
+    pub fn queue_capacity(&self) -> u64 {
+        self.queue_capacity
+    }
+
     /// Change the propagation delay (e.g. a different server location).
     pub fn set_prop_delay(&mut self, d: SimDuration) {
         self.prop_delay = d;

@@ -117,6 +117,24 @@ pub enum TraceEvent {
     /// A backup subflow was promoted to regular because no regular subflow
     /// survived (MP_PRIO is sent to the peer alongside).
     BackupPromoted { conn: u32, subflow: u8 },
+    /// A router output port dropped a packet. `reason` is `"queue_full"`,
+    /// `"channel"`, or `"link_down"`.
+    RouterDrop {
+        router: u32,
+        port: u32,
+        reason: &'static str,
+    },
+    /// A router output port's queue crossed its ECN marking threshold
+    /// (emissions are edge-triggered on threshold crossings, not
+    /// per-enqueue, so quiet ports cost nothing).
+    QueueDepth {
+        router: u32,
+        port: u32,
+        /// Bytes queued awaiting serialization at emission time.
+        bytes: u64,
+        /// Drop-tail capacity of the port queue.
+        capacity: u64,
+    },
 }
 
 impl TraceEvent {
@@ -139,6 +157,8 @@ impl TraceEvent {
             TraceEvent::SubflowDead { .. } => "SubflowDead",
             TraceEvent::SubflowRevived { .. } => "SubflowRevived",
             TraceEvent::BackupPromoted { .. } => "BackupPromoted",
+            TraceEvent::RouterDrop { .. } => "RouterDrop",
+            TraceEvent::QueueDepth { .. } => "QueueDepth",
         }
     }
 }

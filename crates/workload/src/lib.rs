@@ -9,14 +9,18 @@
 //!   UDP traffic follows two-state Markov on-off processes;
 //! * [`bwplan`] — the §4.3 bandwidth modulation: AP capacity flipping
 //!   between a low (≤ 1 Mbps) and a high (≥ 10 Mbps) state with
-//!   exponentially distributed holding times.
+//!   exponentially distributed holding times;
+//! * [`crosstraffic`] — unresponsive on-off packet sources that load a
+//!   shared bottleneck in the network-fabric fleet experiments.
 
 pub mod bwplan;
+pub mod crosstraffic;
 pub mod download;
 pub mod interference;
 pub mod web;
 
 pub use bwplan::BandwidthModulator;
+pub use crosstraffic::CrossTrafficSource;
 pub use download::DownloadSpec;
 pub use interference::InterfererSet;
 pub use web::WebPage;
