@@ -231,12 +231,71 @@ fn micro_benches() -> BTreeMap<String, f64> {
         use emptcp_net::{FleetConfig, FleetSim};
         micro.insert(
             "fabric_fleet".to_string(),
-            time_median_ns(3, 1, || {
+            time_median_ns(5, 1, || {
                 let mut cfg = FleetConfig::contended(8, crate::BENCH_SEED);
                 cfg.duration = SimDuration::from_secs(2);
                 black_box(FleetSim::new(cfg).run());
             }),
         );
+    }
+
+    {
+        // The same fleet with telemetry enabled but discarding events
+        // (NullSink): the delta against `fabric_fleet` is the pre-existing
+        // cost of the telemetry machinery itself (event construction,
+        // metric updates), independent of this tap.
+        use emptcp_net::{FleetConfig, FleetSim};
+        use emptcp_obsv::{Pipeline, PipelineConfig, PipelineSink};
+        use emptcp_telemetry::Telemetry;
+        use std::sync::{Arc, Mutex};
+        micro.insert(
+            "fabric_fleet_traced_null".to_string(),
+            time_median_ns(5, 1, || {
+                let telemetry = Telemetry::builder().build();
+                let mut cfg = FleetConfig::contended(8, crate::BENCH_SEED);
+                cfg.duration = SimDuration::from_secs(2);
+                black_box(FleetSim::new_with_telemetry(cfg, telemetry).run());
+            }),
+        );
+
+        // The same fleet with the streaming observability tap attached —
+        // the delta against `fabric_fleet_traced_null` is the cost of live
+        // ingest (events folded into rolling aggregates), which is the
+        // overhead the tap itself adds to an already-instrumented run.
+        micro.insert(
+            "fabric_fleet_monitored".to_string(),
+            time_median_ns(5, 1, || {
+                let pipeline = Arc::new(Mutex::new(Pipeline::new(PipelineConfig::default())));
+                let telemetry = Telemetry::builder()
+                    .sink(Box::new(PipelineSink::new(pipeline)))
+                    .build();
+                let mut cfg = FleetConfig::contended(8, crate::BENCH_SEED);
+                cfg.duration = SimDuration::from_secs(2);
+                black_box(FleetSim::new_with_telemetry(cfg, telemetry).run());
+            }),
+        );
+    }
+
+    {
+        // Pure pipeline ingest: one representative event folded into the
+        // rolling aggregates (the per-event cost of the live tap).
+        use emptcp_obsv::{Pipeline, PipelineConfig};
+        use emptcp_telemetry::TraceEvent;
+        let mut pipeline = Pipeline::new(PipelineConfig::default());
+        let ev = TraceEvent::Delivered {
+            conn: 3,
+            subflow: 1,
+            bytes: 64 * 1024,
+        };
+        let mut t_ns = 0u64;
+        micro.insert(
+            "obsv_ingest_event".to_string(),
+            time_median_ns(9, 200_000, || {
+                t_ns += 100_000;
+                pipeline.ingest(SimTime::from_nanos(t_ns), black_box(&ev));
+            }),
+        );
+        black_box(pipeline.events);
     }
 
     micro
@@ -248,6 +307,7 @@ fn exhibit_benches(out_dir: &std::path::Path) -> std::io::Result<BTreeMap<String
         cfg: Config::quick(),
         out_dir: out_dir.to_path_buf(),
         trace: false,
+        trace_path: None,
     };
     // Serial on purpose: per-job wall times are only stable when jobs
     // don't contend for cores.

@@ -10,7 +10,9 @@
 //! repro --quiet fig9      tables only, no progress or metrics chatter
 //! repro --jobs 4 all      run exhibits on a 4-thread pool
 //! repro --trace fig5      also write <out>/<id>.trace.jsonl
+//! repro fleet --trace fleet.jsonl   record one exhibit to an explicit path
 //! repro --clients 100 fleet   size the fleet exhibit's client count
+//! repro monitor --clients 16 --duration-s 4   live fleet dashboard
 //! ```
 //!
 //! Each experiment prints its tables and writes `<out>/<id>.{txt,json}`.
@@ -25,23 +27,86 @@
 //! default is the machine's available parallelism.
 
 use emptcp_expr::figures::Config;
+use emptcp_expr::monitor::{self, LiveOptions};
 use emptcp_expr::repro::{self, ReproOptions};
 use emptcp_expr::runner::Runner;
 use emptcp_telemetry::{info, log, warn};
 use std::path::PathBuf;
 use std::time::Instant;
 
+fn monitor_usage() -> ! {
+    eprintln!(
+        "usage: repro monitor [options]
+  --clients N          fleet size                        (default 16)
+  --seed N             simulation seed                   (default 42)
+  --duration-s X       simulated seconds                 (default 4)
+  --record PATH        also record the trace as JSONL for later replay
+  --export-json PATH   write the deterministic time-series JSON export
+  --export-csv PATH    write the per-bin CSV export
+  --bin-ms N           aggregation bin width in ms       (default 100)
+  --window N           dashboard rolling window, bins    (default 60)
+  --top N              rows in the hot-spot tables       (default 5)
+  --quiet              no dashboard (exports still written)"
+    );
+    std::process::exit(2);
+}
+
+fn monitor_main(args: Vec<String>) -> ! {
+    let mut opts = LiveOptions::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                monitor_usage()
+            })
+        };
+        match arg.as_str() {
+            "--clients" => opts.clients = value("--clients").parse().expect("--clients: integer"),
+            "--seed" => opts.seed = value("--seed").parse().expect("--seed: integer"),
+            "--duration-s" => {
+                opts.duration_s = value("--duration-s").parse().expect("--duration-s: number")
+            }
+            "--record" => opts.record = Some(PathBuf::from(value("--record"))),
+            "--export-json" => opts.export_json = Some(PathBuf::from(value("--export-json"))),
+            "--export-csv" => opts.export_csv = Some(PathBuf::from(value("--export-csv"))),
+            "--bin-ms" => opts.knobs.bin_ms = value("--bin-ms").parse().expect("--bin-ms: integer"),
+            "--window" => {
+                opts.knobs.window_bins = value("--window").parse().expect("--window: integer")
+            }
+            "--top" => opts.knobs.top_k = value("--top").parse().expect("--top: integer"),
+            "--quiet" => opts.quiet = true,
+            _ => monitor_usage(),
+        }
+    }
+    if opts.quiet {
+        log::set_level(log::Level::Quiet);
+    }
+    match monitor::run_live(&opts) {
+        Ok(_) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("repro monitor: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("monitor") {
+        args.remove(0);
+        monitor_main(args);
+    }
     let mut quick = false;
     let mut quiet = false;
     let mut trace = false;
+    let mut trace_path: Option<PathBuf> = None;
     let mut seed: Option<u64> = None;
     let mut jobs: Option<usize> = None;
     let mut clients: Option<usize> = None;
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
+    let mut it = args.into_iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--list" => {
@@ -52,7 +117,18 @@ fn main() {
             }
             "--quick" => quick = true,
             "--quiet" => quiet = true,
-            "--trace" => trace = true,
+            "--trace" => {
+                trace = true;
+                // Optional path operand (`repro fleet --trace fleet.jsonl`,
+                // matching `simulate --trace PATH`). A following token that
+                // is a flag, an exhibit id, or `all` keeps the per-exhibit
+                // default destination.
+                if let Some(next) = it.peek() {
+                    if !next.starts_with("--") && next != "all" && !repro::is_known(next) {
+                        trace_path = Some(PathBuf::from(it.next().expect("peeked")));
+                    }
+                }
+            }
             "--out" => {
                 out_dir = PathBuf::from(it.next().expect("--out needs a directory"));
             }
@@ -86,7 +162,10 @@ fn main() {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--quiet] [--trace] [--jobs N] [--clients N] [--out DIR] (all | <id>...)"
+            "usage: repro [--quick] [--quiet] [--trace [PATH]] [--jobs N] [--clients N] [--out DIR] (all | <id>...)"
+        );
+        eprintln!(
+            "       repro monitor [--clients N] [--seed N] [--duration-s X] [--record PATH] ..."
         );
         eprintln!("ids: {}", repro::IDS.join(" "));
         std::process::exit(2);
@@ -112,6 +191,13 @@ fn main() {
         cfg.fleet_clients = clients;
     }
     ids.dedup();
+    if trace_path.is_some() && ids.len() != 1 {
+        eprintln!(
+            "--trace PATH records exactly one exhibit; got {}",
+            ids.len()
+        );
+        std::process::exit(2);
+    }
 
     let jobs = jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
     let runner = Runner::new(jobs);
@@ -119,6 +205,7 @@ fn main() {
         cfg,
         out_dir,
         trace,
+        trace_path,
     };
     let started = Instant::now();
     let reports = runner

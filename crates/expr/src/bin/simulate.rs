@@ -7,6 +7,8 @@
 //! simulate --list-strategies
 //! simulate faults --scenario ap-vanish
 //! simulate faults --all --check
+//! simulate monitor --replay fleet.trace.jsonl
+//! simulate monitor --replay fleet.trace.jsonl --check --export-json out.json
 //! ```
 //!
 //! This is the downstream-user entry point: where `repro` regenerates the
@@ -103,6 +105,68 @@ fn print_report(r: &faults::ResilienceReport) {
     );
     if r.invariant_violations > 0 {
         println!("INVARIANTS:       {} violation(s)", r.invariant_violations);
+    }
+}
+
+fn monitor_usage() -> ! {
+    eprintln!(
+        "usage: simulate monitor --replay <trace.jsonl> [options]
+  --replay PATH        recorded JSONL trace to replay (required)
+  --check              machine mode: no dashboard, exit 1 on malformed
+                       lines (CI replays twice and diffs the exports)
+  --export-json PATH   write the deterministic time-series JSON export
+  --export-csv PATH    write the per-bin CSV export
+  --bin-ms N           aggregation bin width in ms       (default 100)
+  --window N           dashboard rolling window, bins    (default 60)
+  --top N              rows in the hot-spot tables       (default 5)
+  --quiet              suppress the final dashboard frame"
+    );
+    std::process::exit(2);
+}
+
+fn monitor_main(args: Vec<String>) -> ! {
+    use emptcp_expr::monitor::{self, PipelineKnobs, ReplayOptions};
+    let mut trace: Option<std::path::PathBuf> = None;
+    let mut check = false;
+    let mut export_json = None;
+    let mut export_csv = None;
+    let mut quiet = false;
+    let mut knobs = PipelineKnobs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                monitor_usage()
+            })
+        };
+        match arg.as_str() {
+            "--replay" => trace = Some(std::path::PathBuf::from(value("--replay"))),
+            "--check" => check = true,
+            "--export-json" => export_json = Some(std::path::PathBuf::from(value("--export-json"))),
+            "--export-csv" => export_csv = Some(std::path::PathBuf::from(value("--export-csv"))),
+            "--bin-ms" => knobs.bin_ms = value("--bin-ms").parse().expect("--bin-ms: integer"),
+            "--window" => knobs.window_bins = value("--window").parse().expect("--window: integer"),
+            "--top" => knobs.top_k = value("--top").parse().expect("--top: integer"),
+            "--quiet" => quiet = true,
+            _ => monitor_usage(),
+        }
+    }
+    let Some(trace) = trace else { monitor_usage() };
+    let opts = ReplayOptions {
+        trace,
+        check,
+        export_json,
+        export_csv,
+        quiet,
+        knobs,
+    };
+    match monitor::run_replay(&opts) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("simulate monitor: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -215,6 +279,10 @@ fn main() {
     if args_vec.first().map(String::as_str) == Some("faults") {
         args_vec.remove(0);
         faults_main(args_vec);
+    }
+    if args_vec.first().map(String::as_str) == Some("monitor") {
+        args_vec.remove(0);
+        monitor_main(args_vec);
     }
 
     let mut strategy_name = "emptcp".to_string();

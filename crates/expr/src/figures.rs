@@ -1165,7 +1165,7 @@ pub fn fleet(cfg: &Config) -> FigureOutput {
         let mut fc = FleetConfig::contended(cfg.fleet_clients, cfg.seed);
         fc.duration = SimDuration::from_secs(5);
         fc.coupled = variants[i].1;
-        FleetSim::new(fc).run()
+        FleetSim::new_with_telemetry(fc, emptcp_telemetry::current()).run()
     });
     let mut t = Table::new(
         format!(
@@ -1212,7 +1212,7 @@ pub fn fairness(cfg: &Config) -> FigureOutput {
     let reports = sweep_points(variants.len(), |i| {
         let mut fc = emptcp_net::FleetConfig::do_no_harm_cell(cfg.seed);
         fc.coupled = variants[i].1;
-        FleetSim::new(fc).run()
+        FleetSim::new_with_telemetry(fc, emptcp_telemetry::current()).run()
     });
     let mut t = Table::new(
         "Extension: do-no-harm at a shared bottleneck (1 MPTCP vs 1 TCP)",

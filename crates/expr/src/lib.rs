@@ -40,6 +40,7 @@ pub mod faults;
 pub mod figures;
 pub mod host;
 pub mod mdp;
+pub mod monitor;
 pub mod report;
 pub mod repro;
 pub mod runner;

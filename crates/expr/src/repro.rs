@@ -72,6 +72,11 @@ pub struct ReproOptions {
     /// *within* each job (exhibits still run concurrently — they write
     /// distinct files), so the JSONL is byte-identical across pool sizes.
     pub trace: bool,
+    /// Explicit trace destination (`repro fleet --trace fleet.jsonl`),
+    /// overriding the per-job `<out>/<id>.trace.jsonl` default. Only valid
+    /// when a single job runs — the binary enforces that — since two jobs
+    /// appending to one file would interleave nondeterministically.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl ReproOptions {
@@ -81,6 +86,7 @@ impl ReproOptions {
             cfg: Config::quick(),
             out_dir: dir.into(),
             trace: false,
+            trace_path: None,
         }
     }
 }
@@ -208,7 +214,10 @@ fn run_job(group: &[String], opts: &ReproOptions) -> std::io::Result<ExhibitRepo
     // never bleed across exhibits even when they run concurrently.
     let mut builder = Telemetry::builder().invariants(true);
     if opts.trace {
-        let path = opts.out_dir.join(format!("{}.trace.jsonl", group[0]));
+        let path = match &opts.trace_path {
+            Some(path) => path.clone(),
+            None => opts.out_dir.join(format!("{}.trace.jsonl", group[0])),
+        };
         builder = builder.sink(Box::new(JsonlSink::new(std::fs::File::create(path)?)));
     }
     let telemetry = builder.build();

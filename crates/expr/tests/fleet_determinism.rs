@@ -20,6 +20,7 @@ fn run_with(jobs: usize, dir: &Path) -> BTreeMap<String, Vec<u8>> {
         cfg,
         out_dir: dir.to_path_buf(),
         trace: false,
+        trace_path: None,
     };
     let runner = Runner::new(jobs);
     runner

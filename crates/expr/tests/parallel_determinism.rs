@@ -21,6 +21,7 @@ fn run_with(jobs: usize, dir: &Path, trace: bool) -> BTreeMap<String, Vec<u8>> {
         cfg: Config::quick(),
         out_dir: dir.to_path_buf(),
         trace,
+        trace_path: None,
     };
     let runner = Runner::new(jobs);
     runner

@@ -24,7 +24,7 @@ use emptcp_phy::IfaceKind;
 use emptcp_sim::{SimDuration, SimTime};
 use emptcp_tcp::cc::lia_alpha;
 use emptcp_tcp::{Segment, TcpConfig, TcpState};
-use emptcp_telemetry::{TelemetryScope, TraceEvent};
+use emptcp_telemetry::{TelemetryScope, TraceEvent, DELIVERED_EMIT_BYTES};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -114,6 +114,10 @@ pub struct MpConnection {
     data_rcv_nxt: u64,
     data_ooo: BTreeMap<u64, u32>,
     data_delivered: u64,
+    /// Delivered bytes not yet reported as a [`TraceEvent::Delivered`];
+    /// drained every [`DELIVERED_EMIT_BYTES`] and by
+    /// [`flush_delivered_trace`](Self::flush_delivered_trace).
+    delivered_since_emit: u64,
 
     /// Graceful close requested: once every written byte is scheduled and
     /// acknowledged, FINs go out on all subflows (the DATA_FIN analogue).
@@ -155,6 +159,7 @@ impl MpConnection {
             data_rcv_nxt: 0,
             data_ooo: BTreeMap::new(),
             data_delivered: 0,
+            delivered_since_emit: 0,
             closing: false,
             coupled: true,
             opportunistic: true,
@@ -278,6 +283,22 @@ impl MpConnection {
     /// Connection-level bytes delivered in order to the application.
     pub fn bytes_delivered(&self) -> u64 {
         self.data_delivered
+    }
+
+    /// Emit any delivered bytes still below the coalescing threshold as a
+    /// final [`TraceEvent::Delivered`], so trace totals match
+    /// [`bytes_delivered`](Self::bytes_delivered) exactly. Hosts call this
+    /// once when a run ends; subflow 0 stands in for "whole connection".
+    pub fn flush_delivered_trace(&mut self, now: SimTime) {
+        if self.delivered_since_emit > 0 {
+            let bytes = self.delivered_since_emit;
+            self.delivered_since_emit = 0;
+            self.scope.emit(now, |s| TraceEvent::Delivered {
+                conn: s.conn,
+                subflow: 0,
+                bytes,
+            });
+        }
     }
 
     /// Highest cumulative data-level acknowledgment seen from the peer.
@@ -711,6 +732,19 @@ impl MpConnection {
                     outcome.delivered_bytes,
                 )
             });
+            // Coalesced throughput signal for the observability pipeline:
+            // one Delivered event per DELIVERED_EMIT_BYTES of progress,
+            // attributed to the subflow whose segment completed the run.
+            self.delivered_since_emit += outcome.delivered_bytes;
+            if self.delivered_since_emit >= DELIVERED_EMIT_BYTES {
+                let bytes = self.delivered_since_emit;
+                self.delivered_since_emit = 0;
+                self.scope.emit(now, |s| TraceEvent::Delivered {
+                    conn: s.conn,
+                    subflow: id.0,
+                    bytes,
+                });
+            }
         }
         // DSS coverage: in-order delivery to the application must track the
         // data-level stream advance exactly (each byte exactly once).

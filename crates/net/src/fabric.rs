@@ -140,20 +140,34 @@ impl Fabric {
 
     /// Publish per-router drop/ECN counters and peak queue gauges into the
     /// metrics registry (one shot, typically at end of run). Counter names
-    /// follow the `net.router{R}.port{P}.*` convention so the experiment
-    /// summaries can roll them up per family.
+    /// are built by [`emptcp_telemetry::router_port_metric`] — the one
+    /// helper shared with the aggregation side, so emitter and consumer key
+    /// schemes cannot drift.
     pub fn publish_metrics(&self) {
+        use emptcp_telemetry::router_port_metric;
         self.scope.with_metrics(|_, m| {
             for (eid, port) in self.ports.iter().enumerate() {
                 let router = port.from().0;
-                let base = format!("net.router{router}.port{eid}");
+                let eid = eid as u32;
                 let link = port.link();
-                m.counter_add(&format!("{base}.delivered"), link.delivered_packets());
-                m.counter_add(&format!("{base}.drops_queue"), link.dropped_queue());
-                m.counter_add(&format!("{base}.drops_channel"), link.dropped_channel());
-                m.counter_add(&format!("{base}.ecn_marked"), port.ecn_marked());
+                m.counter_add(
+                    &router_port_metric(router, eid, "delivered"),
+                    link.delivered_packets(),
+                );
+                m.counter_add(
+                    &router_port_metric(router, eid, "drops_queue"),
+                    link.dropped_queue(),
+                );
+                m.counter_add(
+                    &router_port_metric(router, eid, "drops_channel"),
+                    link.dropped_channel(),
+                );
+                m.counter_add(
+                    &router_port_metric(router, eid, "ecn_marked"),
+                    port.ecn_marked(),
+                );
                 m.gauge_set(
-                    &format!("{base}.peak_queue_bytes"),
+                    &router_port_metric(router, eid, "peak_queue_bytes"),
                     port.peak_queue_bytes() as f64,
                 );
             }

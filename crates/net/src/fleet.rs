@@ -517,6 +517,13 @@ impl FleetSim {
             }
             self.schedule_timers(now);
         }
+        // Flush sub-threshold Delivered residue so trace totals equal the
+        // report's delivered-byte counts; stamped at the horizon so the
+        // flush ordering is a pure function of the configuration.
+        for stack in &mut self.stacks {
+            stack.client.flush_delivered_trace(horizon);
+            stack.server.flush_delivered_trace(horizon);
+        }
         self.fabric.publish_metrics();
         self.report()
     }

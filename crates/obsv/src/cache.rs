@@ -1,0 +1,196 @@
+//! Bounded time-binned caches backing the rolling aggregates.
+//!
+//! Two shapes, both keyed by an *absolute bin index* (event time divided by
+//! the pipeline's bin width):
+//!
+//! * [`Rolling`] — a fixed-width ring holding the most recent `window` bins
+//!   plus a lifetime total. This is what the dashboard sparklines read; its
+//!   memory is O(window) regardless of run length.
+//! * [`Series`] — the full per-bin history from bin 0, used by the
+//!   deterministic time-series exports. Growth is one slot per bin, which
+//!   for a minutes-long run at a 100 ms bin is trivially small.
+//!
+//! Neither cache looks at wall-clock time: bins advance only when an event
+//! with a later simulation timestamp arrives, which is what makes a live
+//! tap and a trace replay bit-for-bit equivalent.
+
+use std::collections::VecDeque;
+
+/// Ring of the last `window` per-bin sums, plus a lifetime total.
+#[derive(Debug, Clone)]
+pub struct Rolling {
+    window: usize,
+    /// Absolute bin index of `bins[0]`; meaningless while `bins` is empty.
+    base: u64,
+    bins: VecDeque<f64>,
+    total: f64,
+}
+
+impl Rolling {
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "rolling window must hold at least one bin");
+        Rolling {
+            window,
+            base: 0,
+            bins: VecDeque::with_capacity(window),
+            total: 0.0,
+        }
+    }
+
+    /// Add `value` into absolute bin `bin`. Bins in between are materialized
+    /// as zeros; bins older than the window are folded into the total only.
+    pub fn add(&mut self, bin: u64, value: f64) {
+        self.total += value;
+        if self.bins.is_empty() {
+            self.base = bin;
+            self.bins.push_back(0.0);
+        }
+        while self.base + self.bins.len() as u64 <= bin {
+            self.bins.push_back(0.0);
+            if self.bins.len() > self.window {
+                self.bins.pop_front();
+                self.base += 1;
+            }
+        }
+        if bin >= self.base {
+            let idx = (bin - self.base) as usize;
+            self.bins[idx] += value;
+        }
+        // else: late event older than the window — kept in `total` only.
+    }
+
+    /// Advance the window to cover `bin` without adding anything, so idle
+    /// tails render as zeros instead of freezing on the last active bin.
+    pub fn advance_to(&mut self, bin: u64) {
+        if self.bins.is_empty() {
+            return;
+        }
+        while self.base + self.bins.len() as u64 <= bin {
+            self.bins.push_back(0.0);
+            if self.bins.len() > self.window {
+                self.bins.pop_front();
+                self.base += 1;
+            }
+        }
+    }
+
+    /// The windowed values, oldest first.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.bins.iter().copied()
+    }
+
+    /// Sum over the current window.
+    pub fn window_sum(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Value of the most recent bin (0 when nothing has been recorded).
+    pub fn last(&self) -> f64 {
+        self.bins.back().copied().unwrap_or(0.0)
+    }
+
+    /// Lifetime sum of everything ever added.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+/// Full per-bin history from bin 0 (dense; missing bins are zero).
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    bins: Vec<f64>,
+}
+
+impl Series {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, bin: u64, value: f64) {
+        let idx = bin as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += value;
+    }
+
+    /// Number of bins (highest touched bin + 1).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    pub fn get(&self, bin: u64) -> f64 {
+        self.bins.get(bin as usize).copied().unwrap_or(0.0)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.bins.iter().copied()
+    }
+
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_accumulates_within_bin() {
+        let mut r = Rolling::new(4);
+        r.add(0, 1.0);
+        r.add(0, 2.0);
+        assert_eq!(r.last(), 3.0);
+        assert_eq!(r.total(), 3.0);
+        assert_eq!(r.values().collect::<Vec<_>>(), vec![3.0]);
+    }
+
+    #[test]
+    fn rolling_materializes_gaps_and_evicts() {
+        let mut r = Rolling::new(3);
+        r.add(0, 1.0);
+        r.add(4, 2.0);
+        // Window of 3 covering bins 2..=4.
+        assert_eq!(r.values().collect::<Vec<_>>(), vec![0.0, 0.0, 2.0]);
+        assert_eq!(r.total(), 3.0, "evicted bins stay in the total");
+        assert_eq!(r.window_sum(), 2.0);
+    }
+
+    #[test]
+    fn rolling_drops_too_old_values_into_total() {
+        let mut r = Rolling::new(2);
+        r.add(10, 5.0);
+        r.add(0, 7.0); // far older than the window
+        assert_eq!(r.window_sum(), 5.0);
+        assert_eq!(r.total(), 12.0);
+    }
+
+    #[test]
+    fn rolling_advance_to_pads_zeros() {
+        let mut r = Rolling::new(3);
+        r.add(0, 9.0);
+        r.advance_to(2);
+        assert_eq!(r.values().collect::<Vec<_>>(), vec![9.0, 0.0, 0.0]);
+        assert_eq!(r.last(), 0.0);
+    }
+
+    #[test]
+    fn series_is_dense_from_zero() {
+        let mut s = Series::new();
+        s.add(2, 4.0);
+        s.add(0, 1.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1.0, 0.0, 4.0]);
+        assert_eq!(s.get(7), 0.0);
+        assert_eq!(s.total(), 5.0);
+    }
+}

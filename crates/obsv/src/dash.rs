@@ -1,0 +1,257 @@
+//! Terminal dashboard: the pipeline state rendered as a fixed-height text
+//! panel with sparkline summaries and top-k hot-spot tables.
+//!
+//! [`render`] is a pure function of the pipeline state (no wall clock, no
+//! terminal size probing), so its output is deterministic and testable.
+//! [`Dashboard`] adds the in-place redraw: it remembers how many lines it
+//! drew and rewinds the cursor with ANSI escapes before drawing again,
+//! giving a flicker-free live view on any ANSI terminal.
+
+use crate::models::Pipeline;
+use std::fmt::Write as _;
+
+/// Unicode block ramp used for sparklines, thinnest to fullest.
+const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render `values` as a fixed-width sparkline scaled to its own maximum.
+/// All-zero input renders as all-minimum bars, and the series is left-padded
+/// with spaces so recent values stay right-aligned.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    let mut out = String::with_capacity(width * 3);
+    let shown: Vec<f64> = if values.len() > width {
+        values[values.len() - width..].to_vec()
+    } else {
+        values.to_vec()
+    };
+    for _ in shown.len()..width {
+        out.push(' ');
+    }
+    let max = shown.iter().cloned().fold(0.0_f64, f64::max);
+    for v in shown {
+        if max <= 0.0 {
+            out.push(RAMP[0]);
+        } else {
+            let idx = ((v / max) * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[idx.min(RAMP.len() - 1)]);
+        }
+    }
+    out
+}
+
+fn human_bytes(b: u64) -> String {
+    match b {
+        0..=9_999 => format!("{b} B"),
+        10_000..=9_999_999 => format!("{:.1} KiB", b as f64 / 1024.0),
+        _ => format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0)),
+    }
+}
+
+/// Render the full dashboard panel. Deterministic for a given pipeline
+/// state; ends with a trailing newline.
+pub fn render(p: &Pipeline) -> String {
+    const SPARK_W: usize = 40;
+    let mut s = String::new();
+    let elapsed_s = p.last_t.as_secs_f64();
+    let _ = writeln!(
+        s,
+        "fleet monitor · t={elapsed_s:>8.3}s · events={} · clients={} · ports={}",
+        p.events,
+        p.clients.len(),
+        p.ports.len()
+    );
+
+    let tput: Vec<f64> = p.throughput_window.values().collect();
+    let window_bytes = p.throughput_window.window_sum();
+    let window_secs = p.throughput_window.window() as f64 * p.bin_secs();
+    let window_mbps = window_bytes * 8.0 / window_secs / 1e6;
+    let _ = writeln!(
+        s,
+        "  throughput {} {:>8.2} Mbps (window) · {} total",
+        sparkline(&tput, SPARK_W),
+        window_mbps,
+        human_bytes(p.delivered_total),
+    );
+
+    let drops: Vec<f64> = (0..p.bins()).map(|b| p.drops_series.get(b)).collect();
+    let _ = writeln!(
+        s,
+        "  drops      {} {:>8} total · {} retransmits · {} RTOs · {} recoveries",
+        sparkline(&drops, SPARK_W),
+        p.drops_series.total() as u64,
+        p.retransmits_series.total() as u64,
+        p.rtos_series.total() as u64,
+        p.recoveries_series.total() as u64,
+    );
+
+    if p.queue_fill.count() > 0 {
+        let _ = writeln!(
+            s,
+            "  queue fill p50={:>5.1}% p90={:>5.1}% p99={:>5.1}% ({} ECN crossings)",
+            p.queue_fill.quantile(0.50).min(100.0),
+            p.queue_fill.quantile(0.90).min(100.0),
+            p.queue_fill.quantile(0.99).min(100.0),
+            p.ports.values().map(|m| m.ecn_crossings).sum::<u64>(),
+        );
+    }
+    if !p.energy.is_empty() {
+        let mut parts = Vec::new();
+        for (component, e) in &p.energy {
+            parts.push(format!("{component}={:.3} J", e.joules_at(p.last_t)));
+        }
+        let epb = p.energy_per_bit();
+        let _ = writeln!(
+            s,
+            "  energy     {} · {:.3} nJ/bit",
+            parts.join(" · "),
+            epb * 1e9,
+        );
+    }
+
+    let top = p.top_clients();
+    if !top.is_empty() {
+        let _ = writeln!(s, "  hot clients (by delivered bytes):");
+        for (conn, c) in top {
+            let spark: Vec<f64> = c.bytes.values().collect();
+            let picks = c.picks_total();
+            let share = c
+                .picks
+                .iter()
+                .map(|(sf, n)| format!("sf{sf}:{:.0}%", *n as f64 * 100.0 / picks.max(1) as f64))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                s,
+                "    conn{conn:<4} {} {:>10} · rtx={} rto={} rec={}{}",
+                sparkline(&spark, 20),
+                human_bytes(c.total_bytes),
+                c.retransmits,
+                c.rtos,
+                c.recoveries,
+                if share.is_empty() {
+                    String::new()
+                } else {
+                    format!(" · picks {share}")
+                },
+            );
+        }
+    }
+
+    let hot_ports = p.top_ports();
+    if !hot_ports.is_empty() {
+        let _ = writeln!(s, "  hot ports (by drops):");
+        for ((router, port), m) in hot_ports {
+            let reasons = m
+                .drops_by_reason
+                .iter()
+                .map(|(r, n)| format!("{r}={n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(
+                s,
+                "    router{router}.port{port} drops={:<6} peak_queue={} ecn={}{}",
+                m.total_drops,
+                human_bytes(m.peak_queue_bytes),
+                m.ecn_crossings,
+                if reasons.is_empty() {
+                    String::new()
+                } else {
+                    format!(" · {reasons}")
+                },
+            );
+        }
+    }
+    if p.invariant_violations > 0 || p.faults_injected > 0 {
+        let _ = writeln!(
+            s,
+            "  !! invariant_violations={} faults_injected={}",
+            p.invariant_violations, p.faults_injected
+        );
+    }
+    s
+}
+
+/// In-place redraw driver: each [`draw`](Dashboard::draw) rewinds over the
+/// previous frame (ANSI cursor-up + clear-to-end) and prints the new one.
+#[derive(Debug, Default)]
+pub struct Dashboard {
+    lines_drawn: usize,
+}
+
+impl Dashboard {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draw `frame` over the previous frame on `out`.
+    pub fn draw(&mut self, out: &mut impl std::io::Write, frame: &str) -> std::io::Result<()> {
+        if self.lines_drawn > 0 {
+            // Cursor up over the old frame, then clear to end of screen.
+            write!(out, "\x1b[{}A\x1b[J", self.lines_drawn)?;
+        }
+        out.write_all(frame.as_bytes())?;
+        out.flush()?;
+        self.lines_drawn = frame.lines().count();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::PipelineConfig;
+    use emptcp_sim::SimTime;
+    use emptcp_telemetry::TraceEvent;
+
+    #[test]
+    fn sparkline_scales_and_pads() {
+        assert_eq!(sparkline(&[], 4), "    ");
+        assert_eq!(sparkline(&[0.0, 0.0], 4), "  ▁▁");
+        let s = sparkline(&[1.0, 8.0], 2);
+        assert_eq!(s.chars().count(), 2);
+        assert!(s.ends_with('█'));
+        // Longer than width: keeps the most recent values.
+        let s = sparkline(&[9.0, 0.0, 0.0], 2);
+        assert_eq!(s, "▁▁");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_mentions_hot_spots() {
+        let mut p = Pipeline::new(PipelineConfig::default());
+        p.ingest(
+            SimTime::from_millis(50),
+            &TraceEvent::Delivered {
+                conn: 7,
+                subflow: 1,
+                bytes: 50_000,
+            },
+        );
+        p.ingest(
+            SimTime::from_millis(60),
+            &TraceEvent::RouterDrop {
+                router: 1,
+                port: 0,
+                reason: "channel",
+            },
+        );
+        let a = render(&p);
+        assert_eq!(a, render(&p));
+        assert!(a.contains("conn7"));
+        assert!(a.contains("router1.port0"));
+        assert!(a.contains("channel=1"));
+    }
+
+    #[test]
+    fn dashboard_rewinds_between_frames() {
+        let mut buf = Vec::new();
+        let mut dash = Dashboard::new();
+        dash.draw(&mut buf, "one\ntwo\n").unwrap();
+        dash.draw(&mut buf, "three\n").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("one\ntwo\n"));
+        assert!(
+            text.contains("\x1b[2A\x1b[J"),
+            "second frame rewinds 2 lines"
+        );
+        assert!(text.ends_with("three\n"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Deterministic exports: the pipeline state as time-series JSON and CSV.
+//!
+//! Determinism contract: the exported bytes are a pure function of the
+//! ingested `(t, event)` sequence and the [`PipelineConfig`]. Maps iterate
+//! in `BTreeMap` key order, the JSON `Map` preserves the insertion order
+//! fixed here, and every float is printed by the same round-trip formatter
+//! the trace writer uses — so live tap and replay of the same trace produce
+//! byte-identical files, which CI diffs.
+
+use crate::models::{Pipeline, PipelineConfig};
+use serde_json::{Map, Value};
+use std::fmt::Write as _;
+
+/// Format an f64 exactly as the JSON layer does (`1.0`, not `1`), so CSV
+/// and JSON cells agree byte-for-byte.
+fn fmt_f64(v: f64) -> String {
+    serde_json::to_string(&Value::F64(v)).expect("float serialization is infallible")
+}
+
+fn f(v: f64) -> Value {
+    Value::F64(v)
+}
+
+fn u(v: u64) -> Value {
+    Value::U64(v)
+}
+
+fn meta_value(p: &Pipeline) -> Value {
+    let cfg: &PipelineConfig = p.config();
+    let mut m = Map::new();
+    m.insert("bin_ns", u(cfg.bin.as_nanos()));
+    m.insert("window_bins", u(cfg.window_bins as u64));
+    m.insert("top_k", u(cfg.top_k as u64));
+    m.insert("events", u(p.events));
+    m.insert("bins", u(p.bins()));
+    m.insert(
+        "first_t_ns",
+        p.first_t.map_or(Value::Null, |t| u(t.as_nanos())),
+    );
+    m.insert("last_t_ns", u(p.last_t.as_nanos()));
+    Value::Object(m)
+}
+
+fn totals_value(p: &Pipeline) -> Value {
+    let mut m = Map::new();
+    m.insert("delivered_bytes", u(p.delivered_total));
+    let elapsed = p.bins() as f64 * p.bin_secs();
+    let mean_mbps = if elapsed > 0.0 {
+        p.delivered_total as f64 * 8.0 / elapsed / 1e6
+    } else {
+        0.0
+    };
+    m.insert("mean_throughput_mbps", f(mean_mbps));
+    m.insert("drops", u(p.drops_series.total() as u64));
+    let mut by_reason: std::collections::BTreeMap<&str, u64> = Default::default();
+    for port in p.ports.values() {
+        for (reason, n) in &port.drops_by_reason {
+            *by_reason.entry(reason).or_insert(0) += n;
+        }
+    }
+    let mut reasons = Map::new();
+    for (reason, n) in by_reason {
+        reasons.insert(reason, u(n));
+    }
+    m.insert("drops_by_reason", Value::Object(reasons));
+    m.insert("retransmits", u(p.retransmits_series.total() as u64));
+    m.insert("rtos", u(p.rtos_series.total() as u64));
+    m.insert("recoveries", u(p.recoveries_series.total() as u64));
+    m.insert("ecn_crossings", {
+        u(p.ports.values().map(|port| port.ecn_crossings).sum())
+    });
+    m.insert("invariant_violations", u(p.invariant_violations));
+    m.insert("faults_injected", u(p.faults_injected));
+    let mut energy = Map::new();
+    for (component, e) in &p.energy {
+        energy.insert(*component, f(e.joules_at(p.last_t)));
+    }
+    m.insert("energy_joules", Value::Object(energy));
+    m.insert("energy_total_joules", f(p.total_joules()));
+    m.insert("energy_per_bit_j", f(p.energy_per_bit()));
+    Value::Object(m)
+}
+
+fn series_value(p: &Pipeline) -> Value {
+    let bin_ns = p.config().bin.as_nanos();
+    let rows = (0..p.bins())
+        .map(|bin| {
+            let bytes = p.throughput.get(bin);
+            let mut row = Map::new();
+            row.insert("t_ns", u(bin * bin_ns));
+            row.insert("throughput_mbps", f(p.bytes_to_mbps(bytes)));
+            row.insert("delivered_bytes", u(bytes as u64));
+            row.insert("drops", u(p.drops_series.get(bin) as u64));
+            row.insert("retransmits", u(p.retransmits_series.get(bin) as u64));
+            row.insert("rtos", u(p.rtos_series.get(bin) as u64));
+            row.insert("recoveries", u(p.recoveries_series.get(bin) as u64));
+            Value::Object(row)
+        })
+        .collect();
+    Value::Array(rows)
+}
+
+fn top_clients_value(p: &Pipeline) -> Value {
+    let elapsed = p.bins() as f64 * p.bin_secs();
+    let rows = p
+        .top_clients()
+        .into_iter()
+        .map(|(conn, c)| {
+            let mut row = Map::new();
+            row.insert("conn", u(conn as u64));
+            row.insert("delivered_bytes", u(c.total_bytes));
+            let mbps = if elapsed > 0.0 {
+                c.total_bytes as f64 * 8.0 / elapsed / 1e6
+            } else {
+                0.0
+            };
+            row.insert("mean_mbps", f(mbps));
+            row.insert("retransmits", u(c.retransmits));
+            row.insert("rtos", u(c.rtos));
+            row.insert("recoveries", u(c.recoveries));
+            let total_picks = c.picks_total();
+            let mut shares = Map::new();
+            for (sf, n) in &c.picks {
+                shares.insert(
+                    format!("sf{sf}"),
+                    f(if total_picks > 0 {
+                        *n as f64 / total_picks as f64
+                    } else {
+                        0.0
+                    }),
+                );
+            }
+            row.insert("pick_share", Value::Object(shares));
+            Value::Object(row)
+        })
+        .collect();
+    Value::Array(rows)
+}
+
+fn top_ports_value(p: &Pipeline) -> Value {
+    let rows = p
+        .top_ports()
+        .into_iter()
+        .map(|((router, port), m)| {
+            let mut row = Map::new();
+            row.insert("router", u(router as u64));
+            row.insert("port", u(port as u64));
+            row.insert("drops", u(m.total_drops));
+            let mut reasons = Map::new();
+            for (reason, n) in &m.drops_by_reason {
+                reasons.insert(*reason, u(*n));
+            }
+            row.insert("drops_by_reason", Value::Object(reasons));
+            row.insert("peak_queue_bytes", u(m.peak_queue_bytes));
+            row.insert("last_queue_bytes", u(m.queue_bytes));
+            row.insert("queue_capacity", u(m.queue_capacity));
+            row.insert("ecn_crossings", u(m.ecn_crossings));
+            Value::Object(row)
+        })
+        .collect();
+    Value::Array(rows)
+}
+
+fn queue_fill_value(p: &Pipeline) -> Value {
+    let h = &p.queue_fill;
+    let mut m = Map::new();
+    m.insert("count", u(h.count()));
+    m.insert("mean_pct", f(h.mean()));
+    m.insert("p50_pct", f(h.quantile(0.50)));
+    m.insert("p90_pct", f(h.quantile(0.90)));
+    m.insert("p99_pct", f(h.quantile(0.99)));
+    Value::Object(m)
+}
+
+/// The full pipeline state as pretty-printed JSON (trailing newline).
+pub fn export_json(p: &Pipeline) -> String {
+    let mut root = Map::new();
+    root.insert("meta", meta_value(p));
+    root.insert("totals", totals_value(p));
+    let mut kinds = Map::new();
+    for (kind, n) in &p.by_kind {
+        kinds.insert(*kind, u(*n));
+    }
+    root.insert("events_by_kind", Value::Object(kinds));
+    root.insert("series", series_value(p));
+    root.insert("top_clients", top_clients_value(p));
+    root.insert("top_ports", top_ports_value(p));
+    root.insert("queue_fill_pct", queue_fill_value(p));
+    let mut s = serde_json::to_string_pretty(&Value::Object(root))
+        .expect("export serialization is infallible");
+    s.push('\n');
+    s
+}
+
+/// The per-bin time series as CSV, one row per bin.
+pub fn export_csv(p: &Pipeline) -> String {
+    let bin_ns = p.config().bin.as_nanos();
+    let mut s = String::from(
+        "bin,t_ns,throughput_mbps,delivered_bytes,drops,retransmits,rtos,recoveries\n",
+    );
+    for bin in 0..p.bins() {
+        let bytes = p.throughput.get(bin);
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{}",
+            bin,
+            bin * bin_ns,
+            fmt_f64(p.bytes_to_mbps(bytes)),
+            bytes as u64,
+            p.drops_series.get(bin) as u64,
+            p.retransmits_series.get(bin) as u64,
+            p.rtos_series.get(bin) as u64,
+            p.recoveries_series.get(bin) as u64,
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::PipelineConfig;
+    use emptcp_sim::SimTime;
+    use emptcp_telemetry::TraceEvent;
+
+    fn sample_pipeline() -> Pipeline {
+        let mut p = Pipeline::new(PipelineConfig::default());
+        p.ingest(
+            SimTime::from_millis(10),
+            &TraceEvent::Delivered {
+                conn: 2,
+                subflow: 0,
+                bytes: 125_000,
+            },
+        );
+        p.ingest(
+            SimTime::from_millis(120),
+            &TraceEvent::RouterDrop {
+                router: 0,
+                port: 1,
+                reason: "queue_full",
+            },
+        );
+        p.ingest(
+            SimTime::from_millis(130),
+            &TraceEvent::EnergyLevel {
+                component: "cell",
+                watts: 1.5,
+            },
+        );
+        p
+    }
+
+    #[test]
+    fn json_export_is_stable() {
+        let p = sample_pipeline();
+        let a = export_json(&p);
+        let b = export_json(&p);
+        assert_eq!(a, b);
+        assert!(a.contains("\"delivered_bytes\": 125000"));
+        assert!(a.contains("\"queue_full\": 1"));
+        assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_bin() {
+        let p = sample_pipeline();
+        let csv = export_csv(&p);
+        let lines: Vec<&str> = csv.lines().collect();
+        // Header + bins 0 and 1 (last event at 130 ms, 100 ms bins).
+        assert_eq!(lines.len(), 1 + 2);
+        assert!(lines[0].starts_with("bin,t_ns,"));
+        assert!(lines[1].starts_with("0,0,10.0,125000,0,"));
+        assert!(lines[2].starts_with("1,100000000,0.0,0,1,"));
+    }
+
+    #[test]
+    fn empty_pipeline_exports_cleanly() {
+        let p = Pipeline::new(PipelineConfig::default());
+        let json = export_json(&p);
+        assert!(json.contains("\"first_t_ns\": null"));
+        assert_eq!(export_csv(&p).lines().count(), 1, "header only");
+    }
+}

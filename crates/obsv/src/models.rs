@@ -1,0 +1,481 @@
+//! Rolling aggregate models: what the pipeline knows about the fleet.
+//!
+//! [`Pipeline::ingest`] folds one timestamped [`TraceEvent`] at a time into
+//! per-client, per-router-port, per-energy-component models plus fleet-wide
+//! time series. Everything is keyed by `BTreeMap` and advanced only by
+//! simulation timestamps, so feeding the same event stream — whether tapped
+//! live off a running fleet or replayed from a JSONL file — produces an
+//! identical pipeline state, and therefore byte-identical exports.
+
+use crate::cache::{Rolling, Series};
+use emptcp_sim::{SimDuration, SimTime};
+use emptcp_telemetry::{Histogram, TraceEvent};
+use std::collections::BTreeMap;
+
+/// Aggregation parameters. The defaults suit fleet runs of a few seconds
+/// to a few minutes: 100 ms bins, a 60-bin (6 s) dashboard window, top-5
+/// hot-spot tables.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Width of one aggregation bin.
+    pub bin: SimDuration,
+    /// How many bins the dashboard's rolling window holds.
+    pub window_bins: usize,
+    /// How many rows the hot-client / hot-port tables keep.
+    pub top_k: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            bin: SimDuration::from_millis(100),
+            window_bins: 60,
+            top_k: 5,
+        }
+    }
+}
+
+/// Per-connection aggregates.
+#[derive(Debug, Clone)]
+pub struct ClientModel {
+    /// Delivered bytes per bin (dashboard window).
+    pub bytes: Rolling,
+    pub total_bytes: u64,
+    pub retransmits: u64,
+    pub rtos: u64,
+    /// Failure-recovery events: subflow deaths, revivals, backup promotions.
+    pub recoveries: u64,
+    /// Scheduler picks per subflow id — the pick-share signal.
+    pub picks: BTreeMap<u8, u64>,
+}
+
+impl ClientModel {
+    fn new(window: usize) -> Self {
+        ClientModel {
+            bytes: Rolling::new(window),
+            total_bytes: 0,
+            retransmits: 0,
+            rtos: 0,
+            recoveries: 0,
+            picks: BTreeMap::new(),
+        }
+    }
+
+    /// Total scheduler picks across subflows.
+    pub fn picks_total(&self) -> u64 {
+        self.picks.values().sum()
+    }
+}
+
+/// Per router-output-port aggregates.
+#[derive(Debug, Clone)]
+pub struct PortModel {
+    /// Drops per bin (dashboard window).
+    pub drops: Rolling,
+    pub drops_by_reason: BTreeMap<&'static str, u64>,
+    pub total_drops: u64,
+    /// Most recent QueueDepth observation.
+    pub queue_bytes: u64,
+    pub queue_capacity: u64,
+    pub peak_queue_bytes: u64,
+    /// ECN-threshold crossings observed (QueueDepth is edge-triggered).
+    pub ecn_crossings: u64,
+}
+
+impl PortModel {
+    fn new(window: usize) -> Self {
+        PortModel {
+            drops: Rolling::new(window),
+            drops_by_reason: BTreeMap::new(),
+            total_drops: 0,
+            queue_bytes: 0,
+            queue_capacity: 0,
+            peak_queue_bytes: 0,
+            ecn_crossings: 0,
+        }
+    }
+}
+
+/// Per energy-meter-component power integration.
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    pub last_watts: f64,
+    pub last_t: SimTime,
+    /// Joules integrated up to `last_t` (rectangle rule over level changes,
+    /// which is exact for a piecewise-constant power meter).
+    pub joules: f64,
+}
+
+impl EnergyModel {
+    /// Joules including the open interval from the last level change to `at`.
+    pub fn joules_at(&self, at: SimTime) -> f64 {
+        if at > self.last_t {
+            self.joules + self.last_watts * at.saturating_since(self.last_t).as_secs_f64()
+        } else {
+            self.joules
+        }
+    }
+}
+
+/// The streaming aggregation state.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    cfg: PipelineConfig,
+    /// Events ingested.
+    pub events: u64,
+    /// Event counts by variant kind.
+    pub by_kind: BTreeMap<&'static str, u64>,
+    /// Timestamp of the first / latest event seen.
+    pub first_t: Option<SimTime>,
+    pub last_t: SimTime,
+    pub clients: BTreeMap<u32, ClientModel>,
+    pub ports: BTreeMap<(u32, u32), PortModel>,
+    pub energy: BTreeMap<&'static str, EnergyModel>,
+    /// Fleet-wide delivered bytes per bin (full history, for export).
+    pub throughput: Series,
+    /// Fleet-wide delivered bytes per bin (rolling, for the dashboard).
+    pub throughput_window: Rolling,
+    pub drops_series: Series,
+    pub retransmits_series: Series,
+    pub rtos_series: Series,
+    pub recoveries_series: Series,
+    /// Queue fill percentage (bytes/capacity*100) at each QueueDepth
+    /// emission — the distribution the dashboard renders.
+    pub queue_fill: Histogram,
+    pub delivered_total: u64,
+    pub invariant_violations: u64,
+    pub faults_injected: u64,
+}
+
+impl Pipeline {
+    pub fn new(cfg: PipelineConfig) -> Self {
+        Pipeline {
+            cfg,
+            events: 0,
+            by_kind: BTreeMap::new(),
+            first_t: None,
+            last_t: SimTime::ZERO,
+            clients: BTreeMap::new(),
+            ports: BTreeMap::new(),
+            energy: BTreeMap::new(),
+            throughput: Series::new(),
+            throughput_window: Rolling::new(cfg.window_bins),
+            drops_series: Series::new(),
+            retransmits_series: Series::new(),
+            rtos_series: Series::new(),
+            recoveries_series: Series::new(),
+            queue_fill: Histogram::default(),
+            delivered_total: 0,
+            invariant_violations: 0,
+            faults_injected: 0,
+        }
+    }
+
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Absolute bin index of time `t`.
+    pub fn bin_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() / self.cfg.bin.as_nanos().max(1)
+    }
+
+    /// Bin index of the latest event (0 before any event).
+    pub fn current_bin(&self) -> u64 {
+        self.bin_of(self.last_t)
+    }
+
+    pub fn bin_secs(&self) -> f64 {
+        self.cfg.bin.as_secs_f64()
+    }
+
+    /// Convert a per-bin byte count to megabits per second.
+    pub fn bytes_to_mbps(&self, bytes: f64) -> f64 {
+        bytes * 8.0 / self.bin_secs() / 1e6
+    }
+
+    /// Fold one event into the models.
+    pub fn ingest(&mut self, t: SimTime, ev: &TraceEvent) {
+        self.events += 1;
+        *self.by_kind.entry(ev.kind()).or_insert(0) += 1;
+        if self.first_t.is_none() {
+            self.first_t = Some(t);
+        }
+        if t > self.last_t {
+            self.last_t = t;
+        }
+        let bin = self.bin_of(t);
+        let window = self.cfg.window_bins;
+        match ev {
+            TraceEvent::Delivered {
+                conn,
+                subflow: _,
+                bytes,
+            } => {
+                let b = *bytes as f64;
+                self.delivered_total += bytes;
+                self.throughput.add(bin, b);
+                self.throughput_window.add(bin, b);
+                self.clients
+                    .entry(*conn)
+                    .or_insert_with(|| ClientModel::new(window))
+                    .add_bytes(bin, *bytes);
+            }
+            TraceEvent::Retransmit { conn, .. } => {
+                self.retransmits_series.add(bin, 1.0);
+                self.client(*conn).retransmits += 1;
+            }
+            TraceEvent::RtoFired { conn, .. } => {
+                self.rtos_series.add(bin, 1.0);
+                self.client(*conn).rtos += 1;
+            }
+            TraceEvent::SchedPick { conn, picked, .. } => {
+                *self.client(*conn).picks.entry(*picked).or_insert(0) += 1;
+            }
+            TraceEvent::SubflowDead { conn, .. }
+            | TraceEvent::SubflowRevived { conn, .. }
+            | TraceEvent::BackupPromoted { conn, .. } => {
+                self.recoveries_series.add(bin, 1.0);
+                self.client(*conn).recoveries += 1;
+            }
+            TraceEvent::RouterDrop {
+                router,
+                port,
+                reason,
+            } => {
+                self.drops_series.add(bin, 1.0);
+                let p = self
+                    .ports
+                    .entry((*router, *port))
+                    .or_insert_with(|| PortModel::new(window));
+                p.total_drops += 1;
+                p.drops.add(bin, 1.0);
+                *p.drops_by_reason.entry(reason).or_insert(0) += 1;
+            }
+            TraceEvent::QueueDepth {
+                router,
+                port,
+                bytes,
+                capacity,
+            } => {
+                let p = self
+                    .ports
+                    .entry((*router, *port))
+                    .or_insert_with(|| PortModel::new(window));
+                p.queue_bytes = *bytes;
+                p.queue_capacity = *capacity;
+                p.peak_queue_bytes = p.peak_queue_bytes.max(*bytes);
+                p.ecn_crossings += 1;
+                if *capacity > 0 {
+                    self.queue_fill
+                        .record(*bytes as f64 * 100.0 / *capacity as f64);
+                }
+            }
+            TraceEvent::EnergyLevel { component, watts } => match self.energy.get_mut(component) {
+                Some(e) => {
+                    if t > e.last_t {
+                        e.joules += e.last_watts * t.saturating_since(e.last_t).as_secs_f64();
+                        e.last_t = t;
+                    }
+                    e.last_watts = *watts;
+                }
+                None => {
+                    self.energy.insert(
+                        component,
+                        EnergyModel {
+                            last_watts: *watts,
+                            last_t: t,
+                            joules: 0.0,
+                        },
+                    );
+                }
+            },
+            TraceEvent::InvariantViolated { .. } => self.invariant_violations += 1,
+            TraceEvent::FaultInjected { .. } => self.faults_injected += 1,
+            // State transitions and lifecycle events are counted in
+            // `by_kind` but carry no windowed aggregate of their own.
+            TraceEvent::TcpState { .. }
+            | TraceEvent::CwndChange { .. }
+            | TraceEvent::SubflowEstablished { .. }
+            | TraceEvent::SubflowClosed { .. }
+            | TraceEvent::MpPrio { .. }
+            | TraceEvent::RrcTransition { .. }
+            | TraceEvent::PathUsage { .. } => {}
+        }
+    }
+
+    fn client(&mut self, conn: u32) -> &mut ClientModel {
+        let window = self.cfg.window_bins;
+        self.clients
+            .entry(conn)
+            .or_insert_with(|| ClientModel::new(window))
+    }
+
+    /// Total joules integrated across components up to the latest event.
+    pub fn total_joules(&self) -> f64 {
+        self.energy.values().map(|e| e.joules_at(self.last_t)).sum()
+    }
+
+    /// Average joules per delivered bit (0 when either side is zero —
+    /// fleet traces carry no energy meter, and an idle meter delivers no
+    /// bits worth normalizing by).
+    pub fn energy_per_bit(&self) -> f64 {
+        let bits = self.delivered_total as f64 * 8.0;
+        let joules = self.total_joules();
+        if bits > 0.0 && joules > 0.0 {
+            joules / bits
+        } else {
+            0.0
+        }
+    }
+
+    /// Hottest clients by lifetime delivered bytes (count desc, id asc).
+    pub fn top_clients(&self) -> Vec<(u32, &ClientModel)> {
+        let mut v: Vec<_> = self.clients.iter().map(|(k, m)| (*k, m)).collect();
+        v.sort_by(|a, b| b.1.total_bytes.cmp(&a.1.total_bytes).then(a.0.cmp(&b.0)));
+        v.truncate(self.cfg.top_k);
+        v
+    }
+
+    /// Hottest router ports by drops, then peak queue (desc), key asc.
+    pub fn top_ports(&self) -> Vec<((u32, u32), &PortModel)> {
+        let mut v: Vec<_> = self.ports.iter().map(|(k, m)| (*k, m)).collect();
+        v.sort_by(|a, b| {
+            b.1.total_drops
+                .cmp(&a.1.total_drops)
+                .then(b.1.peak_queue_bytes.cmp(&a.1.peak_queue_bytes))
+                .then(a.0.cmp(&b.0))
+        });
+        v.truncate(self.cfg.top_k);
+        v
+    }
+
+    /// Number of bins covered so far (for export row counts).
+    pub fn bins(&self) -> u64 {
+        if self.first_t.is_none() {
+            0
+        } else {
+            self.current_bin() + 1
+        }
+    }
+}
+
+impl ClientModel {
+    fn add_bytes(&mut self, bin: u64, bytes: u64) {
+        self.total_bytes += bytes;
+        self.bytes.add(bin, bytes as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t_ms(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn delivered_events_bin_into_throughput() {
+        let mut p = Pipeline::new(PipelineConfig::default());
+        p.ingest(
+            t_ms(50),
+            &TraceEvent::Delivered {
+                conn: 1,
+                subflow: 0,
+                bytes: 1000,
+            },
+        );
+        p.ingest(
+            t_ms(150),
+            &TraceEvent::Delivered {
+                conn: 1,
+                subflow: 1,
+                bytes: 500,
+            },
+        );
+        assert_eq!(p.delivered_total, 1500);
+        assert_eq!(p.throughput.get(0), 1000.0);
+        assert_eq!(p.throughput.get(1), 500.0);
+        assert_eq!(p.clients[&1].total_bytes, 1500);
+        assert_eq!(p.bins(), 2);
+    }
+
+    #[test]
+    fn energy_integrates_piecewise_constant_power() {
+        let mut p = Pipeline::new(PipelineConfig::default());
+        p.ingest(
+            t_ms(0),
+            &TraceEvent::EnergyLevel {
+                component: "cell",
+                watts: 2.0,
+            },
+        );
+        p.ingest(
+            t_ms(500),
+            &TraceEvent::EnergyLevel {
+                component: "cell",
+                watts: 0.5,
+            },
+        );
+        // 2 W for 0.5 s = 1 J closed; plus 0.5 W open interval to last_t
+        // (which equals the change time, so nothing extra).
+        assert!((p.total_joules() - 1.0).abs() < 1e-12);
+        p.ingest(
+            t_ms(1500),
+            &TraceEvent::RrcTransition {
+                from: "Active",
+                to: "Tail",
+            },
+        );
+        // Open interval now extends 1 s at 0.5 W.
+        assert!((p.total_joules() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_clients_rank_by_bytes_then_id() {
+        let mut p = Pipeline::new(PipelineConfig {
+            top_k: 2,
+            ..PipelineConfig::default()
+        });
+        for (conn, bytes) in [(3u32, 10u64), (1, 50), (2, 50), (9, 5)] {
+            p.ingest(
+                t_ms(1),
+                &TraceEvent::Delivered {
+                    conn,
+                    subflow: 0,
+                    bytes,
+                },
+            );
+        }
+        let top: Vec<u32> = p.top_clients().iter().map(|(c, _)| *c).collect();
+        assert_eq!(top, vec![1, 2]);
+    }
+
+    #[test]
+    fn router_events_key_ports() {
+        let mut p = Pipeline::new(PipelineConfig::default());
+        p.ingest(
+            t_ms(1),
+            &TraceEvent::RouterDrop {
+                router: 0,
+                port: 2,
+                reason: "queue_full",
+            },
+        );
+        p.ingest(
+            t_ms(2),
+            &TraceEvent::QueueDepth {
+                router: 0,
+                port: 2,
+                bytes: 75,
+                capacity: 100,
+            },
+        );
+        let port = &p.ports[&(0, 2)];
+        assert_eq!(port.total_drops, 1);
+        assert_eq!(port.drops_by_reason["queue_full"], 1);
+        assert_eq!(port.peak_queue_bytes, 75);
+        assert_eq!(p.queue_fill.count(), 1);
+    }
+}

@@ -26,10 +26,10 @@ pub mod log;
 pub mod metrics;
 mod sink;
 
-pub use events::TraceEvent;
+pub use events::{TraceEvent, DELIVERED_EMIT_BYTES};
 pub use invariant::{InvariantObserver, Violation};
-pub use metrics::{Histogram, MetricsRegistry};
-pub use sink::{jsonl_line, JsonlSink, MemorySink, NullSink, TraceSink};
+pub use metrics::{parse_router_port_metric, router_port_metric, Histogram, MetricsRegistry};
+pub use sink::{jsonl_line, parse_jsonl_line, JsonlSink, MemorySink, NullSink, TeeSink, TraceSink};
 
 use emptcp_sim::SimTime;
 use std::sync::{Arc, Mutex};

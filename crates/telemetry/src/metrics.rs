@@ -131,6 +131,25 @@ impl Histogram {
     }
 }
 
+/// Canonical metric key for a router output-port statistic:
+/// `net.router{router}.port{port}.{field}`.
+///
+/// Every emitter *and* every consumer (fabric metric publishing, the
+/// observability aggregator, summaries) must build these keys through this
+/// one helper so the name scheme cannot drift between writer and reader.
+pub fn router_port_metric(router: u32, port: u32, field: &str) -> String {
+    format!("net.router{router}.port{port}.{field}")
+}
+
+/// Parse a key produced by [`router_port_metric`] back into
+/// `(router, port, field)`. Returns `None` for keys outside the scheme.
+pub fn parse_router_port_metric(key: &str) -> Option<(u32, u32, &str)> {
+    let rest = key.strip_prefix("net.router")?;
+    let (router, rest) = rest.split_once(".port")?;
+    let (port, field) = rest.split_once('.')?;
+    Some((router.parse().ok()?, port.parse().ok()?, field))
+}
+
 /// Registry of named metrics. One per instrumented run (or one global per
 /// experiment batch — counters merge deterministically).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -270,6 +289,92 @@ mod tests {
         assert_eq!(ab.counter("x"), 3);
         assert_eq!(ab.counter("y"), 5);
         assert_eq!(ab.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn router_port_metric_round_trips() {
+        let key = router_port_metric(3, 17, "drops.queue_full");
+        assert_eq!(key, "net.router3.port17.drops.queue_full");
+        assert_eq!(
+            parse_router_port_metric(&key),
+            Some((3, 17, "drops.queue_full"))
+        );
+        assert_eq!(parse_router_port_metric("net.router3.port17"), None);
+        assert_eq!(parse_router_port_metric("conn0.iface.wifi.rx_bytes"), None);
+        assert_eq!(parse_router_port_metric("net.routerX.port1.drops"), None);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "q={q}");
+        }
+        let m = MetricsRegistry::new();
+        assert!(m.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn single_sample_histogram_quantiles() {
+        let mut h = Histogram::default();
+        h.record(100.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 100.0);
+        // Every quantile of a one-sample distribution is that sample's
+        // bucket bound: 100 lands in bucket 7, upper bound 128.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 128.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_samples_land_in_bucket_zero() {
+        let mut h = Histogram::default();
+        h.record(0.0);
+        h.record(-5.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn saturating_magnitude_clamps_to_top_bucket() {
+        let mut h = Histogram::default();
+        h.record(f64::MAX);
+        h.record(1e300);
+        assert_eq!(h.count(), 2);
+        // Values beyond u64 range saturate into bucket 63, whose nominal
+        // upper bound 2^63 is what the approximate quantile reports.
+        let top = (1u64 << 63) as f64;
+        assert_eq!(h.quantile(1.0), top);
+        assert_eq!(h.quantile(0.5), top);
+        // The exact max is still tracked alongside the buckets.
+        assert_eq!(h.sum(), f64::MAX + 1e300);
+    }
+
+    #[test]
+    fn quantile_out_of_range_is_clamped() {
+        let mut h = Histogram::default();
+        h.record(3.0);
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn merge_into_empty_copies_min_max() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        b.record(7.0);
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a, b);
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::events::TraceEvent;
 use emptcp_sim::SimTime;
-use serde::Serialize;
+use serde::{Deserialize, Error, Serialize};
 use std::io::{self, Write};
 
 /// Consumer of timestamped trace events.
@@ -63,6 +63,56 @@ pub fn jsonl_line(t: SimTime, event: &TraceEvent) -> String {
     obj.insert("t_ns", serde_json::Value::U64(t.as_nanos()));
     obj.insert("event", event.to_value());
     serde_json::to_string(&serde_json::Value::Object(obj)).expect("serialization is infallible")
+}
+
+/// Parse one JSONL trace line back into `(t, event)` — the exact inverse of
+/// [`jsonl_line`]. Replay tooling is built on this, so a value that
+/// round-trips through `jsonl_line` must always parse back equal (enforced by
+/// the exhaustive round-trip test in `tests/event_roundtrip.rs`).
+pub fn parse_jsonl_line(line: &str) -> Result<(SimTime, TraceEvent), Error> {
+    let v: serde_json::Value = serde_json::from_str(line)?;
+    let t_ns = v
+        .get("t_ns")
+        .and_then(serde_json::Value::as_u64)
+        .ok_or_else(|| Error::new("trace line: missing or non-u64 `t_ns`"))?;
+    let event = v
+        .get("event")
+        .ok_or_else(|| Error::new("trace line: missing `event`"))?;
+    Ok((SimTime::from_nanos(t_ns), TraceEvent::from_value(event)?))
+}
+
+/// Sink that broadcasts every event to several downstream sinks, in order.
+/// This is how a live run simultaneously records a JSONL trace *and* feeds
+/// the streaming observability pipeline without buffering the whole trace.
+pub struct TeeSink {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl TeeSink {
+    pub fn new(sinks: Vec<Box<dyn TraceSink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&mut self, t: SimTime, event: &TraceEvent) {
+        for sink in &mut self.sinks {
+            sink.record(t, event);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        for sink in &mut self.sinks {
+            sink.flush()?;
+        }
+        Ok(())
+    }
+
+    /// A tee is null only when every branch is; one real consumer is enough
+    /// to require the serial-fan-out determinism path.
+    fn is_null(&self) -> bool {
+        self.sinks.iter().all(|s| s.is_null())
+    }
 }
 
 impl<W: Write + Send> TraceSink for JsonlSink<W> {

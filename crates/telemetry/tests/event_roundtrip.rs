@@ -1,0 +1,295 @@
+//! Exhaustive JSONL round-trip coverage: every `TraceEvent` variant must
+//! serialize through `jsonl_line` and parse back equal through
+//! `parse_jsonl_line`. The replay half of the observability pipeline is
+//! built on this property — a variant that cannot round-trip would silently
+//! vanish from replayed dashboards and exports.
+
+use emptcp_sim::SimTime;
+use emptcp_telemetry::{jsonl_line, parse_jsonl_line, TraceEvent};
+
+/// One exemplar per variant. The `covers_every_variant` test below fails to
+/// compile if a new variant is added without extending this list.
+fn exemplars() -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::TcpState {
+            conn: 0,
+            subflow: 1,
+            from: "SynSent",
+            to: "Established",
+        },
+        TraceEvent::CwndChange {
+            conn: 1,
+            subflow: 0,
+            cwnd: 29_200,
+            ssthresh: u64::MAX,
+            reason: "ack",
+        },
+        TraceEvent::Retransmit {
+            conn: 2,
+            subflow: 1,
+            seq: 123_456_789,
+            len: 1460,
+            kind: "fast",
+        },
+        TraceEvent::RtoFired {
+            conn: 3,
+            subflow: 0,
+            rto_ns: 200_000_000,
+        },
+        TraceEvent::Delivered {
+            conn: 4,
+            subflow: 1,
+            bytes: 65_536,
+        },
+        TraceEvent::SchedPick {
+            conn: 5,
+            picked: 1,
+            candidates: vec![0, 1, 2],
+            reason: "min_rtt",
+            srtt_ns: 31_250_000,
+        },
+        TraceEvent::SchedPick {
+            conn: 5,
+            picked: 0,
+            candidates: vec![],
+            reason: "only_candidate",
+            srtt_ns: 0,
+        },
+        TraceEvent::SubflowEstablished {
+            conn: 6,
+            subflow: 1,
+            iface: "LTE",
+        },
+        TraceEvent::SubflowClosed {
+            conn: 7,
+            subflow: 0,
+            reason: "fin",
+        },
+        TraceEvent::MpPrio {
+            conn: 8,
+            subflow: 1,
+            backup: true,
+        },
+        TraceEvent::RrcTransition {
+            from: "Idle",
+            to: "Promotion",
+        },
+        TraceEvent::EnergyLevel {
+            component: "cell",
+            watts: 1.125,
+        },
+        TraceEvent::EnergyLevel {
+            component: "wifi",
+            watts: 0.000_1,
+        },
+        TraceEvent::PathUsage {
+            conn: 9,
+            decision: "WiFi-only",
+        },
+        TraceEvent::InvariantViolated {
+            name: "ack_conservation",
+            detail: "acked 101 > sent 100".to_string(),
+        },
+        TraceEvent::FaultInjected {
+            target: "cellular",
+            action: "rate=500000".to_string(),
+        },
+        TraceEvent::SubflowDead {
+            conn: 10,
+            subflow: 1,
+            reason: "rto_threshold",
+            consecutive_rtos: 3,
+            reinjected_bytes: 42_000,
+        },
+        TraceEvent::SubflowRevived {
+            conn: 11,
+            subflow: 1,
+            reason: "link_restored",
+        },
+        TraceEvent::BackupPromoted {
+            conn: 12,
+            subflow: 1,
+        },
+        TraceEvent::RouterDrop {
+            router: 0,
+            port: 3,
+            reason: "queue_full",
+        },
+        TraceEvent::QueueDepth {
+            router: 1,
+            port: 0,
+            bytes: 48_000,
+            capacity: 64_000,
+        },
+    ]
+}
+
+fn round_trip(t: SimTime, ev: &TraceEvent) -> (SimTime, TraceEvent) {
+    let line = jsonl_line(t, ev);
+    assert!(
+        !line.contains('\n'),
+        "jsonl_line must stay single-line: {line:?}"
+    );
+    parse_jsonl_line(&line).unwrap_or_else(|e| panic!("parse failed for {line:?}: {e:?}"))
+}
+
+#[test]
+fn every_variant_round_trips() {
+    for (i, ev) in exemplars().iter().enumerate() {
+        let t = SimTime::from_nanos(i as u64 * 1_000_003 + 7);
+        let (t2, ev2) = round_trip(t, ev);
+        assert_eq!(t2, t, "timestamp drifted for {ev:?}");
+        assert_eq!(&ev2, ev, "event drifted through round trip");
+        // Re-serializing the parsed event must reproduce the exact bytes:
+        // that is the determinism contract replay-vs-live rests on.
+        assert_eq!(jsonl_line(t2, &ev2), jsonl_line(t, ev));
+    }
+}
+
+#[test]
+fn covers_every_variant() {
+    let exemplars = exemplars();
+    let covered = |kind: &str| exemplars.iter().filter(|e| e.kind() == kind).count();
+    // Compile-time exhaustiveness: adding a variant breaks this match, and
+    // the assert ensures each listed kind actually appears in `exemplars`.
+    let probe = &exemplars[0];
+    let kinds: &[&str] = match probe {
+        TraceEvent::TcpState { .. }
+        | TraceEvent::CwndChange { .. }
+        | TraceEvent::Retransmit { .. }
+        | TraceEvent::RtoFired { .. }
+        | TraceEvent::Delivered { .. }
+        | TraceEvent::SchedPick { .. }
+        | TraceEvent::SubflowEstablished { .. }
+        | TraceEvent::SubflowClosed { .. }
+        | TraceEvent::MpPrio { .. }
+        | TraceEvent::RrcTransition { .. }
+        | TraceEvent::EnergyLevel { .. }
+        | TraceEvent::PathUsage { .. }
+        | TraceEvent::InvariantViolated { .. }
+        | TraceEvent::FaultInjected { .. }
+        | TraceEvent::SubflowDead { .. }
+        | TraceEvent::SubflowRevived { .. }
+        | TraceEvent::BackupPromoted { .. }
+        | TraceEvent::RouterDrop { .. }
+        | TraceEvent::QueueDepth { .. } => &[
+            "TcpState",
+            "CwndChange",
+            "Retransmit",
+            "RtoFired",
+            "Delivered",
+            "SchedPick",
+            "SubflowEstablished",
+            "SubflowClosed",
+            "MpPrio",
+            "RrcTransition",
+            "EnergyLevel",
+            "PathUsage",
+            "InvariantViolated",
+            "FaultInjected",
+            "SubflowDead",
+            "SubflowRevived",
+            "BackupPromoted",
+            "RouterDrop",
+            "QueueDepth",
+        ],
+    };
+    for kind in kinds {
+        assert!(
+            covered(kind) > 0,
+            "no exemplar for variant {kind}; extend exemplars()"
+        );
+    }
+}
+
+#[test]
+fn string_escaping_edge_cases_round_trip() {
+    let nasty: &[&str] = &[
+        "",
+        "plain",
+        "with \"double quotes\"",
+        "back\\slash and \\\" mixed",
+        "newline\nand\rcarriage",
+        "tab\tseparated\tfields",
+        "control \u{0000} \u{0001} \u{001f} chars",
+        "del \u{007f} char",
+        "unicode: émphase überall ✓",
+        "emoji 🚀📡 and beyond-BMP 𝕊",
+        "json-ish: {\"key\": [1, 2]}",
+        "trailing backslash \\",
+        "/forward/slashes/",
+    ];
+    for (i, s) in nasty.iter().enumerate() {
+        let ev = TraceEvent::FaultInjected {
+            target: "wifi",
+            action: s.to_string(),
+        };
+        let (_, back) = round_trip(SimTime::from_nanos(i as u64), &ev);
+        assert_eq!(back, ev, "escaping failed for {s:?}");
+
+        let ev = TraceEvent::InvariantViolated {
+            name: "dss_coverage",
+            detail: format!("detail {s} tail"),
+        };
+        let (_, back) = round_trip(SimTime::from_nanos(i as u64), &ev);
+        assert_eq!(back, ev, "escaping failed inside detail for {s:?}");
+    }
+}
+
+#[test]
+fn extreme_numeric_values_round_trip() {
+    let evs = [
+        TraceEvent::RtoFired {
+            conn: u32::MAX,
+            subflow: u8::MAX,
+            rto_ns: u64::MAX,
+        },
+        TraceEvent::EnergyLevel {
+            component: "cell",
+            watts: 0.0,
+        },
+        TraceEvent::EnergyLevel {
+            component: "cell",
+            watts: 1e-300,
+        },
+        TraceEvent::EnergyLevel {
+            component: "cell",
+            watts: 12_345.678_901_234_5,
+        },
+    ];
+    for ev in &evs {
+        let (_, back) = round_trip(SimTime::from_nanos(u64::MAX), ev);
+        assert_eq!(&back, ev);
+    }
+}
+
+#[test]
+fn unknown_labels_parse_via_leak_cache() {
+    // A trace written by a newer emitter may carry labels outside the
+    // intern table; they must still parse (interned by leaking once).
+    let line = r#"{"t_ns":5,"event":{"SubflowClosed":{"conn":1,"subflow":0,"reason":"brand_new_reason"}}}"#;
+    let (_, ev) = parse_jsonl_line(line).unwrap();
+    match ev {
+        TraceEvent::SubflowClosed { reason, .. } => assert_eq!(reason, "brand_new_reason"),
+        other => panic!("wrong variant: {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_lines_are_rejected() {
+    for line in [
+        "",
+        "not json",
+        "{}",
+        r#"{"t_ns":1}"#,
+        r#"{"event":{"MpPrio":{"conn":1,"subflow":0,"backup":true}}}"#,
+        r#"{"t_ns":-1,"event":{"BackupPromoted":{"conn":1,"subflow":0}}}"#,
+        r#"{"t_ns":1,"event":{"BackupPromoted":{"conn":1}}}"#,
+        r#"{"t_ns":1,"event":{"MpPrio":{"conn":1,"subflow":999,"backup":true}}}"#,
+    ] {
+        assert!(
+            parse_jsonl_line(line).is_err(),
+            "accepted bad line {line:?}"
+        );
+    }
+}
