@@ -124,6 +124,24 @@ fn simulator(c: &mut Criterion) {
     g.finish();
 }
 
+fn scenario_io(c: &mut Criterion) {
+    use emptcp_scenario::{corpus, io};
+    let mut g = c.benchmark_group("scenario");
+    let host_text = corpus::raw("ap-vanish").expect("corpus entry");
+    let fleet_text = corpus::raw("fleet-contended").expect("corpus entry");
+    g.bench_function("scenario_parse_load", |b| {
+        // Alternate a host and a fleet file so both world arms stay
+        // measured.
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let text = if flip { host_text } else { fleet_text };
+            black_box(io::from_json_str(black_box(text)).expect("corpus parses"))
+        })
+    });
+    g.finish();
+}
+
 fn usage_enum(c: &mut Criterion) {
     // Keep PathUsage in the measured set so regressions in the enum's
     // dispatch (used on every decision) are visible.
@@ -137,5 +155,13 @@ fn usage_enum(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, predictor, eib, controller, simulator, usage_enum);
+criterion_group!(
+    benches,
+    predictor,
+    eib,
+    controller,
+    simulator,
+    scenario_io,
+    usage_enum
+);
 criterion_main!(benches);

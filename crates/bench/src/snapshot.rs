@@ -277,6 +277,24 @@ fn micro_benches() -> BTreeMap<String, f64> {
     }
 
     {
+        // `.scenario` parse + validate, one corpus file per iteration:
+        // the loader runs once per scenario at CLI startup and corpus
+        // replay, so it must stay microseconds, not milliseconds.
+        use emptcp_scenario::{corpus, io};
+        let host_text = corpus::raw("ap-vanish").expect("corpus entry");
+        let fleet_text = corpus::raw("fleet-contended").expect("corpus entry");
+        let mut flip = false;
+        micro.insert(
+            "scenario_parse_load".to_string(),
+            time_median_ns(9, 2_000, || {
+                flip = !flip;
+                let text = if flip { host_text } else { fleet_text };
+                black_box(io::from_json_str(black_box(text)).expect("corpus parses"));
+            }),
+        );
+    }
+
+    {
         // Pure pipeline ingest: one representative event folded into the
         // rolling aggregates (the per-event cost of the live tap).
         use emptcp_obsv::{Pipeline, PipelineConfig};

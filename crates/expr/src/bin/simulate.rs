@@ -9,6 +9,10 @@
 //! simulate faults --all --check
 //! simulate monitor --replay fleet.trace.jsonl
 //! simulate monitor --replay fleet.trace.jsonl --check --export-json out.json
+//! simulate scenario --list
+//! simulate scenario --corpus --check --jobs 4
+//! simulate scenario --fuzz --cases 100 --seed 7
+//! simulate scenario --file results/repros/fuzz-7-12-min.scenario --check
 //! ```
 //!
 //! This is the downstream-user entry point: where `repro` regenerates the
@@ -196,7 +200,7 @@ fn faults_main(args: Vec<String>) -> ! {
             "--trace" => trace_path = Some(value("--trace")),
             "--quiet" => quiet = true,
             "--list" => {
-                for spec in scenarios::ALL {
+                for spec in scenarios::all() {
                     println!("{:<18} {}", spec.name, spec.summary);
                 }
                 std::process::exit(0);
@@ -213,7 +217,7 @@ fn faults_main(args: Vec<String>) -> ! {
     }
 
     let names: Vec<&str> = if all {
-        scenarios::ALL.iter().map(|s| s.name).collect()
+        scenarios::NAMES.to_vec()
     } else {
         match &scenario {
             Some(name) => vec![name.as_str()],
@@ -274,6 +278,208 @@ fn faults_main(args: Vec<String>) -> ! {
     std::process::exit(0);
 }
 
+fn scenario_usage() -> ! {
+    eprintln!(
+        "usage: simulate scenario [options]
+  --list               list the committed corpus (sorted) and exit
+  --name NAME          run one corpus scenario through the oracles
+  --file PATH          run a .scenario file (e.g. a shrunk repro)
+  --corpus             replay the whole corpus deterministically
+  --fuzz               generate and certify arbitrary valid scenarios
+  --cases N            fuzz cases                          (default 100)
+  --seed N             scenario-seed override / fuzz root seed (default 42)
+  --check              exit non-zero on any oracle violation (CI gate)
+  --json               print each chaos report as JSON
+  --jobs N             worker pool size                    (default 1)
+  --out DIR            write per-scenario corpus reports here
+  --repro-dir DIR      write shrunk fuzz repros here (default results/repros)
+  --sabotage-oracle O  deliberately break oracle O ('delivery') to
+                       exercise the fuzz -> shrink -> repro pipeline
+  --quiet              suppress progress output"
+    );
+    std::process::exit(2);
+}
+
+fn print_chaos_report(r: &emptcp_expr::chaos::ChaosReport) {
+    let verdict = if r.ok() { "certified" } else { "VIOLATED" };
+    println!(
+        "{:<28} {:<5} seed {:<10} faults {:<3} {}",
+        r.scenario, r.world, r.seed, r.faults_injected, verdict
+    );
+    for v in &r.violations {
+        println!("  oracle {:<22} {}", v.oracle, v.detail);
+    }
+}
+
+fn scenario_main(args: Vec<String>) -> ! {
+    use emptcp_expr::chaos;
+    use emptcp_scenario::corpus;
+
+    let mut list = false;
+    let mut name: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut run_corpus = false;
+    let mut fuzz = false;
+    let mut cases = 100u64;
+    let mut seed: Option<u64> = None;
+    let mut do_check = false;
+    let mut json = false;
+    let mut jobs = 1usize;
+    let mut out_dir: Option<String> = None;
+    let mut repro_dir = "results/repros".to_string();
+    let mut sabotage: Option<String> = None;
+    let mut quiet = false;
+
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--list" => list = true,
+            "--name" => name = Some(value("--name")),
+            "--file" => file = Some(value("--file")),
+            "--corpus" => run_corpus = true,
+            "--fuzz" => fuzz = true,
+            "--cases" => {
+                cases = value("--cases")
+                    .parse()
+                    .unwrap_or_else(|_| scenario_usage())
+            }
+            "--seed" => seed = Some(value("--seed").parse().unwrap_or_else(|_| scenario_usage())),
+            "--check" => do_check = true,
+            "--json" => json = true,
+            "--jobs" => jobs = value("--jobs").parse().unwrap_or_else(|_| scenario_usage()),
+            "--out" => out_dir = Some(value("--out")),
+            "--repro-dir" => repro_dir = value("--repro-dir"),
+            "--sabotage-oracle" => sabotage = Some(value("--sabotage-oracle")),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => scenario_usage(),
+            other => {
+                eprintln!("unknown option: {other}");
+                scenario_usage();
+            }
+        }
+    }
+    if quiet {
+        log::set_level(log::Level::Quiet);
+    }
+    let sabotage = sabotage.as_deref();
+    if let Some(s) = sabotage {
+        if s != chaos::SABOTAGE_DELIVERY {
+            eprintln!("unknown oracle to sabotage: {s} (supported: delivery)");
+            std::process::exit(2);
+        }
+    }
+
+    if list {
+        for n in corpus::names() {
+            let sc = corpus::load(n).expect("corpus scenario loads");
+            println!("{:<28} {:<5} {}", n, sc.world_label(), sc.summary);
+        }
+        std::process::exit(0);
+    }
+
+    let runner = emptcp_expr::Runner::new(jobs);
+
+    if fuzz {
+        let root = seed.unwrap_or(42);
+        let outcome = runner
+            .install(|| chaos::fuzz(root, cases, sabotage, Some(repro_dir.as_ref())))
+            .unwrap_or_else(|e| {
+                eprintln!("simulate scenario: cannot write repros: {e}");
+                std::process::exit(1);
+            });
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&outcome).expect("outcome serializes")
+            );
+        } else {
+            info!(
+                "fuzz: {} cases from seed {}, {} oracle failure(s)",
+                outcome.cases,
+                outcome.seed,
+                outcome.failures.len()
+            );
+            for f in &outcome.failures {
+                println!(
+                    "case {:<4} {:<24} -> {} ({} fault(s), {} client(s)){}",
+                    f.case,
+                    f.scenario,
+                    f.violations[0].oracle,
+                    f.shrunk_faults,
+                    f.shrunk_clients,
+                    f.repro_path
+                        .as_deref()
+                        .map(|p| format!(" repro: {p}"))
+                        .unwrap_or_default()
+                );
+            }
+        }
+        std::process::exit(if outcome.failures.is_empty() { 0 } else { 1 });
+    }
+
+    if run_corpus {
+        let reports = runner
+            .install(|| chaos::replay_corpus(out_dir.as_deref().map(std::path::Path::new)))
+            .unwrap_or_else(|e| {
+                eprintln!("simulate scenario: cannot write reports: {e}");
+                std::process::exit(1);
+            });
+        let mut failures = 0usize;
+        for r in &reports {
+            if json {
+                print!("{}", chaos::report_json(r));
+            } else {
+                print_chaos_report(r);
+            }
+            failures += usize::from(!r.ok());
+        }
+        if !json {
+            info!(
+                "corpus: {} scenario(s), {} failure(s)",
+                reports.len(),
+                failures
+            );
+        }
+        std::process::exit(if do_check && failures > 0 { 1 } else { 0 });
+    }
+
+    // Single-scenario modes: --name (corpus) or --file (any .scenario).
+    let mut sc = match (&name, &file) {
+        (Some(n), None) => corpus::load(n).unwrap_or_else(|| {
+            eprintln!("unknown corpus scenario '{n}' (try --list)");
+            std::process::exit(2);
+        }),
+        (None, Some(path)) => {
+            emptcp_scenario::io::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("simulate scenario: {e}");
+                std::process::exit(2);
+            })
+        }
+        _ => scenario_usage(),
+    };
+    if let Some(s) = seed {
+        sc.seed = s;
+    }
+    let report = runner
+        .install(|| chaos::run_scenario(&sc, sabotage))
+        .unwrap_or_else(|e| {
+            eprintln!("simulate scenario: {e}");
+            std::process::exit(2);
+        });
+    if json {
+        print!("{}", chaos::report_json(&report));
+    } else {
+        print_chaos_report(&report);
+    }
+    std::process::exit(if do_check && !report.ok() { 1 } else { 0 });
+}
+
 fn main() {
     let mut args_vec: Vec<String> = std::env::args().skip(1).collect();
     if args_vec.first().map(String::as_str) == Some("faults") {
@@ -283,6 +489,10 @@ fn main() {
     if args_vec.first().map(String::as_str) == Some("monitor") {
         args_vec.remove(0);
         monitor_main(args_vec);
+    }
+    if args_vec.first().map(String::as_str) == Some("scenario") {
+        args_vec.remove(0);
+        scenario_main(args_vec);
     }
 
     let mut strategy_name = "emptcp".to_string();

@@ -1,0 +1,434 @@
+//! Chaos certification: run declarative scenarios through the simulators
+//! and judge the outcome with end-of-run oracles.
+//!
+//! This module is the binding layer the `emptcp-scenario` crate
+//! deliberately leaves out: it maps a [`Scenario`] onto the host
+//! simulation (`host::Simulation`) or the fleet (`net::FleetSim`), runs it
+//! with the telemetry invariant observer attached, and then applies the
+//! *end-of-run oracles* — properties that must hold for every valid
+//! scenario, not just hand-picked ones:
+//!
+//! * **exact delivery** — under a recoverable fault script the host
+//!   workload still delivers every byte (and every fleet client makes
+//!   progress);
+//! * **no stuck subflows** — once the last fault clears, no subflow may
+//!   still believe its link is down;
+//! * **energy conservation** — accumulated energy never decreases and the
+//!   radio sub-accounts never exceed the total;
+//! * **capacity conservation** — fleet aggregate goodput cannot exceed the
+//!   bottleneck;
+//! * **fairness bounds** — on do-no-harm topologies the MPTCP/TCP split
+//!   stays near fair;
+//! * **invariant observer** — zero online violations during the run.
+//!
+//! On top of single runs sit [`fuzz`] (generate → run → oracle → greedy
+//! [`emptcp_scenario::shrink`] to a minimal failing `.scenario` repro) and
+//! [`replay_corpus`] (every committed scenario, deterministic reports).
+
+use crate::host::Simulation;
+use crate::scenario::Scenario as ExprScenario;
+use crate::strategy::Strategy;
+use emptcp_net::FleetSim;
+use emptcp_scenario::gen::generate;
+use emptcp_scenario::io::save;
+use emptcp_scenario::shrink::shrink;
+use emptcp_scenario::{corpus, HostSpec, Scenario, ScenarioError, StrategyKind, World};
+use emptcp_sim::{SimDuration, SimTime};
+use emptcp_telemetry::{InvariantObserver, Telemetry};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The oracle a `--sabotage-oracle` run deliberately breaks, to prove the
+/// fuzz → shrink → repro pipeline catches real regressions.
+pub const SABOTAGE_DELIVERY: &str = "delivery";
+
+/// One failed end-of-run oracle.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OracleViolation {
+    /// Oracle name (`exact_delivery`, `no_stuck_subflows`, ...).
+    pub oracle: String,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// Everything a chaos run reports about one scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// `host` or `fleet`.
+    pub world: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Fault events the injector applied.
+    pub faults_injected: u64,
+    /// Host worlds: workload bytes delivered. Fleet worlds: 0.
+    pub bytes_delivered: u64,
+    /// Fleet worlds: aggregate goodput, Mbps. Host worlds: 0.
+    pub aggregate_mbps: f64,
+    /// Online invariant violations recorded during the run.
+    pub invariant_violations: u64,
+    /// Every end-of-run oracle that failed (empty = certified).
+    pub violations: Vec<OracleViolation>,
+}
+
+impl ChaosReport {
+    /// True when every oracle passed.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn strategy_of(kind: StrategyKind) -> Strategy {
+    match kind {
+        StrategyKind::Mptcp => Strategy::Mptcp,
+        StrategyKind::Emptcp => Strategy::emptcp_default(),
+        StrategyKind::TcpWifi => Strategy::TcpWifi,
+        StrategyKind::TcpCellular => Strategy::TcpCellular,
+        StrategyKind::WifiFirst => Strategy::WifiFirst,
+        StrategyKind::MdpScheduler => Strategy::MdpScheduler,
+        StrategyKind::SinglePath => Strategy::SinglePath,
+    }
+}
+
+/// Drain a local observer into the report's violation list.
+fn collect(obs: &mut InvariantObserver) -> Vec<OracleViolation> {
+    obs.take_violations()
+        .into_iter()
+        .map(|v| OracleViolation {
+            oracle: v.name.to_string(),
+            detail: v.detail,
+        })
+        .collect()
+}
+
+/// Run one scenario and judge it. The scenario's own seed drives every
+/// random draw; callers override by editing the scenario first.
+/// `sabotage` deliberately mis-wires the named oracle (see
+/// [`SABOTAGE_DELIVERY`]) so the shrinking pipeline can be exercised
+/// end-to-end against a known-bad judgement.
+pub fn run_scenario(sc: &Scenario, sabotage: Option<&str>) -> Result<ChaosReport, ScenarioError> {
+    sc.validate()?;
+    let sabotage_delivery = sabotage == Some(SABOTAGE_DELIVERY);
+    match &sc.world {
+        World::Host(host) => Ok(run_host(sc, host, sabotage_delivery)),
+        World::Fleet(_) => run_fleet(sc, sabotage_delivery),
+    }
+}
+
+fn run_host(sc: &Scenario, host: &HostSpec, sabotage_delivery: bool) -> ChaosReport {
+    let plan = sc.fault_plan();
+    let mut xs = ExprScenario::wild(
+        &format!("chaos/{}", sc.name),
+        host.wifi_bps,
+        host.cell_bps,
+        SimDuration::from_millis(host.wifi_rtt_ms),
+        SimDuration::from_millis(host.cell_rtt_ms),
+        host.transfer_bytes,
+    );
+    xs.profile = host.device.profile();
+    let telemetry = Telemetry::builder().invariants(true).build();
+    let mut sim =
+        Simulation::new_with_telemetry(xs, strategy_of(host.strategy), sc.seed, telemetry.clone());
+    if !plan.is_empty() {
+        sim.attach_faults(plan.clone());
+    }
+    let r = sim.run();
+    let invariant_violations = telemetry.violations().len() as u64;
+
+    let at = SimTime::ZERO + SimDuration::from_secs_f64(r.download_time_s);
+    let mut obs = InvariantObserver::new();
+
+    // Exact delivery: every recoverable script still lands every byte.
+    // A sabotaged run pretends one extra byte was owed whenever faults
+    // fired, emulating an oracle/recovery regression for the shrinker.
+    let asked = if sabotage_delivery && r.faults_injected > 0 {
+        host.transfer_bytes + 1
+    } else {
+        host.transfer_bytes
+    };
+    obs.check_exact_delivery(at, &sc.name, r.bytes_delivered, asked);
+    obs.check(at, "exact_delivery", r.completed, || {
+        format!("{}: transfer did not complete before the horizon", sc.name)
+    });
+
+    // No stuck subflows once the network is back to nominal.
+    if plan.is_empty() || plan.restores_nominal() {
+        obs.check_no_stuck_subflows(at, &sc.name, r.stuck_subflows);
+    }
+
+    // Energy accounting conserves.
+    obs.check_energy_conservation(at, &sc.name, r.promo_energy_j + r.tail_energy_j, r.energy_j);
+    obs.check(
+        at,
+        "energy_conservation",
+        r.energy_at_completion_j <= r.energy_j + 1e-9,
+        || {
+            format!(
+                "{}: energy at completion {} J exceeds final total {} J",
+                sc.name, r.energy_at_completion_j, r.energy_j
+            )
+        },
+    );
+    let mut prev = 0.0_f64;
+    for &(t, joules) in r.energy_trace.points() {
+        obs.check_energy_monotone(t, prev, joules);
+        if joules < prev - 1e-9 {
+            break; // one violation is evidence enough
+        }
+        prev = joules;
+    }
+
+    // The online observer must have stayed silent.
+    obs.check(at, "invariant_observer", invariant_violations == 0, || {
+        format!(
+            "{}: {} online invariant violation(s) during the run",
+            sc.name, invariant_violations
+        )
+    });
+
+    ChaosReport {
+        scenario: sc.name.clone(),
+        world: "host".to_string(),
+        seed: sc.seed,
+        faults_injected: r.faults_injected,
+        bytes_delivered: r.bytes_delivered,
+        aggregate_mbps: 0.0,
+        invariant_violations,
+        violations: collect(&mut obs),
+    }
+}
+
+fn run_fleet(sc: &Scenario, sabotage_delivery: bool) -> Result<ChaosReport, ScenarioError> {
+    let World::Fleet(cfg) = &sc.world else {
+        unreachable!("run_fleet called with a host world");
+    };
+    let plan = sc.fault_plan();
+    let mut cfg = cfg.clone();
+    cfg.seed = sc.seed;
+    let telemetry = Telemetry::builder().invariants(true).build();
+    let mut sim = FleetSim::try_new_with_telemetry(cfg.clone(), telemetry.clone())?;
+    if !plan.is_empty() {
+        sim.attach_faults(plan.clone());
+    }
+    let r = sim.run();
+    let invariant_violations = telemetry.violations().len() as u64;
+
+    let at = SimTime::ZERO + cfg.duration;
+    let mut obs = InvariantObserver::new();
+
+    // Every client makes progress — the fleet analogue of exact delivery.
+    // Sabotage pretends one extra client was owed progress when faults
+    // fired (see `run_host`).
+    let progressed = r.per_client_mbps.iter().filter(|&&m| m > 0.0).count() as u64;
+    let owed = if sabotage_delivery && r.faults_injected > 0 {
+        cfg.clients as u64 + 1
+    } else {
+        cfg.clients as u64
+    };
+    obs.check_exact_delivery(at, &sc.name, progressed, owed);
+
+    // Aggregate goodput cannot exceed the shared bottleneck.
+    let cap_mbps = cfg.bottleneck.rate_bps as f64 / 1e6;
+    obs.check(
+        at,
+        "capacity_conservation",
+        r.aggregate_mbps <= cap_mbps * 1.05,
+        || {
+            format!(
+                "{}: aggregate {:.2} Mbps exceeds the {:.2} Mbps bottleneck",
+                sc.name, r.aggregate_mbps, cap_mbps
+            )
+        },
+    );
+
+    // The do-no-harm shape is entitled to the fairness oracle.
+    if sc.is_do_no_harm() {
+        obs.check_fairness_bounds(at, &sc.name, r.mptcp_tcp_ratio, 0.5, 1.6);
+    }
+
+    obs.check(at, "invariant_observer", invariant_violations == 0, || {
+        format!(
+            "{}: {} online invariant violation(s) during the run",
+            sc.name, invariant_violations
+        )
+    });
+
+    Ok(ChaosReport {
+        scenario: sc.name.clone(),
+        world: "fleet".to_string(),
+        seed: sc.seed,
+        faults_injected: r.faults_injected,
+        bytes_delivered: 0,
+        aggregate_mbps: r.aggregate_mbps,
+        invariant_violations,
+        violations: collect(&mut obs),
+    })
+}
+
+/// One fuzz case that failed its oracles, with the shrunk minimal repro.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FuzzFailure {
+    /// Case index within the fuzz run.
+    pub case: u64,
+    /// Name of the generated scenario that failed.
+    pub scenario: String,
+    /// The oracles it failed.
+    pub violations: Vec<OracleViolation>,
+    /// Fault primitives left after shrinking.
+    pub shrunk_faults: usize,
+    /// Clients left after shrinking (1 for host worlds).
+    pub shrunk_clients: usize,
+    /// Where the minimal `.scenario` repro was written (when a repro dir
+    /// was given).
+    pub repro_path: Option<String>,
+}
+
+/// Outcome of a whole fuzz run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FuzzOutcome {
+    /// Root seed of the run.
+    pub seed: u64,
+    /// Cases generated and executed.
+    pub cases: u64,
+    /// Every case that failed an oracle (empty = certified).
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// Generate `cases` arbitrary-but-valid scenarios from `run_seed`, run
+/// each through the oracles (fanned out on the current runner), and shrink
+/// every failure to a minimal `.scenario` repro in `repro_dir`.
+pub fn fuzz(
+    run_seed: u64,
+    cases: u64,
+    sabotage: Option<&str>,
+    repro_dir: Option<&Path>,
+) -> std::io::Result<FuzzOutcome> {
+    let reports = crate::runner::run_points(cases as usize, |i| {
+        let sc = generate(run_seed, i as u64);
+        let report = run_scenario(&sc, sabotage).expect("generated scenarios validate");
+        (sc, report)
+    });
+
+    let mut failures = Vec::new();
+    for (case, (sc, report)) in reports.into_iter().enumerate() {
+        if report.ok() {
+            continue;
+        }
+        // Shrink while the failure reproduces.
+        let min = shrink(sc.clone(), |cand| {
+            run_scenario(cand, sabotage)
+                .map(|r| !r.ok())
+                .unwrap_or(false)
+        });
+        let mut min = min;
+        min.name = format!("{}-min", sc.name);
+        min.summary = format!("shrunk repro of fuzz case {case} (seed {run_seed})");
+        let repro_path = match repro_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let path = dir.join(format!("{}.scenario", min.name));
+                save(&path, &min)?;
+                Some(path.display().to_string())
+            }
+            None => None,
+        };
+        let shrunk_clients = match &min.world {
+            World::Fleet(c) => c.clients,
+            World::Host(_) => 1,
+        };
+        failures.push(FuzzFailure {
+            case: case as u64,
+            scenario: sc.name.clone(),
+            violations: report.violations.clone(),
+            shrunk_faults: min.faults.len(),
+            shrunk_clients,
+            repro_path,
+        });
+    }
+    Ok(FuzzOutcome {
+        seed: run_seed,
+        cases,
+        failures,
+    })
+}
+
+/// Replay the whole committed corpus (fanned out on the current runner)
+/// and, when `out_dir` is given, write one deterministic
+/// `<name>.report.json` per scenario. The reports are byte-identical for
+/// any `--jobs` value: each depends only on its scenario.
+pub fn replay_corpus(out_dir: Option<&Path>) -> std::io::Result<Vec<ChaosReport>> {
+    let names = corpus::names();
+    let reports = crate::runner::run_points(names.len(), |i| {
+        let sc = corpus::load(names[i]).expect("corpus scenario loads");
+        run_scenario(&sc, None).expect("corpus scenario runs")
+    });
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir)?;
+        for report in &reports {
+            let mut body = serde_json::to_string_pretty(report).expect("chaos report serializes");
+            body.push('\n');
+            std::fs::write(dir.join(format!("{}.report.json", report.scenario)), body)?;
+        }
+    }
+    Ok(reports)
+}
+
+/// Load a `.scenario` file, run it, and judge it — the `--file --check`
+/// replay path for shrunk repros.
+pub fn run_file(path: &Path, sabotage: Option<&str>) -> Result<ChaosReport, ScenarioError> {
+    let sc = emptcp_scenario::io::load(path)?;
+    run_scenario(&sc, sabotage)
+}
+
+/// Canonical JSON body (pretty + trailing newline) for CLI `--json`.
+pub fn report_json(report: &ChaosReport) -> String {
+    let mut body = serde_json::to_string_pretty(report).expect("chaos report serializes");
+    body.push('\n');
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_clean_host_scenario_certifies() {
+        let sc = corpus::load("cafe-hotspot").unwrap();
+        let report = run_scenario(&sc, None).unwrap();
+        assert!(report.ok(), "{:?}", report.violations);
+        assert!(report.faults_injected > 0);
+        assert!(report.bytes_delivered > 0);
+    }
+
+    #[test]
+    fn a_clean_fleet_scenario_certifies() {
+        let sc = corpus::load("fleet-lossy-core").unwrap();
+        let report = run_scenario(&sc, None).unwrap();
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.world, "fleet");
+        assert!(report.aggregate_mbps > 0.0);
+    }
+
+    #[test]
+    fn sabotaged_delivery_oracle_fails_faulted_runs_only() {
+        let faulted = corpus::load("cafe-hotspot").unwrap();
+        let report = run_scenario(&faulted, Some(SABOTAGE_DELIVERY)).unwrap();
+        assert!(!report.ok(), "sabotage must trip on a faulted run");
+        assert_eq!(report.violations[0].oracle, "exact_delivery");
+
+        let calm = corpus::load("fleet-uncoupled-pair").unwrap();
+        let report = run_scenario(&calm, Some(SABOTAGE_DELIVERY)).unwrap();
+        assert!(report.ok(), "sabotage only bites when faults fired");
+    }
+
+    #[test]
+    fn an_invalid_scenario_is_rejected_before_running() {
+        let mut sc = corpus::load("cafe-hotspot").unwrap();
+        sc.name = String::new();
+        assert_eq!(
+            run_scenario(&sc, None).unwrap_err(),
+            ScenarioError::EmptyName
+        );
+    }
+}

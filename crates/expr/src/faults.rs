@@ -50,7 +50,7 @@ pub fn base_scenario(name: &str) -> Scenario {
 /// Everything the `simulate faults` CLI prints about one scenario.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ResilienceReport {
-    /// Fault scenario name (see [`emptcp_faults::scenarios::ALL`]).
+    /// Fault scenario name (see [`emptcp_faults::scenarios::all`]).
     pub scenario: String,
     /// Strategy label the scenario ran under.
     pub strategy: String,
@@ -229,7 +229,7 @@ mod tests {
 
     #[test]
     fn every_scenario_has_a_strategy_and_base() {
-        for spec in scenarios::ALL {
+        for spec in scenarios::all() {
             let s = base_scenario(spec.name);
             assert_eq!(s.name, format!("faults/{}", spec.name));
             let _ = strategy_for(spec.name);

@@ -117,6 +117,10 @@ pub struct RunResult {
     pub subflow_revivals: u64,
     /// Worst failure-to-progress latency in seconds (0 when no failure).
     pub worst_recovery_latency_s: f64,
+    /// Subflows (both ends) still flagged link-down when the run ended.
+    /// Non-zero after a fault plan that restores every interface means a
+    /// link-up notification was lost — the no-stuck-subflows oracle.
+    pub stuck_subflows: u64,
 }
 
 struct ConnState {
@@ -1183,6 +1187,12 @@ impl Simulation {
                 .worst_recovery_latency()
                 .map(|d| d.as_secs_f64())
                 .unwrap_or(0.0),
+            stuck_subflows: self
+                .conns
+                .iter()
+                .flat_map(|c| c.client.subflows().iter().chain(c.server.subflows().iter()))
+                .filter(|sf| sf.link_down)
+                .count() as u64,
         }
     }
 }

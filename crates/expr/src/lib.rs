@@ -19,7 +19,10 @@
 //! * [`runner`] — the deterministic work-stealing pool exhibits, sweep
 //!   points and repeated runs fan out on (`repro --jobs N`);
 //! * [`repro`] — the exhibit engine behind the `repro` binary: job
-//!   planning, per-exhibit telemetry, output files.
+//!   planning, per-exhibit telemetry, output files;
+//! * [`chaos`] — chaos certification: declarative `.scenario` runs, the
+//!   end-of-run oracles, scenario fuzzing and minimal-repro shrinking
+//!   (`simulate scenario`).
 //!
 //! The `repro` binary regenerates everything: `repro --list`, `repro fig5`,
 //! `repro all`.
@@ -36,6 +39,7 @@
 //! assert_eq!(result.promotions, 0);
 //! ```
 
+pub mod chaos;
 pub mod faults;
 pub mod figures;
 pub mod host;

@@ -1,0 +1,92 @@
+//! Chaos-certification pipeline tests: the fuzzer finds nothing on the
+//! real oracles, a sabotaged oracle yields a small shrunk repro that
+//! replays from its `.scenario` file, and corpus replay is byte-identical
+//! across pool sizes.
+
+use emptcp_expr::chaos::{self, SABOTAGE_DELIVERY};
+use emptcp_expr::Runner;
+
+/// The acceptance gate: a fixed-seed fuzz run over the real oracles must
+/// certify every generated scenario.
+#[test]
+fn fuzz_certifies_one_hundred_cases() {
+    let outcome = Runner::new(4)
+        .install(|| chaos::fuzz(7, 100, None, None))
+        .unwrap();
+    assert_eq!(outcome.cases, 100);
+    assert!(
+        outcome.failures.is_empty(),
+        "oracle violations on valid scenarios: {:#?}",
+        outcome.failures
+    );
+}
+
+/// A deliberately mis-wired delivery oracle must be caught, shrunk to a
+/// minimal repro (≤2 fault primitives, ≤4 clients), and the written
+/// `.scenario` file must replay the failure — and pass once the sabotage
+/// is removed.
+#[test]
+fn sabotaged_oracle_shrinks_to_a_replayable_minimal_repro() {
+    let dir = std::env::temp_dir().join(format!("emptcp-chaos-repros-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let outcome = Runner::new(4)
+        .install(|| chaos::fuzz(7, 40, Some(SABOTAGE_DELIVERY), Some(&dir)))
+        .unwrap();
+    assert!(
+        !outcome.failures.is_empty(),
+        "the sabotaged oracle must trip on at least one faulted case"
+    );
+    for failure in &outcome.failures {
+        assert!(
+            failure.shrunk_faults <= 2,
+            "repro not minimal: {} fault primitives ({})",
+            failure.shrunk_faults,
+            failure.scenario
+        );
+        assert!(
+            failure.shrunk_clients <= 4,
+            "repro not minimal: {} clients ({})",
+            failure.shrunk_clients,
+            failure.scenario
+        );
+        assert_eq!(
+            failure.violations[0].oracle, "exact_delivery",
+            "{failure:?}"
+        );
+
+        // The shrunk file replays the failure under the same sabotage...
+        let path = std::path::Path::new(failure.repro_path.as_deref().unwrap());
+        let replayed = chaos::run_file(path, Some(SABOTAGE_DELIVERY)).unwrap();
+        assert!(!replayed.ok(), "repro did not reproduce: {path:?}");
+        // ...and certifies once the oracle is fixed.
+        let fixed = chaos::run_file(path, None).unwrap();
+        assert!(fixed.ok(), "{:?}", fixed.violations);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corpus replay must produce byte-identical reports for any pool size.
+#[test]
+fn corpus_replay_is_identical_across_pool_sizes() {
+    let serial = Runner::new(1)
+        .install(|| chaos::replay_corpus(None))
+        .unwrap();
+    let parallel = Runner::new(4)
+        .install(|| chaos::replay_corpus(None))
+        .unwrap();
+    assert_eq!(serial.len(), parallel.len());
+    let mut certified = 0;
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            chaos::report_json(a),
+            chaos::report_json(b),
+            "{} diverges across pool sizes",
+            a.scenario
+        );
+        assert!(a.ok(), "{}: {:?}", a.scenario, a.violations);
+        certified += 1;
+    }
+    assert!(certified >= 20, "corpus shrank below 20 scenarios");
+}

@@ -54,7 +54,7 @@ fn lte_tunnel_reinjects_stranded_data() {
 
 #[test]
 fn every_scenario_passes_the_resilience_checks() {
-    for spec in scenarios::ALL {
+    for spec in scenarios::all() {
         let report = faults::run_scenario(spec.name, 42).expect("listed scenario must run");
         let fails = faults::check(&report);
         assert!(

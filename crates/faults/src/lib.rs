@@ -13,9 +13,13 @@
 //! * [`injector`] — a [`FaultInjector`] replays a plan against anything
 //!   implementing [`FaultSurface`] (the experiment host's real links, or
 //!   the test rigs here), emitting a telemetry event per applied fault.
+//! * [`spec`] — declarative [`FaultSpec`] primitives, the serializable
+//!   vocabulary the `.scenario` corpus files speak; a spec list expands to
+//!   the same pre-sorted event stream the plan builders produce.
 //! * [`scenarios`] — a named library of failure patterns (`ap-vanish`,
 //!   `lte-tunnel`, `flappy-wifi`, `burst-loss-storm`, `handover-walk`)
-//!   shared by the CLI and CI.
+//!   shared by the CLI and CI, loaded from the committed `.scenario`
+//!   corpus files rather than hand-written constructors.
 //! * [`testnet`] — the chaos-test network rigs shared by the TCP and MPTCP
 //!   suites, with labelled RNG stream-splitting so fault draws never
 //!   perturb traffic draws.
@@ -27,8 +31,10 @@
 pub mod injector;
 pub mod plan;
 pub mod scenarios;
+pub mod spec;
 pub mod testnet;
 
 pub use injector::{FaultInjector, FaultSurface};
 pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultTarget};
+pub use spec::FaultSpec;
 pub use testnet::{ChaosNet, ChaosPath, MpChaosRig};

@@ -10,10 +10,10 @@
 
 use emptcp_phy::{GeParams, LossModel};
 use emptcp_sim::{SimDuration, SimTime};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Which interface a fault applies to.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub enum FaultTarget {
     /// The WiFi path (path index 0 in the test rigs).
     Wifi,
@@ -49,7 +49,7 @@ impl FaultTarget {
 /// One atomic state change applied to a target interface. Restorative
 /// variants carry `None`, meaning "back to the scenario's nominal value" —
 /// the surface, not the plan, knows what nominal is.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
 pub enum FaultAction {
     /// Take the interface down (de-association, radio loss).
     IfaceDown,
@@ -86,7 +86,7 @@ impl FaultAction {
 }
 
 /// A single scheduled fault.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
 pub struct FaultEvent {
     /// When the fault fires.
     pub at: SimTime,
@@ -100,7 +100,7 @@ pub struct FaultEvent {
 /// sequences; [`FaultPlan::into_events`] hands the injector a stable
 /// time-sort (ties keep insertion order, so "down then up at the same
 /// instant" behaves as written).
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
 }
@@ -220,10 +220,75 @@ impl FaultPlan {
         self.events.iter().map(|e| e.at).max()
     }
 
+    /// The scheduled events in insertion order (un-sorted).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
     /// The events in stable time order (the injector's feed).
     pub fn into_events(mut self) -> Vec<FaultEvent> {
         self.events.sort_by_key(|e| e.at);
         self.events
+    }
+
+    /// Replay the plan against an abstract per-target state machine and
+    /// report whether every perturbation is undone by the end: all
+    /// interfaces back up, rates/loss/extra-delay back to nominal. A plan
+    /// for which this holds is *recoverable* — once the last event fires
+    /// the network is exactly what the scenario configured, so end-of-run
+    /// oracles (exact delivery, no stuck subflows) are entitled to their
+    /// assertions.
+    pub fn restores_nominal(&self) -> bool {
+        self.final_states().iter().all(|s| s.is_nominal())
+    }
+
+    /// The earliest instant from which the network is nominal for the rest
+    /// of the plan (`None` for an empty plan; equals [`FaultPlan::end_time`]
+    /// when the last event is itself restorative).
+    pub fn recovered_at(&self) -> Option<SimTime> {
+        if !self.restores_nominal() {
+            return None;
+        }
+        self.end_time()
+    }
+
+    fn final_states(&self) -> [TargetState; 3] {
+        let events = self.clone().into_events();
+        let mut states = [TargetState::default(); 3];
+        for e in &events {
+            let idx = match e.target {
+                FaultTarget::Wifi => 0,
+                FaultTarget::Cellular => 1,
+                FaultTarget::Core => 2,
+            };
+            states[idx].apply(e.action);
+        }
+        states
+    }
+}
+
+/// Folded end-state of one fault target after a plan replay.
+#[derive(Clone, Copy, Default)]
+struct TargetState {
+    down: bool,
+    rate_override: bool,
+    loss_override: bool,
+    delay_override: bool,
+}
+
+impl TargetState {
+    fn apply(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::IfaceDown => self.down = true,
+            FaultAction::IfaceUp => self.down = false,
+            FaultAction::Rate(r) => self.rate_override = r.is_some(),
+            FaultAction::Loss(l) => self.loss_override = l.is_some(),
+            FaultAction::ExtraDelay(d) => self.delay_override = d.is_some(),
+        }
+    }
+
+    fn is_nominal(self) -> bool {
+        !self.down && !self.rate_override && !self.loss_override && !self.delay_override
     }
 }
 

@@ -1,122 +1,128 @@
-//! A library of named failure scenarios.
+//! A library of named failure scenarios, loaded from the corpus files.
 //!
 //! Each scenario is a deterministic [`FaultPlan`] modelling a failure
-//! pattern mobile MPTCP deployments actually meet. The timings assume the
-//! transfer starts at t = 0 and target the first ~20 s of the run, so a
-//! moderate download (a few tens of MB) is guaranteed to still be in
-//! flight when the fault lands.
+//! pattern mobile MPTCP deployments actually meet. The plans are no longer
+//! hand-written here: every entry is parsed out of the committed
+//! `scenarios/<name>.scenario` file (embedded at compile time), so the
+//! JSON corpus is the single source of truth and hand-editing a file
+//! changes the exhibit it feeds. The timings assume the transfer starts at
+//! t = 0 and target the first ~20 s of the run, so a moderate download (a
+//! few tens of MB) is guaranteed to still be in flight when the fault
+//! lands.
 
-use crate::plan::{FaultAction, FaultPlan, FaultTarget};
-use emptcp_phy::GeParams;
-use emptcp_sim::{SimDuration, SimTime};
+use crate::plan::FaultPlan;
+use crate::spec::{expand, FaultSpec};
 
 /// A named scenario with a one-line description.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ScenarioSpec {
     /// Stable CLI name.
     pub name: &'static str,
-    /// What failure pattern it models.
-    pub summary: &'static str,
+    /// What failure pattern it models (from the scenario file).
+    pub summary: String,
 }
 
-/// Every scenario in the library, in presentation order.
-pub const ALL: [ScenarioSpec; 6] = [
-    ScenarioSpec {
-        name: "ap-vanish",
-        summary: "the WiFi AP disappears for 8 s mid-transfer (power cycle, kicked client)",
-    },
-    ScenarioSpec {
-        name: "lte-tunnel",
-        summary: "cellular coverage drops for 6 s (tunnel, elevator) while WiFi survives",
-    },
-    ScenarioSpec {
-        name: "flappy-wifi",
-        summary: "six rapid WiFi association flaps (500 ms down, 1.5 s up) from a marginal AP",
-    },
-    ScenarioSpec {
-        name: "burst-loss-storm",
-        summary: "10 s of Gilbert-Elliott burst loss on WiFi (deep fades, microwave interference)",
-    },
-    ScenarioSpec {
-        name: "handover-walk",
-        summary:
-            "walking out of coverage: WiFi rate decays, a 4 s handover gap, cellular RRC stall",
-    },
-    ScenarioSpec {
-        name: "congested_core",
-        summary:
-            "a shared core bottleneck collapses to a blackhole, then ramps back while RTTs spike",
-    },
+/// `(name, embedded file)` for every library scenario, sorted by name so
+/// `--list` order, iteration order and file order always agree.
+const FILES: &[(&str, &str)] = &[
+    (
+        "ap-vanish",
+        include_str!("../../../scenarios/ap-vanish.scenario"),
+    ),
+    (
+        "burst-loss-storm",
+        include_str!("../../../scenarios/burst-loss-storm.scenario"),
+    ),
+    (
+        "congested_core",
+        include_str!("../../../scenarios/congested_core.scenario"),
+    ),
+    (
+        "flappy-wifi",
+        include_str!("../../../scenarios/flappy-wifi.scenario"),
+    ),
+    (
+        "handover-walk",
+        include_str!("../../../scenarios/handover-walk.scenario"),
+    ),
+    (
+        "lte-tunnel",
+        include_str!("../../../scenarios/lte-tunnel.scenario"),
+    ),
 ];
+
+/// Sorted names of every scenario in the library.
+pub const NAMES: [&str; 6] = [
+    "ap-vanish",
+    "burst-loss-storm",
+    "congested_core",
+    "flappy-wifi",
+    "handover-walk",
+    "lte-tunnel",
+];
+
+fn file(name: &str) -> Option<&'static str> {
+    FILES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, text)| *text)
+}
+
+/// Parse the `summary` and `faults` fields out of a scenario file. The
+/// full scenario schema lives a crate above (`emptcp-scenario`); this
+/// crate only needs the slice of it that describes the fault script.
+fn parse(name: &str, text: &str) -> (String, Vec<FaultSpec>) {
+    let value: serde_json::Value = serde_json::from_str(text)
+        .unwrap_or_else(|e| panic!("scenario file `{name}` is not valid JSON: {e:?}"));
+    let summary = value
+        .get("summary")
+        .and_then(|v| v.as_str())
+        .unwrap_or_else(|| panic!("scenario file `{name}` has no summary"))
+        .to_string();
+    let faults = value
+        .get("faults")
+        .cloned()
+        .unwrap_or_else(|| panic!("scenario file `{name}` has no fault script"));
+    let specs: Vec<FaultSpec> = serde_json::from_value(faults)
+        .unwrap_or_else(|e| panic!("scenario file `{name}` fault script is malformed: {e:?}"));
+    (summary, specs)
+}
+
+/// Every scenario in the library, sorted by name.
+pub fn all() -> Vec<ScenarioSpec> {
+    FILES
+        .iter()
+        .map(|(name, text)| ScenarioSpec {
+            name,
+            summary: parse(name, text).0,
+        })
+        .collect()
+}
 
 /// The plan for a named scenario, or `None` for an unknown name.
 pub fn plan(name: &str) -> Option<FaultPlan> {
-    let s = SimTime::from_secs;
-    let d = SimDuration::from_secs;
-    let ms = SimDuration::from_millis;
-    match name {
-        "ap-vanish" => Some(FaultPlan::new().blackout(FaultTarget::Wifi, s(5), d(8))),
-        "lte-tunnel" => Some(FaultPlan::new().blackout(FaultTarget::Cellular, s(5), d(6))),
-        "flappy-wifi" => {
-            Some(FaultPlan::new().flap_train(FaultTarget::Wifi, s(3), 6, ms(500), ms(1500)))
-        }
-        "burst-loss-storm" => Some(FaultPlan::new().burst_loss(
-            FaultTarget::Wifi,
-            s(4),
-            d(10),
-            GeParams {
-                p_good_to_bad: 0.05,
-                p_bad_to_good: 0.25,
-                loss_good: 0.0,
-                loss_bad: 0.7,
-            },
-        )),
-        "handover-walk" => Some(
-            FaultPlan::new()
-                // Signal decays on the way out...
-                .at(s(3), FaultTarget::Wifi, FaultAction::Rate(Some(2_000_000)))
-                .at(s(6), FaultTarget::Wifi, FaultAction::Rate(Some(500_000)))
-                // ...the association drops for the walk between APs...
-                .blackout(FaultTarget::Wifi, s(9), d(4))
-                // ...full strength again once the new AP associates...
-                .at(s(13), FaultTarget::Wifi, FaultAction::Rate(None))
-                // ...while the suddenly-busy cellular radio stalls in RRC
-                // signalling for a moment.
-                .rrc_stall(s(9), d(2), ms(150)),
-        ),
-        "congested_core" => Some(
-            FaultPlan::new()
-                // Congestion builds: every path crossing the core sees its
-                // RTT inflate well before the router keels over...
-                .rtt_spike(FaultTarget::Core, s(3), d(12), ms(120))
-                // ...then the core collapses to a silent blackhole for 5 s
-                // (long enough for consecutive-RTO failure detection to
-                // declare subflows dead) and ramps back in stages.
-                .bandwidth_collapse(
-                    FaultTarget::Core,
-                    s(5),
-                    d(5),
-                    0,
-                    &[1_000_000, 8_000_000],
-                    d(2),
-                ),
-        ),
-        _ => None,
-    }
+    let text = file(name)?;
+    let (_, specs) = parse(name, text);
+    Some(expand(&specs))
 }
 
 /// The spec for a named scenario.
 pub fn spec(name: &str) -> Option<ScenarioSpec> {
-    ALL.iter().copied().find(|sp| sp.name == name)
+    let text = file(name)?;
+    Some(ScenarioSpec {
+        name: FILES.iter().find(|(n, _)| *n == name).map(|(n, _)| *n)?,
+        summary: parse(name, text).0,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use emptcp_sim::SimTime;
 
     #[test]
     fn every_listed_scenario_has_a_plan() {
-        for sp in ALL {
+        for sp in all() {
             let p = plan(sp.name).unwrap_or_else(|| panic!("no plan for {}", sp.name));
             assert!(!p.is_empty(), "{} is empty", sp.name);
             assert!(
@@ -125,16 +131,38 @@ mod tests {
                 sp.name
             );
             assert!(spec(sp.name).is_some());
+            assert!(!sp.summary.is_empty());
         }
         assert!(plan("no-such-scenario").is_none());
+        assert!(spec("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn library_is_sorted_and_matches_names() {
+        let listed: Vec<&str> = all().iter().map(|s| s.name).collect();
+        let mut sorted = listed.clone();
+        sorted.sort_unstable();
+        assert_eq!(listed, sorted, "library must list in sorted order");
+        assert_eq!(listed, NAMES.to_vec());
     }
 
     #[test]
     fn plans_are_deterministic() {
-        for sp in ALL {
+        for sp in all() {
             let a = plan(sp.name).unwrap().into_events();
             let b = plan(sp.name).unwrap().into_events();
             assert_eq!(a, b, "{} not deterministic", sp.name);
+        }
+    }
+
+    #[test]
+    fn every_library_plan_restores_nominal() {
+        for sp in all() {
+            assert!(
+                plan(sp.name).unwrap().restores_nominal(),
+                "{} leaves the network perturbed",
+                sp.name
+            );
         }
     }
 }

@@ -1,0 +1,323 @@
+//! Declarative fault primitives — the serializable layer above [`FaultPlan`].
+//!
+//! A [`FaultSpec`] names one failure *pattern* (a blackout, a flap train, a
+//! bandwidth collapse…) with millisecond-granularity timing, exactly the
+//! vocabulary the `.scenario` corpus files speak. Specs expand to the same
+//! pre-expanded [`FaultPlan`] event streams the builder methods produce, so
+//! everything downstream (the injector, the surfaces, the telemetry) is
+//! unchanged — but a chaos scenario can now be written, diffed, shrunk and
+//! replayed as plain JSON instead of Rust.
+
+use crate::plan::{FaultAction, FaultPlan, FaultTarget};
+use emptcp_phy::GeParams;
+use emptcp_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One declarative fault primitive. All times are absolute milliseconds
+/// from the start of the run; durations are milliseconds. Every variant
+/// except [`FaultSpec::RateStep`] is self-restoring — it expands to a
+/// perturbation *and* the event that undoes it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultSpec {
+    /// Total interface blackout: down at `from_ms`, up `dur_ms` later.
+    Blackout {
+        /// Interface the blackout hits.
+        target: FaultTarget,
+        /// Start, ms.
+        from_ms: u64,
+        /// Outage length, ms.
+        dur_ms: u64,
+    },
+    /// `flaps` short blackouts back to back (down `down_ms`, up `up_ms`).
+    FlapTrain {
+        /// Interface that flaps.
+        target: FaultTarget,
+        /// First flap start, ms.
+        from_ms: u64,
+        /// Number of down/up cycles.
+        flaps: u32,
+        /// Down time per flap, ms.
+        down_ms: u64,
+        /// Up time between flaps, ms.
+        up_ms: u64,
+    },
+    /// A Gilbert–Elliott burst-loss window.
+    BurstLoss {
+        /// Interface whose channel turns bursty.
+        target: FaultTarget,
+        /// Window start, ms.
+        from_ms: u64,
+        /// Window length, ms.
+        dur_ms: u64,
+        /// The burst-loss channel parameters.
+        ge: GeParams,
+    },
+    /// Bandwidth collapse with a staged recovery ramp.
+    BandwidthCollapse {
+        /// Interface whose rate collapses.
+        target: FaultTarget,
+        /// Collapse instant, ms.
+        from_ms: u64,
+        /// How long the collapsed rate holds, ms.
+        hold_ms: u64,
+        /// The collapsed rate (0 = silent blackhole).
+        collapsed_bps: u64,
+        /// Staged recovery rates applied one per `step_ms` after the hold.
+        ramp_bps: Vec<u64>,
+        /// Spacing of the ramp steps, ms.
+        step_ms: u64,
+    },
+    /// An RTT spike: extra one-way delay for a window.
+    RttSpike {
+        /// Interface whose delay inflates.
+        target: FaultTarget,
+        /// Spike start, ms.
+        from_ms: u64,
+        /// Spike length, ms.
+        dur_ms: u64,
+        /// Added one-way delay, ms.
+        extra_ms: u64,
+    },
+    /// A WiFi→cellular handover gap (WiFi association lost for `gap_ms`).
+    Handover {
+        /// Gap start, ms.
+        at_ms: u64,
+        /// Scan + re-association walk length, ms.
+        gap_ms: u64,
+    },
+    /// A cellular RRC promotion stall (extra signalling delay window).
+    RrcStall {
+        /// Stall start, ms.
+        at_ms: u64,
+        /// Stall length, ms.
+        dur_ms: u64,
+        /// Added one-way delay while stalled, ms.
+        extra_ms: u64,
+    },
+    /// A raw rate step (`None` = back to nominal). The only primitive that
+    /// is not self-restoring: a scenario using `Some` steps must end the
+    /// sequence with a `None` step to stay recoverable — the validator
+    /// folds the whole plan to check.
+    RateStep {
+        /// Interface whose rate is set.
+        target: FaultTarget,
+        /// When, ms.
+        at_ms: u64,
+        /// New rate, or `None` to restore the nominal rate.
+        bps: Option<u64>,
+    },
+}
+
+impl FaultSpec {
+    /// Append this primitive's expanded events to a plan.
+    pub fn apply(&self, plan: FaultPlan) -> FaultPlan {
+        let t = SimTime::from_millis;
+        let d = SimDuration::from_millis;
+        match self {
+            FaultSpec::Blackout {
+                target,
+                from_ms,
+                dur_ms,
+            } => plan.blackout(*target, t(*from_ms), d(*dur_ms)),
+            FaultSpec::FlapTrain {
+                target,
+                from_ms,
+                flaps,
+                down_ms,
+                up_ms,
+            } => plan.flap_train(*target, t(*from_ms), *flaps, d(*down_ms), d(*up_ms)),
+            FaultSpec::BurstLoss {
+                target,
+                from_ms,
+                dur_ms,
+                ge,
+            } => plan.burst_loss(*target, t(*from_ms), d(*dur_ms), *ge),
+            FaultSpec::BandwidthCollapse {
+                target,
+                from_ms,
+                hold_ms,
+                collapsed_bps,
+                ramp_bps,
+                step_ms,
+            } => plan.bandwidth_collapse(
+                *target,
+                t(*from_ms),
+                d(*hold_ms),
+                *collapsed_bps,
+                ramp_bps,
+                d(*step_ms),
+            ),
+            FaultSpec::RttSpike {
+                target,
+                from_ms,
+                dur_ms,
+                extra_ms,
+            } => plan.rtt_spike(*target, t(*from_ms), d(*dur_ms), d(*extra_ms)),
+            FaultSpec::Handover { at_ms, gap_ms } => plan.handover(t(*at_ms), d(*gap_ms)),
+            FaultSpec::RrcStall {
+                at_ms,
+                dur_ms,
+                extra_ms,
+            } => plan.rrc_stall(t(*at_ms), d(*dur_ms), d(*extra_ms)),
+            FaultSpec::RateStep { target, at_ms, bps } => {
+                plan.at(t(*at_ms), *target, FaultAction::Rate(*bps))
+            }
+        }
+    }
+
+    /// Structural sanity: windows have extent, trains actually flap.
+    /// (Recoverability is a *plan*-level property — see
+    /// [`FaultPlan::restores_nominal`] — because raw rate steps only make
+    /// sense in combination.)
+    pub fn is_well_formed(&self) -> bool {
+        match self {
+            FaultSpec::Blackout { dur_ms, .. } => *dur_ms > 0,
+            FaultSpec::FlapTrain {
+                flaps,
+                down_ms,
+                up_ms,
+                ..
+            } => *flaps > 0 && *down_ms > 0 && *up_ms > 0,
+            FaultSpec::BurstLoss { dur_ms, .. } => *dur_ms > 0,
+            FaultSpec::BandwidthCollapse {
+                hold_ms, step_ms, ..
+            } => *hold_ms > 0 && *step_ms > 0,
+            FaultSpec::RttSpike {
+                dur_ms, extra_ms, ..
+            } => *dur_ms > 0 && *extra_ms > 0,
+            FaultSpec::Handover { gap_ms, .. } => *gap_ms > 0,
+            FaultSpec::RrcStall {
+                dur_ms, extra_ms, ..
+            } => *dur_ms > 0 && *extra_ms > 0,
+            FaultSpec::RateStep { .. } => true,
+        }
+    }
+
+    /// Short label for reports and shrunk-repro summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultSpec::Blackout { .. } => "blackout",
+            FaultSpec::FlapTrain { .. } => "flap_train",
+            FaultSpec::BurstLoss { .. } => "burst_loss",
+            FaultSpec::BandwidthCollapse { .. } => "bandwidth_collapse",
+            FaultSpec::RttSpike { .. } => "rtt_spike",
+            FaultSpec::Handover { .. } => "handover",
+            FaultSpec::RrcStall { .. } => "rrc_stall",
+            FaultSpec::RateStep { .. } => "rate_step",
+        }
+    }
+}
+
+/// Expand a list of primitives into one pre-sorted-on-demand [`FaultPlan`].
+pub fn expand(specs: &[FaultSpec]) -> FaultPlan {
+    specs
+        .iter()
+        .fold(FaultPlan::new(), |plan, spec| spec.apply(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_expand_like_the_builders() {
+        let spec = vec![
+            FaultSpec::Blackout {
+                target: FaultTarget::Wifi,
+                from_ms: 5_000,
+                dur_ms: 8_000,
+            },
+            FaultSpec::RrcStall {
+                at_ms: 9_000,
+                dur_ms: 2_000,
+                extra_ms: 150,
+            },
+        ];
+        let by_spec = expand(&spec).into_events();
+        let by_builder = FaultPlan::new()
+            .blackout(
+                FaultTarget::Wifi,
+                SimTime::from_secs(5),
+                SimDuration::from_secs(8),
+            )
+            .rrc_stall(
+                SimTime::from_secs(9),
+                SimDuration::from_secs(2),
+                SimDuration::from_millis(150),
+            )
+            .into_events();
+        assert_eq!(by_spec, by_builder);
+    }
+
+    #[test]
+    fn self_restoring_primitives_restore() {
+        let specs = vec![
+            FaultSpec::Blackout {
+                target: FaultTarget::Cellular,
+                from_ms: 1_000,
+                dur_ms: 500,
+            },
+            FaultSpec::BurstLoss {
+                target: FaultTarget::Wifi,
+                from_ms: 2_000,
+                dur_ms: 3_000,
+                ge: GeParams {
+                    p_good_to_bad: 0.05,
+                    p_bad_to_good: 0.25,
+                    loss_good: 0.0,
+                    loss_bad: 0.7,
+                },
+            },
+            FaultSpec::BandwidthCollapse {
+                target: FaultTarget::Core,
+                from_ms: 4_000,
+                hold_ms: 1_000,
+                collapsed_bps: 0,
+                ramp_bps: vec![1_000_000],
+                step_ms: 500,
+            },
+        ];
+        assert!(expand(&specs).restores_nominal());
+    }
+
+    #[test]
+    fn dangling_rate_step_does_not_restore() {
+        let specs = vec![FaultSpec::RateStep {
+            target: FaultTarget::Wifi,
+            at_ms: 3_000,
+            bps: Some(2_000_000),
+        }];
+        let plan = expand(&specs);
+        assert!(!plan.restores_nominal());
+        assert!(plan.recovered_at().is_none());
+        // Closing the sequence with a restore step makes it recoverable.
+        let closed = expand(&[
+            specs[0].clone(),
+            FaultSpec::RateStep {
+                target: FaultTarget::Wifi,
+                at_ms: 6_000,
+                bps: None,
+            },
+        ]);
+        assert!(closed.restores_nominal());
+        assert_eq!(closed.recovered_at(), Some(SimTime::from_secs(6)));
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let specs = vec![
+            FaultSpec::Handover {
+                at_ms: 9_000,
+                gap_ms: 4_000,
+            },
+            FaultSpec::RateStep {
+                target: FaultTarget::Wifi,
+                at_ms: 3_000,
+                bps: None,
+            },
+        ];
+        let json = serde_json::to_string(&specs).unwrap();
+        let back: Vec<FaultSpec> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, specs);
+    }
+}

@@ -8,9 +8,9 @@
 
 use emptcp_faults::plan::FaultAction;
 use emptcp_faults::testnet::{ChaosPath, MpChaosRig};
-use emptcp_faults::{FaultPlan, FaultTarget};
+use emptcp_faults::{FaultInjector, FaultPlan, FaultSurface, FaultTarget};
 use emptcp_mptcp::SubflowId;
-use emptcp_phy::{GeParams, IfaceKind};
+use emptcp_phy::{GeParams, IfaceKind, LossModel};
 use emptcp_sim::{SimDuration, SimRng, SimTime};
 use emptcp_telemetry::Telemetry;
 use proptest::prelude::*;
@@ -152,6 +152,180 @@ fn silent_blackhole_detected_by_rto_threshold() {
     let stats = rig.server.recovery_stats();
     assert!(stats.subflow_failures >= 1, "{stats:?}");
     assert!(stats.bytes_reinjected > 0, "{stats:?}");
+}
+
+/// Records every surface mutation so tests can compare the applied
+/// sequence against the plan's pre-expanded event feed.
+#[derive(Default)]
+struct RecordingSurface {
+    applied: Vec<(SimTime, String)>,
+}
+
+impl FaultSurface for RecordingSurface {
+    fn set_iface_up(&mut self, now: SimTime, target: FaultTarget, up: bool) {
+        self.applied
+            .push((now, format!("{}:up={up}", target.label())));
+    }
+    fn set_rate(&mut self, now: SimTime, target: FaultTarget, rate_bps: Option<u64>) {
+        self.applied
+            .push((now, format!("{}:rate={rate_bps:?}", target.label())));
+    }
+    fn set_loss(&mut self, now: SimTime, target: FaultTarget, model: Option<LossModel>) {
+        self.applied
+            .push((now, format!("{}:loss={}", target.label(), model.is_some())));
+    }
+    fn set_extra_delay(&mut self, now: SimTime, target: FaultTarget, extra: Option<SimDuration>) {
+        self.applied
+            .push((now, format!("{}:delay={}", target.label(), extra.is_some())));
+    }
+}
+
+/// Drive an injector in fixed ticks and return the applied action labels.
+fn drain(plan: FaultPlan, tick: SimDuration, until: SimTime) -> Vec<String> {
+    let mut inj = FaultInjector::new(plan);
+    let mut surface = RecordingSurface::default();
+    let mut now = SimTime::ZERO;
+    while now <= until {
+        inj.poll(now, &mut surface);
+        now += tick;
+    }
+    assert!(inj.finished(), "events left unapplied at {until:?}");
+    surface.applied.into_iter().map(|(_, s)| s).collect()
+}
+
+fn describe(event: &emptcp_faults::FaultEvent) -> String {
+    match event.action {
+        FaultAction::IfaceDown => format!("{}:up=false", event.target.label()),
+        FaultAction::IfaceUp => format!("{}:up=true", event.target.label()),
+        FaultAction::Rate(r) => format!("{}:rate={r:?}", event.target.label()),
+        FaultAction::Loss(l) => format!("{}:loss={}", event.target.label(), l.is_some()),
+        FaultAction::ExtraDelay(e) => format!("{}:delay={}", event.target.label(), e.is_some()),
+    }
+}
+
+/// A blackout window *inside* a flap train on the same interface: the
+/// cursor must apply the interleaved down/up events in exact expanded
+/// order — even when one poll drains several due events — and the
+/// overlapping windows must still fold back to nominal, so the transfer
+/// recovers to exact delivery.
+#[test]
+fn blackout_inside_flap_train_applies_in_cursor_order_and_recovers() {
+    let ms = SimDuration::from_millis;
+    let plan = || {
+        FaultPlan::new()
+            .flap_train(
+                FaultTarget::Wifi,
+                SimTime::from_secs(1),
+                4,
+                ms(400),
+                ms(600),
+            )
+            .blackout(FaultTarget::Wifi, SimTime::from_millis(1_700), ms(1_500))
+    };
+
+    // The blackout's window (1.7 s – 3.2 s) straddles three flaps; the
+    // expanded feed must be time-sorted and the injector must replay it
+    // one-for-one, including polls where several events are due at once.
+    let expected: Vec<String> = plan().into_events().iter().map(describe).collect();
+    let times: Vec<SimTime> = plan().into_events().iter().map(|e| e.at).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "feed not sorted");
+    // Coarse 500 ms polling forces multi-event drains.
+    assert_eq!(drain(plan(), ms(500), SimTime::from_secs(6)), expected);
+
+    // Overlap still folds to nominal, so exact delivery is owed.
+    assert!(plan().restores_nominal());
+    assert_eq!(plan().recovered_at(), plan().end_time());
+    let mut rig = MpChaosRig::new(29, two_paths());
+    rig.attach_faults(plan());
+    let total = 128 << 10;
+    assert_eq!(
+        rig.run(total),
+        total,
+        "byte stream gap after nested windows"
+    );
+}
+
+/// A WiFi→cellular handover that lands in the middle of a cellular RRC
+/// stall: both interfaces are degraded at once (WiFi gone, cellular
+/// delay-inflated), which is the worst case for the scheduler. The events
+/// interleave across targets in time order, and the stream must still
+/// arrive exactly with the WiFi loss visible in the recovery stats.
+#[test]
+fn handover_during_rrc_stall_interleaves_targets_and_delivers() {
+    let ms = SimDuration::from_millis;
+    let plan = || {
+        FaultPlan::new()
+            .rrc_stall(
+                SimTime::from_millis(200),
+                SimDuration::from_secs(3),
+                ms(150),
+            )
+            .handover(SimTime::from_millis(500), ms(800))
+    };
+
+    let events = plan().into_events();
+    let applied: Vec<String> = events.iter().map(describe).collect();
+    assert_eq!(
+        applied,
+        vec![
+            "cellular:delay=true",  // 0.2 s  stall begins
+            "wifi:up=false",        // 0.5 s  handover inside the stall
+            "wifi:up=true",         // 1.3 s  re-associated, stall ongoing
+            "cellular:delay=false", // 3.2 s  stall ends
+        ]
+    );
+    assert_eq!(drain(plan(), ms(100), SimTime::from_secs(4)), applied);
+
+    let mut rig = MpChaosRig::new(31, two_paths());
+    rig.attach_faults(plan());
+    let total = 256 << 10;
+    assert_eq!(rig.run(total), total, "byte stream gap across the handover");
+    let stats = rig.server.recovery_stats();
+    assert!(stats.link_down_events >= 1, "{stats:?}");
+}
+
+/// Adjacent windows sharing an exact boundary: the first blackout's
+/// restore and the second's down fire at the same instant. `into_events`
+/// is a *stable* sort, so insertion order breaks the tie — up before down
+/// — and the interface nets out down across the seam rather than
+/// flickering the other way. The pair still restores nominal.
+#[test]
+fn back_to_back_blackouts_keep_stable_order_at_the_shared_boundary() {
+    let sec = SimTime::from_secs;
+    let plan = || {
+        FaultPlan::new()
+            .blackout(FaultTarget::Wifi, sec(1), SimDuration::from_secs(1))
+            .blackout(FaultTarget::Wifi, sec(2), SimDuration::from_secs(1))
+    };
+
+    let applied: Vec<String> = plan().into_events().iter().map(describe).collect();
+    assert_eq!(
+        applied,
+        vec![
+            "wifi:up=false", // 1 s
+            "wifi:up=true",  // 2 s — first window's restore wins the tie...
+            "wifi:up=false", // 2 s — ...then the second window re-downs
+            "wifi:up=true",  // 3 s
+        ]
+    );
+    // One poll at the seam drains both tied events in that stable order.
+    let mut inj = FaultInjector::new(plan());
+    let mut surface = RecordingSurface::default();
+    inj.poll(sec(1), &mut surface);
+    assert_eq!(inj.next_deadline(), Some(sec(2)));
+    assert_eq!(inj.poll(sec(2), &mut surface), 2, "seam must drain as one");
+    assert_eq!(surface.applied[1].1, "wifi:up=true");
+    assert_eq!(surface.applied[2].1, "wifi:up=false");
+
+    assert!(plan().restores_nominal());
+    let mut rig = MpChaosRig::new(37, two_paths());
+    rig.attach_faults(plan());
+    let total = 96 << 10;
+    assert_eq!(
+        rig.run(total),
+        total,
+        "byte stream gap across adjacent windows"
+    );
 }
 
 /// Same seed + same plan ⇒ identical delivery trajectory and identical

@@ -29,10 +29,11 @@ use emptcp_sim::{EventQueue, SimDuration, SimRng, SimTime, TimerId};
 use emptcp_tcp::{CcAlgorithm, Segment, TcpConfig};
 use emptcp_telemetry::Telemetry;
 use emptcp_workload::CrossTrafficSource;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Configuration of a fleet run.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub struct FleetConfig {
     /// Number of client stacks.
     pub clients: usize,
@@ -64,34 +65,13 @@ impl FleetConfig {
     /// A contended defaults set: `clients` stacks behind a 100 Mbps core
     /// with roomy access links, half MPTCP, light cross-traffic.
     pub fn contended(clients: usize, seed: u64) -> FleetConfig {
-        let ms = SimDuration::from_millis;
-        FleetConfig {
-            clients,
-            mptcp_every: 2,
-            coupled: true,
-            bottleneck: LinkConfig {
-                rate_bps: 100_000_000,
-                prop_delay: ms(10),
-                queue_capacity: 256 * 1024,
-                loss_prob: 0.0,
-            },
-            access_a: LinkConfig {
-                rate_bps: 50_000_000,
-                prop_delay: ms(3),
-                queue_capacity: 128 * 1024,
-                loss_prob: 0.0,
-            },
-            access_b: LinkConfig {
-                rate_bps: 30_000_000,
-                prop_delay: ms(15),
-                queue_capacity: 128 * 1024,
-                loss_prob: 0.0,
-            },
-            duration: SimDuration::from_secs(10),
-            cross_sources: 2,
-            cross_rate_bps: 4_000_000,
-            seed,
-        }
+        let mut fc = template(
+            "fleet-contended",
+            include_str!("../../../scenarios/fleet-contended.scenario"),
+        );
+        fc.clients = clients;
+        fc.seed = seed;
+        fc
     }
 
     /// The minimal "do no harm" cell: one MPTCP client (two subflows)
@@ -99,15 +79,105 @@ impl FleetConfig {
     /// cross-traffic, so congestion control alone decides the split.
     /// Shared by the `fairness` exhibit and the LIA golden test.
     pub fn do_no_harm_cell(seed: u64) -> FleetConfig {
-        let mut fc = FleetConfig::contended(2, seed);
-        fc.mptcp_every = 2;
-        fc.bottleneck.rate_bps = 16_000_000;
-        fc.bottleneck.queue_capacity = 64 * 1024;
-        fc.cross_sources = 0;
-        fc.duration = SimDuration::from_secs(8);
+        let mut fc = template(
+            "do-no-harm-cell",
+            include_str!("../../../scenarios/do-no-harm-cell.scenario"),
+        );
+        fc.seed = seed;
         fc
     }
+
+    /// Check the configuration up front. Degenerate values used to fail
+    /// deep inside [`FleetSim::run`] (a division by a zero-capacity link,
+    /// an index into an empty stack list); now they come back as one
+    /// [`FleetConfigError`] before the topology is built.
+    pub fn validate(&self) -> Result<(), FleetConfigError> {
+        if self.clients == 0 {
+            return Err(FleetConfigError::NoClients);
+        }
+        if self.bottleneck.rate_bps == 0 {
+            return Err(FleetConfigError::ZeroCapacityLink("bottleneck"));
+        }
+        if self.access_a.rate_bps == 0 {
+            return Err(FleetConfigError::ZeroCapacityLink("access_a"));
+        }
+        if self.access_b.rate_bps == 0 {
+            return Err(FleetConfigError::ZeroCapacityLink("access_b"));
+        }
+        if self.duration == SimDuration::ZERO {
+            return Err(FleetConfigError::EmptyWorkload);
+        }
+        if self.cross_sources > 0 && self.cross_rate_bps == 0 {
+            return Err(FleetConfigError::SilentCrossTraffic);
+        }
+        Ok(())
+    }
 }
+
+/// Parse the `world.Fleet` config out of an embedded corpus scenario
+/// file, once per template. The full scenario schema lives in the
+/// `emptcp-scenario` crate (which depends on this one); the presets only
+/// need the fleet slice of it, so they read the JSON structurally.
+fn template(name: &'static str, text: &'static str) -> FleetConfig {
+    use std::sync::OnceLock;
+    static CONTENDED: OnceLock<FleetConfig> = OnceLock::new();
+    static DO_NO_HARM: OnceLock<FleetConfig> = OnceLock::new();
+    let cell = match name {
+        "fleet-contended" => &CONTENDED,
+        _ => &DO_NO_HARM,
+    };
+    cell.get_or_init(|| {
+        let value: serde_json::Value = serde_json::from_str(text)
+            .unwrap_or_else(|e| panic!("scenario file `{name}` is not valid JSON: {e:?}"));
+        let fleet = value
+            .get("world")
+            .and_then(|w| w.get("Fleet"))
+            .cloned()
+            .unwrap_or_else(|| panic!("scenario file `{name}` has no Fleet world"));
+        serde_json::from_value(fleet)
+            .unwrap_or_else(|e| panic!("scenario file `{name}` fleet config is malformed: {e:?}"))
+    })
+    .clone()
+}
+
+/// Why a [`FleetConfig`] cannot run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FleetConfigError {
+    /// `clients == 0`: there is nothing to simulate (and nothing to report
+    /// fairness over).
+    NoClients,
+    /// A link was configured with `rate_bps == 0`; serialization time
+    /// would be infinite. The payload names the offending link field.
+    ZeroCapacityLink(&'static str),
+    /// `duration == 0`: the timed-bulk workload is empty.
+    EmptyWorkload,
+    /// Cross-traffic sources were requested with a zero offered rate, so
+    /// their next-emission interval is undefined.
+    SilentCrossTraffic,
+}
+
+impl fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetConfigError::NoClients => write!(f, "fleet config has zero clients"),
+            FleetConfigError::ZeroCapacityLink(which) => {
+                write!(f, "fleet config link `{which}` has zero capacity")
+            }
+            FleetConfigError::EmptyWorkload => {
+                write!(
+                    f,
+                    "fleet config duration is zero (empty timed-bulk workload)"
+                )
+            }
+            FleetConfigError::SilentCrossTraffic => write!(
+                f,
+                "fleet config requests cross-traffic sources with a zero offered rate"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
 
 /// What one fleet run produced.
 #[derive(Clone, Debug, Serialize)]
@@ -194,13 +264,41 @@ pub struct FleetSim {
 
 impl FleetSim {
     /// Build the fleet: topology, fabric, stacks, cross-traffic.
+    ///
+    /// Panics on an invalid configuration; use [`FleetSim::try_new`] to get
+    /// the typed error instead.
     pub fn new(cfg: FleetConfig) -> FleetSim {
         FleetSim::new_with_telemetry(cfg, Telemetry::disabled())
     }
 
+    /// Fallible construction: an invalid [`FleetConfig`] comes back as a
+    /// [`FleetConfigError`] instead of a panic deep inside the run loop.
+    pub fn try_new(cfg: FleetConfig) -> Result<FleetSim, FleetConfigError> {
+        FleetSim::try_new_with_telemetry(cfg, Telemetry::disabled())
+    }
+
+    /// Fallible construction with an attached telemetry pipeline.
+    pub fn try_new_with_telemetry(
+        cfg: FleetConfig,
+        telemetry: Telemetry,
+    ) -> Result<FleetSim, FleetConfigError> {
+        cfg.validate()?;
+        Ok(FleetSim::build(cfg, telemetry))
+    }
+
     /// Build with an attached telemetry pipeline (trace events from every
     /// stack and router, metrics published at end of run).
+    ///
+    /// Panics on an invalid configuration; use
+    /// [`FleetSim::try_new_with_telemetry`] to get the typed error instead.
     pub fn new_with_telemetry(cfg: FleetConfig, telemetry: Telemetry) -> FleetSim {
+        match FleetSim::try_new_with_telemetry(cfg, telemetry) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid fleet config: {e}"),
+        }
+    }
+
+    fn build(cfg: FleetConfig, telemetry: Telemetry) -> FleetSim {
         let now = SimTime::ZERO;
         let mut b = TopologyBuilder::new();
         let server = b.host("server");
@@ -636,6 +734,74 @@ mod tests {
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap()
         );
+    }
+
+    #[test]
+    fn degenerate_configs_fail_with_typed_errors() {
+        let mut cfg = FleetConfig::contended(4, 1);
+        cfg.clients = 0;
+        assert_eq!(
+            FleetSim::try_new(cfg).err(),
+            Some(FleetConfigError::NoClients)
+        );
+
+        let mut cfg = FleetConfig::contended(4, 1);
+        cfg.bottleneck.rate_bps = 0;
+        assert_eq!(
+            FleetSim::try_new(cfg).err(),
+            Some(FleetConfigError::ZeroCapacityLink("bottleneck"))
+        );
+
+        let mut cfg = FleetConfig::contended(4, 1);
+        cfg.duration = SimDuration::ZERO;
+        assert_eq!(
+            FleetSim::try_new(cfg).err(),
+            Some(FleetConfigError::EmptyWorkload)
+        );
+
+        let mut cfg = FleetConfig::contended(4, 1);
+        cfg.cross_rate_bps = 0;
+        assert_eq!(
+            FleetSim::try_new(cfg).err(),
+            Some(FleetConfigError::SilentCrossTraffic)
+        );
+
+        assert!(FleetSim::try_new(FleetConfig::contended(2, 1)).is_ok());
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = FleetConfig::do_no_harm_cell(7);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn preset_templates_pin_their_published_values() {
+        // The presets load from the committed corpus files; pin the values
+        // every exhibit and golden test depends on, so an accidental edit
+        // to a `.scenario` file fails here instead of shifting numbers.
+        let fc = FleetConfig::contended(6, 9);
+        assert_eq!(fc.clients, 6);
+        assert_eq!(fc.seed, 9);
+        assert_eq!(fc.mptcp_every, 2);
+        assert!(fc.coupled);
+        assert_eq!(fc.bottleneck.rate_bps, 100_000_000);
+        assert_eq!(fc.bottleneck.queue_capacity, 256 * 1024);
+        assert_eq!(fc.access_a.rate_bps, 50_000_000);
+        assert_eq!(fc.access_b.rate_bps, 30_000_000);
+        assert_eq!(fc.duration, SimDuration::from_secs(10));
+        assert_eq!(fc.cross_sources, 2);
+        assert_eq!(fc.cross_rate_bps, 4_000_000);
+
+        let dnh = FleetConfig::do_no_harm_cell(3);
+        assert_eq!(dnh.clients, 2);
+        assert_eq!(dnh.seed, 3);
+        assert_eq!(dnh.bottleneck.rate_bps, 16_000_000);
+        assert_eq!(dnh.bottleneck.queue_capacity, 64 * 1024);
+        assert_eq!(dnh.cross_sources, 0);
+        assert_eq!(dnh.duration, SimDuration::from_secs(8));
     }
 
     #[test]

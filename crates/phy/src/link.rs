@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Static configuration of a link.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
 pub struct LinkConfig {
     /// Serialization rate in bits per second.
     pub rate_bps: u64,

@@ -1,0 +1,361 @@
+//! The deterministic scenario fuzzer.
+//!
+//! `(run seed, case index)` maps to exactly one arbitrary-but-valid
+//! [`Scenario`], forever: the generator draws from the proptest stub's
+//! splitmix64 [`TestRng`], whose stream depends only on those two values.
+//! A violation found on one machine therefore names a scenario every other
+//! machine can regenerate — and the committed shrunk repro replays it even
+//! without the generator.
+//!
+//! Validity is *by construction*: fault windows are laid out sequentially
+//! with gaps, every primitive is self-restoring (raw rate steps are never
+//! generated), fleet faults land in the first half of the horizon, and
+//! capacities are bounded away from zero. `debug_assert` double-checks
+//! against [`Scenario::validate`] so the generator and the validator can
+//! never drift apart silently.
+
+use crate::spec::{DeviceKind, HostSpec, Scenario, StrategyKind, World};
+use emptcp_faults::spec::FaultSpec;
+use emptcp_faults::FaultTarget;
+use emptcp_net::fleet::FleetConfig;
+use emptcp_phy::{GeParams, LinkConfig};
+use emptcp_sim::SimDuration;
+use proptest::{Strategy as _, TestRng};
+use std::ops::Range;
+
+fn draw(rng: &mut TestRng, range: Range<u64>) -> u64 {
+    range.generate(rng)
+}
+
+fn draw_f(rng: &mut TestRng, range: Range<f64>) -> f64 {
+    range.generate(rng)
+}
+
+fn pick<T: Copy>(rng: &mut TestRng, items: &[T]) -> T {
+    items[(rng.next_u64() % items.len() as u64) as usize]
+}
+
+/// Generate the scenario for one fuzz case. Same `(run_seed, case)` ⇒ the
+/// same scenario, byte for byte.
+pub fn generate(run_seed: u64, case: u64) -> Scenario {
+    let mut rng = TestRng::for_case(&format!("scenario-fuzz:{run_seed}"), case);
+    let name = format!("fuzz-{run_seed:x}-{case}");
+    let seed = draw(&mut rng, 0..1_000_000);
+    let shape = rng.next_u64() % 8;
+    let scenario = if shape < 4 {
+        host_scenario(&mut rng, name, seed)
+    } else if shape < 7 {
+        fleet_scenario(&mut rng, name, seed)
+    } else {
+        do_no_harm_scenario(&mut rng, name, seed)
+    };
+    debug_assert_eq!(scenario.validate(), Ok(()), "generator produced invalid");
+    scenario
+}
+
+fn host_scenario(rng: &mut TestRng, name: String, seed: u64) -> Scenario {
+    let spec = HostSpec {
+        wifi_bps: draw(rng, 2_000_000..24_000_000),
+        cell_bps: draw(rng, 3_000_000..20_000_000),
+        wifi_rtt_ms: draw(rng, 10..60),
+        cell_rtt_ms: draw(rng, 30..120),
+        transfer_bytes: draw(rng, 256..1_536) << 10,
+        strategy: pick(
+            rng,
+            &[
+                StrategyKind::Mptcp,
+                StrategyKind::Emptcp,
+                StrategyKind::WifiFirst,
+            ],
+        ),
+        device: pick(rng, &[DeviceKind::GalaxyS3, DeviceKind::Nexus5]),
+    };
+    let faults = host_faults(rng);
+    Scenario {
+        name,
+        summary: "fuzz-generated host scenario".to_string(),
+        seed,
+        world: World::Host(spec),
+        faults,
+    }
+}
+
+/// Sequential fault windows on the host world: each primitive starts after
+/// the previous one has fully recovered, so the script is recoverable no
+/// matter which primitives were drawn.
+fn host_faults(rng: &mut TestRng) -> Vec<FaultSpec> {
+    let count = draw(rng, 0..4);
+    let mut faults = Vec::new();
+    let mut cursor = draw(rng, 500..1_500);
+    for _ in 0..count {
+        let (fault, recovered) = host_fault_at(rng, cursor);
+        faults.push(fault);
+        cursor = recovered + draw(rng, 200..900);
+    }
+    faults
+}
+
+fn host_fault_at(rng: &mut TestRng, from_ms: u64) -> (FaultSpec, u64) {
+    let path = pick(rng, &[FaultTarget::Wifi, FaultTarget::Cellular]);
+    match rng.next_u64() % 7 {
+        0 => {
+            let dur_ms = draw(rng, 300..3_000);
+            (
+                FaultSpec::Blackout {
+                    target: path,
+                    from_ms,
+                    dur_ms,
+                },
+                from_ms + dur_ms,
+            )
+        }
+        1 => {
+            let flaps = draw(rng, 2..4) as u32;
+            let down_ms = draw(rng, 200..500);
+            let up_ms = draw(rng, 400..1_000);
+            (
+                FaultSpec::FlapTrain {
+                    target: path,
+                    from_ms,
+                    flaps,
+                    down_ms,
+                    up_ms,
+                },
+                from_ms + flaps as u64 * (down_ms + up_ms),
+            )
+        }
+        2 => {
+            let dur_ms = draw(rng, 500..2_500);
+            (
+                FaultSpec::BurstLoss {
+                    target: FaultTarget::Wifi,
+                    from_ms,
+                    dur_ms,
+                    ge: GeParams {
+                        p_good_to_bad: draw_f(rng, 0.02..0.10),
+                        p_bad_to_good: draw_f(rng, 0.20..0.40),
+                        loss_good: 0.0,
+                        loss_bad: draw_f(rng, 0.40..0.80),
+                    },
+                },
+                from_ms + dur_ms,
+            )
+        }
+        3 => {
+            let hold_ms = draw(rng, 500..2_000);
+            let step_ms = draw(rng, 300..800);
+            (
+                FaultSpec::BandwidthCollapse {
+                    target: path,
+                    from_ms,
+                    hold_ms,
+                    collapsed_bps: draw(rng, 500_000..3_000_000),
+                    ramp_bps: vec![draw(rng, 3_000_000..8_000_000)],
+                    step_ms,
+                },
+                from_ms + hold_ms + 2 * step_ms,
+            )
+        }
+        4 => {
+            let dur_ms = draw(rng, 500..3_000);
+            (
+                FaultSpec::RttSpike {
+                    target: pick(
+                        rng,
+                        &[FaultTarget::Wifi, FaultTarget::Cellular, FaultTarget::Core],
+                    ),
+                    from_ms,
+                    dur_ms,
+                    extra_ms: draw(rng, 40..150),
+                },
+                from_ms + dur_ms,
+            )
+        }
+        5 => {
+            let gap_ms = draw(rng, 500..2_500);
+            (
+                FaultSpec::Handover {
+                    at_ms: from_ms,
+                    gap_ms,
+                },
+                from_ms + gap_ms,
+            )
+        }
+        _ => {
+            let dur_ms = draw(rng, 500..2_000);
+            (
+                FaultSpec::RrcStall {
+                    at_ms: from_ms,
+                    dur_ms,
+                    extra_ms: draw(rng, 50..150),
+                },
+                from_ms + dur_ms,
+            )
+        }
+    }
+}
+
+fn fleet_scenario(rng: &mut TestRng, name: String, seed: u64) -> Scenario {
+    let ms = SimDuration::from_millis;
+    let clients = draw(rng, 2..9) as usize;
+    let duration_ms = draw(rng, 2_500..4_500);
+    // Bound the bottleneck away from per-client starvation: the
+    // every-client-progresses oracle needs each stack to get a real share.
+    let bottleneck_bps = draw(rng, clients as u64 * 1_500_000..61_000_000);
+    let cross_sources = draw(rng, 0..3) as usize;
+    let cfg = FleetConfig {
+        clients,
+        mptcp_every: draw(rng, 1..4) as usize,
+        coupled: !rng.next_u64().is_multiple_of(5),
+        bottleneck: LinkConfig {
+            rate_bps: bottleneck_bps,
+            prop_delay: ms(draw(rng, 5..20)),
+            queue_capacity: draw(rng, 64..257) << 10,
+            loss_prob: 0.0,
+        },
+        access_a: LinkConfig {
+            rate_bps: draw(rng, 20_000_000..60_000_000),
+            prop_delay: ms(draw(rng, 2..6)),
+            queue_capacity: 128 << 10,
+            loss_prob: 0.0,
+        },
+        access_b: LinkConfig {
+            rate_bps: draw(rng, 10_000_000..40_000_000),
+            prop_delay: ms(draw(rng, 10..25)),
+            queue_capacity: 128 << 10,
+            loss_prob: 0.0,
+        },
+        duration: ms(duration_ms),
+        cross_sources,
+        cross_rate_bps: draw(rng, 1_000_000..(bottleneck_bps / 4).max(1_000_001)),
+        seed,
+    };
+    let faults = fleet_faults(rng, duration_ms);
+    Scenario {
+        name,
+        summary: "fuzz-generated fleet scenario".to_string(),
+        seed,
+        world: World::Fleet(cfg),
+        faults,
+    }
+}
+
+/// Core-bottleneck faults confined to the first half of the horizon so the
+/// fleet has the back half to recover in before the starvation oracle runs.
+fn fleet_faults(rng: &mut TestRng, duration_ms: u64) -> Vec<FaultSpec> {
+    let count = draw(rng, 0..3);
+    let mut faults = Vec::new();
+    let mut cursor = draw(rng, 300..700);
+    for _ in 0..count {
+        let budget = duration_ms / 2;
+        if cursor >= budget {
+            break;
+        }
+        let room = budget - cursor;
+        let (fault, recovered) = match rng.next_u64() % 3 {
+            0 => {
+                let hold_ms = draw(rng, 300..room.clamp(301, 1_500));
+                let step_ms = draw(rng, 200..500);
+                (
+                    FaultSpec::BandwidthCollapse {
+                        target: FaultTarget::Core,
+                        from_ms: cursor,
+                        hold_ms,
+                        collapsed_bps: pick(rng, &[0, 1_000_000, 3_000_000]),
+                        ramp_bps: vec![draw(rng, 4_000_000..9_000_000)],
+                        step_ms,
+                    },
+                    cursor + hold_ms + 2 * step_ms,
+                )
+            }
+            1 => {
+                let dur_ms = draw(rng, 300..room.clamp(301, 2_000));
+                (
+                    FaultSpec::RttSpike {
+                        target: FaultTarget::Core,
+                        from_ms: cursor,
+                        dur_ms,
+                        extra_ms: draw(rng, 30..120),
+                    },
+                    cursor + dur_ms,
+                )
+            }
+            _ => {
+                let dur_ms = draw(rng, 300..room.clamp(301, 1_500));
+                (
+                    FaultSpec::BurstLoss {
+                        target: FaultTarget::Core,
+                        from_ms: cursor,
+                        dur_ms,
+                        ge: GeParams {
+                            p_good_to_bad: draw_f(rng, 0.02..0.08),
+                            p_bad_to_good: draw_f(rng, 0.25..0.45),
+                            loss_good: 0.0,
+                            loss_bad: draw_f(rng, 0.30..0.50),
+                        },
+                    },
+                    cursor + dur_ms,
+                )
+            }
+        };
+        // Keep the whole script inside the first ~70% of the horizon; a
+        // primitive that would recover later than that is dropped rather
+        // than shifted, so earlier draws never move.
+        if recovered * 10 >= duration_ms * 7 {
+            break;
+        }
+        faults.push(fault);
+        cursor = recovered + draw(rng, 200..600);
+    }
+    faults
+}
+
+/// The "do no harm" shape: the only scenarios the fairness-bounds oracle
+/// fires on, so the fuzzer must keep producing them.
+fn do_no_harm_scenario(rng: &mut TestRng, name: String, seed: u64) -> Scenario {
+    let ms = SimDuration::from_millis;
+    let bottleneck_bps = draw(rng, 10_000_000..21_000_000);
+    let mut cfg = FleetConfig::do_no_harm_cell(seed);
+    cfg.bottleneck.rate_bps = bottleneck_bps;
+    cfg.access_a.rate_bps = bottleneck_bps * 2;
+    cfg.access_b.rate_bps = bottleneck_bps * 2;
+    cfg.duration = ms(draw(rng, 5_000..8_001));
+    Scenario {
+        name,
+        summary: "fuzz-generated do-no-harm cell".to_string(),
+        seed,
+        world: World::Fleet(cfg),
+        faults: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_scenarios_are_valid_and_deterministic() {
+        for case in 0..200 {
+            let a = generate(7, case);
+            let b = generate(7, case);
+            assert_eq!(a, b, "case {case} not deterministic");
+            assert_eq!(a.validate(), Ok(()), "case {case} invalid");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let a: Vec<Scenario> = (0..20).map(|c| generate(1, c)).collect();
+        let b: Vec<Scenario> = (0..20).map(|c| generate(2, c)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fuzzer_covers_both_worlds_and_faulted_runs() {
+        let scenarios: Vec<Scenario> = (0..100).map(|c| generate(42, c)).collect();
+        assert!(scenarios.iter().any(|s| matches!(s.world, World::Host(_))));
+        assert!(scenarios.iter().any(|s| matches!(s.world, World::Fleet(_))));
+        assert!(scenarios.iter().any(|s| !s.faults.is_empty()));
+        assert!(scenarios.iter().any(|s| s.is_do_no_harm()));
+    }
+}

@@ -117,6 +117,58 @@ impl InvariantObserver {
         });
     }
 
+    /// End-of-run oracle: every recoverable fault script must still end
+    /// with the full workload delivered.
+    pub fn check_exact_delivery(&mut self, at: SimTime, label: &str, delivered: u64, asked: u64) {
+        self.check(at, "exact_delivery", delivered == asked, || {
+            format!("{label}: delivered {delivered} of {asked} bytes")
+        });
+    }
+
+    /// End-of-run oracle: once the last fault clears, no subflow may still
+    /// believe its link is down.
+    pub fn check_no_stuck_subflows(&mut self, at: SimTime, label: &str, stuck: u64) {
+        self.check(at, "no_stuck_subflows", stuck == 0, || {
+            format!("{label}: {stuck} subflow(s) still flagged link-down after recovery")
+        });
+    }
+
+    /// End-of-run oracle: energy accounting must conserve — the radio
+    /// sub-accounts (promotion + tail here) can never exceed the total.
+    pub fn check_energy_conservation(
+        &mut self,
+        at: SimTime,
+        label: &str,
+        parts_j: f64,
+        total_j: f64,
+    ) {
+        self.check(
+            at,
+            "energy_conservation",
+            parts_j <= total_j + 1e-9 && parts_j >= 0.0,
+            || format!("{label}: sub-accounts sum to {parts_j} J of {total_j} J total"),
+        );
+    }
+
+    /// End-of-run oracle for do-no-harm topologies: the MPTCP client's
+    /// share of the bottleneck must stay within `[floor, ceil]` of the
+    /// fair split.
+    pub fn check_fairness_bounds(
+        &mut self,
+        at: SimTime,
+        label: &str,
+        share: f64,
+        floor: f64,
+        ceil: f64,
+    ) {
+        self.check(
+            at,
+            "fairness_bounds",
+            (floor..=ceil).contains(&share),
+            || format!("{label}: bottleneck share {share:.3} outside [{floor:.3}, {ceil:.3}]"),
+        );
+    }
+
     pub fn violations(&self) -> &[Violation] {
         &self.violations
     }
@@ -153,6 +205,31 @@ mod tests {
         let v = &obs.violations()[0];
         assert_eq!(v.name, "ack_conservation");
         assert!(v.detail.contains("101"));
+    }
+
+    #[test]
+    fn chaos_oracles_catch_their_violations() {
+        let mut obs = InvariantObserver::new();
+        obs.check_exact_delivery(t(), "run", 100, 100);
+        obs.check_no_stuck_subflows(t(), "run", 0);
+        obs.check_energy_conservation(t(), "run", 3.0, 5.0);
+        obs.check_fairness_bounds(t(), "run", 0.5, 0.3, 0.7);
+        assert!(obs.violations().is_empty());
+
+        obs.check_exact_delivery(t(), "run", 99, 100);
+        obs.check_no_stuck_subflows(t(), "run", 2);
+        obs.check_energy_conservation(t(), "run", 6.0, 5.0);
+        obs.check_fairness_bounds(t(), "run", 0.1, 0.3, 0.7);
+        let names: Vec<&str> = obs.violations().iter().map(|v| v.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "exact_delivery",
+                "no_stuck_subflows",
+                "energy_conservation",
+                "fairness_bounds"
+            ]
+        );
     }
 
     #[test]
