@@ -134,6 +134,42 @@ fn micro_benches() -> BTreeMap<String, f64> {
         }),
     );
 
+    // The host-timer pattern: cancel the previous deadline and arm a
+    // replacement on every iteration, with pops dragging the wheel cursor
+    // so re-arms land across slot and level seams, not one hot slot.
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut t = 0u64;
+    let mut armed = q.schedule(SimTime::from_nanos(1_000), 0);
+    micro.insert(
+        "timing_wheel_rearm".to_string(),
+        time_median_ns(9, 200_000, || {
+            t += 1;
+            q.cancel(armed);
+            armed = q.schedule(SimTime::from_nanos(t * 1_000 + 500_000), t);
+            if t.is_multiple_of(8) {
+                black_box(q.pop());
+            }
+        }),
+    );
+
+    // Steady-state segment parking: one insert + take round trip, which
+    // after warm-up recycles a single slot without touching the allocator.
+    {
+        use emptcp_tcp::{Segment, SegmentSlab};
+        let mut slab = SegmentSlab::new();
+        let mut p = 0u32;
+        micro.insert(
+            "segment_slab_recycle".to_string(),
+            time_median_ns(9, 500_000, || {
+                p = p.wrapping_add(1);
+                let mut seg = Segment::empty(SimTime::ZERO);
+                seg.payload = p;
+                let r = slab.insert(seg);
+                black_box(slab.take(r));
+            }),
+        );
+    }
+
     let mut rng = SimRng::new(crate::BENCH_SEED);
     micro.insert(
         "rng_exponential".to_string(),

@@ -247,6 +247,11 @@ fn run_fleet(sc: &Scenario, sabotage_delivery: bool) -> Result<ChaosReport, Scen
         obs.check_fairness_bounds(at, &sc.name, r.mptcp_tcp_ratio, 0.5, 1.6);
     }
 
+    // Structural leak oracle: every segment parked for a queued hop event
+    // must have been reclaimed exactly once by end of run.
+    let slab = sim.seg_slab_stats();
+    obs.check_segment_slab(at, &sc.name, slab.live, slab.double_frees);
+
     obs.check(at, "invariant_observer", invariant_violations == 0, || {
         format!(
             "{}: {} online invariant violation(s) during the run",

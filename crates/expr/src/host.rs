@@ -32,7 +32,7 @@ use emptcp_phy::rrc::RrcState;
 use emptcp_phy::{IfaceKind, RrcMachine, WifiChannel};
 use emptcp_sim::trace::TimeSeries;
 use emptcp_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use emptcp_tcp::{Segment, TcpConfig};
+use emptcp_tcp::{SegRef, SegSlabStats, Segment, SegmentSlab, TcpConfig};
 use emptcp_telemetry::Telemetry;
 use emptcp_workload::web::{FetchQueue, WebPage, BROWSER_CONNECTIONS};
 use emptcp_workload::{BandwidthModulator, InterfererSet};
@@ -49,7 +49,9 @@ enum Event {
         conn: usize,
         sf: SubflowId,
         to_client: bool,
-        seg: Segment,
+        /// Parked in the host's segment slab while the event is queued;
+        /// whoever consumes the event must take it exactly once.
+        seg: SegRef,
     },
     Tick,
     TimerCheck,
@@ -167,6 +169,9 @@ pub struct Simulation {
     cell_path: Path,
     cell_pending: Vec<(usize, SubflowId, bool, Segment)>,
     cell_ready_scheduled: bool,
+    /// In-flight segments parked while their [`Event::Deliver`] is queued;
+    /// doubles as the run's leak oracle ([`Simulation::seg_slab_stats`]).
+    seg_slab: SegmentSlab,
     /// Reused transmit batch: [`Simulation::drain_conn`] runs on every
     /// delivery, so allocating a fresh `Vec` per call would be the single
     /// biggest allocation source in a run.
@@ -331,6 +336,7 @@ impl Simulation {
             cell_path,
             cell_pending: Vec::new(),
             cell_ready_scheduled: false,
+            seg_slab: SegmentSlab::new(),
             tx_scratch: Vec::new(),
             modulator,
             interferers,
@@ -468,6 +474,7 @@ impl Simulation {
                 .enqueue(dir, now, seg.wire_bytes(), &mut self.rng)
             {
                 EnqueueOutcome::Delivered(at) => {
+                    let seg = self.seg_slab.insert(seg);
                     self.queue.schedule(
                         at,
                         Event::Deliver {
@@ -499,6 +506,7 @@ impl Simulation {
                 .enqueue(dir, now, seg.wire_bytes(), &mut self.rng)
             {
                 EnqueueOutcome::Delivered(at) => {
+                    let seg = self.seg_slab.insert(seg);
                     self.queue.schedule(
                         at,
                         Event::Deliver {
@@ -703,6 +711,7 @@ impl Simulation {
                 .enqueue(dir, now, seg.wire_bytes(), &mut self.rng)
             {
                 EnqueueOutcome::Delivered(at) => {
+                    let seg = self.seg_slab.insert(seg);
                     self.queue.schedule(
                         at,
                         Event::Deliver {
@@ -1070,6 +1079,7 @@ impl Simulation {
                 break;
             };
             if now > horizon {
+                self.reclaim(event);
                 break;
             }
             match event {
@@ -1078,7 +1088,13 @@ impl Simulation {
                     sf,
                     to_client,
                     seg,
-                } => self.on_deliver(now, conn, sf, to_client, seg),
+                } => {
+                    let seg = self
+                        .seg_slab
+                        .take(seg)
+                        .expect("deliver event holds a parked segment");
+                    self.on_deliver(now, conn, sf, to_client, seg);
+                }
                 Event::Tick => self.on_tick(now),
                 Event::TimerCheck => self.on_timer_check(now),
                 Event::CellReady => {
@@ -1090,8 +1106,36 @@ impl Simulation {
         self.finish()
     }
 
+    /// Return an unprocessed event's parked segment (if any) to the slab.
+    fn reclaim(&mut self, event: Event) {
+        if let Event::Deliver { seg, .. } = event {
+            self.seg_slab
+                .take(seg)
+                .expect("queued deliver event holds a parked segment");
+        }
+    }
+
+    /// Segment-slab allocation counters, consumed by the invariant battery
+    /// as a structural leak oracle: at end of run every parked segment must
+    /// have been taken exactly once (`live == 0 && double_frees == 0`).
+    pub fn seg_slab_stats(&self) -> SegSlabStats {
+        self.seg_slab.stats()
+    }
+
     fn finish(mut self) -> RunResult {
         let end = self.queue.now();
+        // Reclaim the segments of every deliver event still queued so the
+        // slab's counters certify the take-exactly-once discipline. `end`
+        // is captured first: popping advances the queue clock.
+        while let Some((_, event)) = self.queue.pop() {
+            self.reclaim(event);
+        }
+        // With every queued segment reclaimed the slab must balance; a
+        // miss is a host bug, surfaced through the invariant pipeline.
+        let slab = self.seg_slab.stats();
+        self.telemetry.check_invariants(end, |obs| {
+            obs.check_segment_slab(end, "host", slab.live, slab.double_frees)
+        });
         // Close the final cellular-state segment for the breakdown.
         let final_snapshot = self.meter.snapshot();
         self.meter.update(end, final_snapshot);

@@ -131,6 +131,12 @@ pub struct MpConnection {
     /// Last LIA recomputation (rate-limited: alpha moves on RTT timescales,
     /// recomputing per segment is pure overhead).
     lia_refreshed_at: SimTime,
+    /// The last [`poll_transmit`](Self::poll_transmit) pass came up empty
+    /// and nothing has touched the connection since. A repeat poll can
+    /// replay only the clock-driven effects of a full pass (LIA refresh
+    /// and RFC 2861 idle validation) and return `None` directly; every
+    /// mutating entry point clears this.
+    quiescent: bool,
     /// Consecutive RTO expirations (without `snd_una` progress) after which
     /// a subflow is declared dead.
     failure_threshold: u64,
@@ -164,6 +170,7 @@ impl MpConnection {
             coupled: true,
             opportunistic: true,
             lia_refreshed_at: SimTime::ZERO,
+            quiescent: false,
             failure_threshold: 3,
             recovery: RecoveryStats::default(),
             recovery_pending: None,
@@ -175,6 +182,7 @@ impl MpConnection {
     /// (default 3; Linux's TCP-level equivalent is conceptually
     /// `net.ipv4.tcp_retries2`, scaled down to simulation timescales).
     pub fn set_failure_threshold(&mut self, rtos: u64) {
+        self.quiescent = false;
         self.failure_threshold = rtos.max(1);
     }
 
@@ -187,6 +195,7 @@ impl MpConnection {
     /// subflow lifecycle, MP_PRIO) report under it; each subflow's TCP
     /// endpoint gets a copy labelled with its subflow id.
     pub fn set_telemetry(&mut self, scope: TelemetryScope) {
+        self.quiescent = false;
         for sf in &mut self.subflows {
             sf.tcp.set_telemetry(scope.with_subflow(sf.id.0));
         }
@@ -196,11 +205,13 @@ impl MpConnection {
     /// Disable LIA coupling (each subflow runs plain Reno). Used by
     /// ablation benches.
     pub fn set_coupled(&mut self, coupled: bool) {
+        self.quiescent = false;
         self.coupled = coupled;
     }
 
     /// Toggle opportunistic reinjection (on by default, as in Linux MPTCP).
     pub fn set_opportunistic(&mut self, enabled: bool) {
+        self.quiescent = false;
         self.opportunistic = enabled;
     }
 
@@ -212,6 +223,7 @@ impl MpConnection {
     /// Add a subflow on `iface`. The client actively opens it (SYN emitted
     /// on the next poll); the server side listens. Returns its id.
     pub fn add_subflow(&mut self, now: SimTime, iface: IfaceKind) -> SubflowId {
+        self.quiescent = false;
         let id = SubflowId(self.subflows.len() as u8);
         let mut sf = match self.role {
             Role::Client => Subflow::client(id, iface, self.tcp_cfg),
@@ -237,6 +249,7 @@ impl MpConnection {
 
     /// A subflow by id, mutable.
     pub fn subflow_mut(&mut self, id: SubflowId) -> &mut Subflow {
+        self.quiescent = false;
         &mut self.subflows[id.0 as usize]
     }
 
@@ -249,6 +262,7 @@ impl MpConnection {
 
     /// Append `bytes` to the connection-level send stream.
     pub fn write(&mut self, bytes: u64) {
+        self.quiescent = false;
         assert!(!self.closing, "write after close");
         self.data_written += bytes;
     }
@@ -256,6 +270,7 @@ impl MpConnection {
     /// Request a graceful close: once all written data is scheduled and
     /// acknowledged, every subflow sends its FIN.
     pub fn close(&mut self) {
+        self.quiescent = false;
         self.closing = true;
     }
 
@@ -290,6 +305,7 @@ impl MpConnection {
     /// [`bytes_delivered`](Self::bytes_delivered) exactly. Hosts call this
     /// once when a run ends; subflow 0 stands in for "whole connection".
     pub fn flush_delivered_trace(&mut self, now: SimTime) {
+        self.quiescent = false;
         if self.delivered_since_emit > 0 {
             let bytes = self.delivered_since_emit;
             self.delivered_since_emit = 0;
@@ -331,6 +347,7 @@ impl MpConnection {
     /// (§3.6: "eMPTCP adds an MP_PRIO option, which changes the priority of
     /// subflows, to the next packet to be transmitted").
     pub fn set_subflow_priority(&mut self, now: SimTime, id: SubflowId, backup: bool) {
+        self.quiescent = false;
         let sf = &mut self.subflows[id.0 as usize];
         if sf.backup == backup {
             return;
@@ -346,6 +363,7 @@ impl MpConnection {
 
     /// Apply the §3.6 resume tweaks to a subflow being re-enabled.
     pub fn prepare_subflow_resume(&mut self, id: SubflowId) {
+        self.quiescent = false;
         self.subflows[id.0 as usize].prepare_resume();
     }
 
@@ -355,6 +373,7 @@ impl MpConnection {
     /// survives, promotes the best backup. Coming back up clears failure
     /// state so the subflow is immediately schedulable again.
     pub fn set_subflow_link_up(&mut self, now: SimTime, id: SubflowId, up: bool) {
+        self.quiescent = false;
         let idx = id.0 as usize;
         if self.subflows[idx].link_down != up {
             return;
@@ -475,6 +494,7 @@ impl MpConnection {
     /// subflows trigger opportunistic reinjection a couple of RTTs earlier.
     /// Crossing the consecutive-RTO threshold declares the subflow dead.
     pub fn on_deadline(&mut self, now: SimTime) {
+        self.quiescent = false;
         for idx in 0..self.subflows.len() {
             self.subflows[idx].tcp.on_deadline(now);
             let timeouts = self.subflows[idx].tcp.timeouts();
@@ -568,6 +588,18 @@ impl MpConnection {
 
     /// Next segment to put on the wire, tagged with its subflow.
     pub fn poll_transmit(&mut self, now: SimTime) -> Option<(SubflowId, Segment)> {
+        if self.quiescent {
+            // Nothing has touched the connection since a poll came up
+            // empty: a full pass could only replay its clock-driven side
+            // effects. Replay exactly those — the LIA refresh and, for each
+            // established subflow (the ones an empty pass walks all the way
+            // through), RFC 2861 idle validation — and skip the rest.
+            self.update_lia(now);
+            for sf in &mut self.subflows {
+                sf.tcp.idle_tick(now);
+            }
+            return None;
+        }
         self.update_lia(now);
         // Graceful close: once the stream is fully scheduled and
         // acknowledged, queue FINs (idempotent at the TCP layer).
@@ -589,7 +621,13 @@ impl MpConnection {
             }
         }
         // 2. Schedule fresh (or reinjected) connection data.
-        let (data_seq, len) = self.next_chunk()?;
+        let Some((data_seq, len)) = self.next_chunk() else {
+            // Clean empty pass: no pending chunk, and every subflow was
+            // walked above without emitting. A repeat poll is a no-op
+            // until the next event touches the connection.
+            self.quiescent = true;
+            return None;
+        };
         // The detailed pick (candidate set + reason) is only computed
         // when someone is listening; otherwise take the cheap path.
         let idx = if self.scope.enabled() {
@@ -607,8 +645,11 @@ impl MpConnection {
             pick_subflow(&self.subflows)
         };
         let Some(idx) = idx else {
-            // Put an unconsumed reinjection chunk back.
+            // Put an unconsumed reinjection chunk back. No subflow can
+            // take data, and that can only change through an ack, timer,
+            // or topology event — all of which clear the flag.
             self.unconsume_chunk(data_seq, len);
+            self.quiescent = true;
             return None;
         };
         let data_ack = self.data_rcv_nxt;
@@ -669,6 +710,7 @@ impl MpConnection {
 
     /// Feed an arriving segment to its subflow.
     pub fn on_segment(&mut self, now: SimTime, id: SubflowId, seg: Segment) -> MpSegmentOutcome {
+        self.quiescent = false;
         let mut outcome = MpSegmentOutcome::default();
         let idx = id.0 as usize;
         assert!(idx < self.subflows.len(), "unknown subflow {id}");

@@ -30,9 +30,17 @@ pub struct SchedDecision {
 }
 
 /// Index of the subflow the scheduler would hand the next chunk of data to,
-/// or `None` if nothing can take data right now.
+/// or `None` if nothing can take data right now. Allocation-free twin of
+/// [`pick_subflow_detailed`] for the untraced hot path — the candidate
+/// filter and the `(srtt, index)` tie-break must stay identical.
 pub fn pick_subflow(subflows: &[Subflow]) -> Option<usize> {
-    pick_subflow_detailed(subflows).map(|d| d.picked)
+    let any_regular_alive = subflows.iter().any(|sf| !sf.backup && sf.usable());
+    subflows
+        .iter()
+        .enumerate()
+        .filter(|(_, sf)| sf.can_take_data() && (!sf.backup || !any_regular_alive))
+        .min_by_key(|&(idx, sf)| (sf.tcp.rtt().srtt_or_zero(), idx))
+        .map(|(idx, _)| idx)
 }
 
 /// Like [`pick_subflow`], but also reports the candidate set and the reason

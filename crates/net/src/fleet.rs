@@ -26,7 +26,7 @@ use emptcp_mptcp::{MpConnection, Role, SubflowId};
 use emptcp_phy::modulation::OnOff;
 use emptcp_phy::{IfaceKind, LinkConfig};
 use emptcp_sim::{EventQueue, SimDuration, SimRng, SimTime, TimerId};
-use emptcp_tcp::{CcAlgorithm, Segment, TcpConfig};
+use emptcp_tcp::{CcAlgorithm, SegRef, SegSlabStats, Segment, SegmentSlab, TcpConfig};
 use emptcp_telemetry::Telemetry;
 use emptcp_workload::CrossTrafficSource;
 use serde::{Deserialize, Serialize};
@@ -225,13 +225,17 @@ struct ClientStack {
 }
 
 enum Event {
-    /// A packet surfacing at `node`, heading to a stack.
+    /// A packet surfacing at `node`, heading to a stack. The segment is
+    /// parked in the sim's [`SegmentSlab`]; the event carries only the
+    /// handle, keeping queue payloads small. Whoever consumes the event —
+    /// the hop handler or the end-of-run reclaim sweep — must `take` the
+    /// segment back exactly once (the slab's leak counters enforce it).
     Hop {
         conn: u32,
         sf: SubflowId,
         to_client: bool,
         node: NodeId,
-        seg: Segment,
+        seg: SegRef,
     },
     /// A cross-traffic packet surfacing at `node` (sinked on arrival).
     CrossHop { src: u32, node: NodeId },
@@ -256,10 +260,16 @@ pub struct FleetSim {
     cross_packets: u64,
     bottleneck_port: usize,
     timer_handle: Option<(SimTime, TimerId)>,
+    /// Cached `min(client, server).next_deadline()` per stack, maintained
+    /// at every point a stack is touched, so [`FleetSim::schedule_timers`]
+    /// scans a flat array instead of interrogating every endpoint after
+    /// every event.
+    stack_deadline: Vec<Option<SimTime>>,
     injector: Option<FaultInjector>,
     faults_applied: u64,
     telemetry: Telemetry,
-    tx_scratch: Vec<(SubflowId, Segment, bool)>,
+    /// In-flight segments, one per queued [`Event::Hop`].
+    seg_slab: SegmentSlab,
 }
 
 impl FleetSim {
@@ -388,6 +398,7 @@ impl FleetSim {
             });
         }
 
+        let stack_count = stacks.len();
         let mut sim = FleetSim {
             cfg,
             fabric,
@@ -401,10 +412,11 @@ impl FleetSim {
             cross_packets: 0,
             bottleneck_port,
             timer_handle: None,
+            stack_deadline: vec![None; stack_count],
             injector: None,
             faults_applied: 0,
             telemetry,
-            tx_scratch: Vec::new(),
+            seg_slab: SegmentSlab::new(),
         };
         for i in 0..sim.cross.len() {
             let at = sim.cross[i].next_event();
@@ -430,6 +442,17 @@ impl FleetSim {
         &self.fabric
     }
 
+    /// Raw per-client delivered byte counts (response payload reaching each
+    /// client), in client order. The golden drain-path test pins these
+    /// exactly; [`FleetReport::per_client_mbps`] is the same data scaled to
+    /// a float rate.
+    pub fn per_client_delivered(&self) -> Vec<u64> {
+        self.stacks
+            .iter()
+            .map(|s| s.client.bytes_delivered())
+            .collect()
+    }
+
     fn poll_faults(&mut self, now: SimTime) {
         if let Some(mut inj) = self.injector.take() {
             self.faults_applied += inj.poll(now, &mut self.fabric) as u64;
@@ -448,7 +471,8 @@ impl FleetSim {
         self.hop(now, conn, sf, !from_client, start, dst, seg);
     }
 
-    /// Advance a packet one hop; schedule the next surface or drop it.
+    /// Advance a packet one hop; schedule the next surface or drop it. A
+    /// forwarded segment is parked in the slab until its hop event pops.
     #[allow(clippy::too_many_arguments)]
     fn hop(
         &mut self,
@@ -460,12 +484,13 @@ impl FleetSim {
         dst: NodeId,
         seg: Segment,
     ) {
-        match self
+        let outcome = self
             .fabric
-            .step(now, node, dst, seg.wire_bytes(), &mut self.rng)
-        {
+            .step(now, node, dst, seg.wire_bytes(), &mut self.rng);
+        match outcome {
             Hop::Arrived => self.deliver(now, conn, sf, to_client, seg),
             Hop::Forwarded { node, at, .. } => {
+                let seg = self.seg_slab.insert(seg);
                 self.queue.schedule(
                     at,
                     Event::Hop {
@@ -490,6 +515,7 @@ impl FleetSim {
             self.feed_server(i);
         }
         self.drain_stack(now, i);
+        self.refresh_deadline(i);
     }
 
     /// Timed bulk: the first complete request unlocks a response far
@@ -502,32 +528,47 @@ impl FleetSim {
         }
     }
 
+    /// Drain both endpoints of stack `i` — the full sweep used at start of
+    /// run and after a timer fires on the whole fleet. Segments launch as
+    /// they are polled: `send` never re-enters the stack (the first fabric
+    /// step of a fresh launch always forwards), so launching immediately is
+    /// order-identical to collecting a batch first.
     fn drain_stack(&mut self, now: SimTime, i: usize) {
-        let mut batch = std::mem::take(&mut self.tx_scratch);
+        self.drain_conn(now, i, true);
+        self.drain_conn(now, i, false);
+    }
+
+    /// Drain one endpoint of stack `i` to exhaustion.
+    fn drain_conn(&mut self, now: SimTime, i: usize, client_side: bool) {
         loop {
-            batch.clear();
-            while let Some((sf, seg)) = self.stacks[i].client.poll_transmit(now) {
-                batch.push((sf, seg, true));
-            }
-            while let Some((sf, seg)) = self.stacks[i].server.poll_transmit(now) {
-                batch.push((sf, seg, false));
-            }
-            if batch.is_empty() {
+            let stack = &mut self.stacks[i];
+            let side = if client_side {
+                &mut stack.client
+            } else {
+                &mut stack.server
+            };
+            let Some((sf, seg)) = side.poll_transmit(now) else {
                 break;
-            }
-            for &(sf, seg, from_client) in &batch {
-                self.send(now, i as u32, sf, seg, from_client);
-            }
+            };
+            self.send(now, i as u32, sf, seg, client_side);
         }
-        self.tx_scratch = batch;
+    }
+
+    /// Re-derive the cached deadline of stack `i` from its endpoints.
+    fn refresh_deadline(&mut self, i: usize) {
+        let s = &self.stacks[i];
+        self.stack_deadline[i] = match (s.client.next_deadline(), s.server.next_deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
     }
 
     fn schedule_timers(&mut self, now: SimTime) {
         let next = self
-            .stacks
+            .stack_deadline
             .iter()
-            .flat_map(|s| [s.client.next_deadline(), s.server.next_deadline()])
             .flatten()
+            .copied()
             .chain(self.injector.as_ref().and_then(|i| i.next_deadline()))
             .min();
         if let Some(d) = next {
@@ -553,6 +594,7 @@ impl FleetSim {
             self.stacks[i].client.on_deadline(now);
             self.stacks[i].server.on_deadline(now);
             self.drain_stack(now, i);
+            self.refresh_deadline(i);
         }
     }
 
@@ -584,10 +626,12 @@ impl FleetSim {
         self.poll_faults(SimTime::ZERO);
         for i in 0..self.stacks.len() {
             self.drain_stack(SimTime::ZERO, i);
+            self.refresh_deadline(i);
         }
         self.schedule_timers(SimTime::ZERO);
         while let Some((now, event)) = self.queue.pop() {
             if now > horizon {
+                self.reclaim(event);
                 break;
             }
             match event {
@@ -598,6 +642,10 @@ impl FleetSim {
                     node,
                     seg,
                 } => {
+                    let seg = self
+                        .seg_slab
+                        .take(seg)
+                        .expect("hop event holds a parked segment");
                     self.poll_faults(now);
                     let dst = if to_client {
                         self.stacks[conn as usize].nic_nodes[sf.0 as usize]
@@ -605,16 +653,36 @@ impl FleetSim {
                         self.server_node
                     };
                     self.hop(now, conn, sf, to_client, node, dst, seg);
+                    self.schedule_timers(now);
                 }
+                // Cross-traffic events touch no stack and skip fault
+                // polling, so no deadline can have moved: re-running
+                // `schedule_timers` would recompute the same minimum and
+                // take the same `d < t` branch. Skip it.
                 Event::CrossHop { src, node } => {
                     let bytes = self.cross[src as usize].packet_bytes();
                     self.cross_hop(now, src, node, bytes);
                 }
                 Event::CrossPoll { src } => self.on_cross_poll(now, src),
-                Event::TimerCheck => self.on_timer_check(now),
+                Event::TimerCheck => {
+                    self.on_timer_check(now);
+                    self.schedule_timers(now);
+                }
             }
-            self.schedule_timers(now);
         }
+        // Reclaim the segments of every hop event still queued, so the
+        // slab's leak counters certify that each parked segment was taken
+        // exactly once ([`FleetSim::seg_slab_stats`] must end at live 0).
+        while let Some((_, event)) = self.queue.pop() {
+            self.reclaim(event);
+        }
+        // The slab must balance once every queued segment is reclaimed;
+        // a miss here is a host bug, surfaced through the invariant
+        // pipeline rather than a panic so fuzzed runs report it.
+        let slab = self.seg_slab.stats();
+        self.telemetry.check_invariants(horizon, |obs| {
+            obs.check_segment_slab(horizon, "fleet", slab.live, slab.double_frees)
+        });
         // Flush sub-threshold Delivered residue so trace totals equal the
         // report's delivered-byte counts; stamped at the horizon so the
         // flush ordering is a pure function of the configuration.
@@ -624,6 +692,22 @@ impl FleetSim {
         }
         self.fabric.publish_metrics();
         self.report()
+    }
+
+    /// Return an unprocessed event's parked segment (if any) to the slab.
+    fn reclaim(&mut self, event: Event) {
+        if let Event::Hop { seg, .. } = event {
+            self.seg_slab
+                .take(seg)
+                .expect("queued hop event holds a parked segment");
+        }
+    }
+
+    /// Segment-slab allocation counters, consumed by the invariant
+    /// battery's leak oracle after [`FleetSim::run`] returns: every parked
+    /// segment must have been reclaimed (`live == 0`, `double_frees == 0`).
+    pub fn seg_slab_stats(&self) -> SegSlabStats {
+        self.seg_slab.stats()
     }
 
     fn report(&self) -> FleetReport {

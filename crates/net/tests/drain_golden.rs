@@ -1,0 +1,103 @@
+//! Golden pin of the fleet drain path.
+//!
+//! A fixed-seed contended fleet run must deliver exactly the same bytes to
+//! every client and record exactly the same trace — byte for byte — as it
+//! did before the hot-path rewrite (timing-wheel event queue, slab-backed
+//! segments, batched drain). The constants below were captured from the
+//! pre-rewrite engine; any behavioural drift in the queue merge order, the
+//! drain loop, or the fabric shows up here as a changed byte count or a
+//! changed trace hash long before it would surface as a subtle fairness or
+//! energy shift in an exhibit.
+//!
+//! If this test fails after an intentional semantic change, re-capture with
+//! `cargo test -p emptcp-net --test drain_golden -- --nocapture` and update
+//! the constants together with a CHANGES.md note — never silently.
+
+use emptcp_net::{FleetConfig, FleetSim};
+use emptcp_sim::SimDuration;
+use emptcp_telemetry::{MemorySink, Telemetry, TraceSink};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a over the rendered JSONL trace: stable, dependency-free, and
+/// sensitive to any single-byte drift anywhere in the event stream.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Golden {
+    per_client_bytes: Vec<u64>,
+    trace_hash: u64,
+    trace_lines: usize,
+}
+
+fn run_traced(cfg: FleetConfig) -> Golden {
+    let record = Arc::new(Mutex::new(MemorySink::new()));
+    let sink: Box<dyn TraceSink> = Box::new(Arc::clone(&record));
+    let telemetry = Telemetry::builder().sink(sink).build();
+    let mut sim = FleetSim::new_with_telemetry(cfg, telemetry.clone());
+    sim.run();
+    telemetry.flush().expect("flush");
+    let jsonl = record.lock().unwrap().to_jsonl();
+    Golden {
+        per_client_bytes: sim.per_client_delivered(),
+        trace_hash: fnv1a64(jsonl.as_bytes()),
+        trace_lines: jsonl.lines().count(),
+    }
+}
+
+/// The contended preset exercises every hot-path ingredient at once:
+/// mixed TCP/MPTCP stacks, cross-traffic, queue drops + ECN marks at the
+/// bottleneck, delayed-ack timers, and RTO re-arms.
+fn contended_cfg() -> FleetConfig {
+    let mut cfg = FleetConfig::contended(6, 7);
+    cfg.duration = SimDuration::from_secs(2);
+    cfg
+}
+
+#[test]
+fn contended_fleet_drain_path_matches_pre_rewrite_goldens() {
+    let g = run_traced(contended_cfg());
+    println!("contended per_client_bytes = {:?}", g.per_client_bytes);
+    println!(
+        "contended trace_hash = {:#018x} lines = {}",
+        g.trace_hash, g.trace_lines
+    );
+    assert_eq!(
+        g.per_client_bytes,
+        [5_058_099, 2_371_913, 3_801_745, 2_637_071, 3_588_577, 3_159_716],
+        "per-client delivered bytes drifted from the pre-rewrite capture"
+    );
+    assert_eq!(
+        g.trace_hash, 0x135d_2d61_47b6_0859,
+        "trace hash drifted from the pre-rewrite capture"
+    );
+    assert_eq!(g.trace_lines, 23_544, "trace line count drifted");
+}
+
+/// The do-no-harm cell runs the fairness-critical path: one LIA-coupled
+/// MPTCP client against one TCP client on a tight core. Its trace pins the
+/// coupled congestion-control decisions end to end.
+#[test]
+fn do_no_harm_cell_drain_path_matches_pre_rewrite_goldens() {
+    let g = run_traced(FleetConfig::do_no_harm_cell(3));
+    println!("dnh per_client_bytes = {:?}", g.per_client_bytes);
+    println!(
+        "dnh trace_hash = {:#018x} lines = {}",
+        g.trace_hash, g.trace_lines
+    );
+    assert_eq!(
+        g.per_client_bytes,
+        [7_166_363, 7_170_231],
+        "per-client delivered bytes drifted from the pre-rewrite capture"
+    );
+    assert_eq!(
+        g.trace_hash, 0xa490_2a48_23d6_e9a2,
+        "trace hash drifted from the pre-rewrite capture"
+    );
+    assert_eq!(g.trace_lines, 15_520, "trace line count drifted");
+}

@@ -29,6 +29,6 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use event::{EventQueue, Scheduler, TimerId};
+pub use event::{EventQueue, KeyHeapQueue, Scheduler, TimerId};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,11 +1,30 @@
-//! Model-based property test for the event queue: drive random
-//! schedule/cancel/pop/peek interleavings through [`EventQueue`] and a
-//! naive sorted-`Vec` reference side by side; every observation must
-//! agree. This pins the queue's contract — (time, sequence) ordering,
-//! exact `len`, idempotent cancellation, clock monotonicity — against
-//! the tombstone/compaction machinery in the real implementation.
+//! Three-way differential model test for the event queues.
+//!
+//! Every property drives the same operation sequence through three
+//! implementations in lockstep and demands bit-identical observations:
+//!
+//! * [`EventQueue`] — the hierarchical timing wheel (the hot path),
+//! * [`KeyHeapQueue`] — the original `(time, seq)` key-heap, kept
+//!   precisely so the wheel has a trusted, structurally different twin,
+//! * a naive sorted-`Vec` reference — correct by inspection.
+//!
+//! Agreement across all three pins the queue contract — (time, sequence)
+//! total order, exact `len`, idempotent cancellation, clock monotonicity —
+//! independently of either real implementation's machinery (tombstones and
+//! compaction in the heap; slots, occupancy bitmaps, the ready/far escape
+//! heaps and the strict-descent drain rule in the wheel).
+//!
+//! The generators are shaped around the wheel's seams: same-instant
+//! bursts, slot- and level-boundary-aligned deltas, far-future deltas
+//! beyond the wheel span (the `far`-heap fallback), cancel/re-arm storms,
+//! and pops interleaved with fresh schedules mid-rotation — the last being
+//! exactly the class that once drove a slot to re-fill itself while it was
+//! being drained.
+//!
+//! Case count: 64 by default, raised in CI via `PROPTEST_CASES` (the
+//! differential gate runs with ≥1000).
 
-use emptcp_sim::{EventQueue, SimTime, TimerId};
+use emptcp_sim::{EventQueue, KeyHeapQueue, SimDuration, SimTime, TimerId};
 use proptest::prelude::*;
 
 /// The reference: a flat vector of live `(time_nanos, seq, payload)`
@@ -50,6 +69,78 @@ impl Reference {
     }
 }
 
+/// All three queues plus the reference, driven as one unit. Handles of
+/// not-yet-popped schedules are kept in lockstep; stale entries (fired or
+/// cancelled) stay eligible so cancel exercises its no-op paths too.
+#[derive(Default)]
+struct Trio {
+    wheel: EventQueue<u32>,
+    heap: KeyHeapQueue<u32>,
+    reference: Reference,
+    handles: Vec<(TimerId, TimerId, u64)>,
+}
+
+impl Trio {
+    fn schedule(&mut self, delta_ns: u64, payload: u32) {
+        let at = self.wheel.now() + SimDuration::from_nanos(delta_ns);
+        let wid = self.wheel.schedule(at, payload);
+        let hid = self.heap.schedule(at, payload);
+        let seq = self.reference.schedule(at.as_nanos(), payload);
+        self.handles.push((wid, hid, seq));
+    }
+
+    fn cancel_nth(&mut self, pick: usize) {
+        if self.handles.is_empty() {
+            return;
+        }
+        let (wid, hid, seq) = self.handles[pick % self.handles.len()];
+        self.wheel.cancel(wid);
+        self.heap.cancel(hid);
+        self.reference.cancel(seq);
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let got_w = self.wheel.pop().map(|(t, p)| (t.as_nanos(), p));
+        let got_h = self.heap.pop().map(|(t, p)| (t.as_nanos(), p));
+        let want = self.reference.pop();
+        prop_assert_eq!(got_w, want, "wheel pop diverged from reference");
+        prop_assert_eq!(got_h, want, "key-heap pop diverged from reference");
+        want
+    }
+
+    fn check_observers(&mut self) {
+        prop_assert_eq!(self.wheel.len(), self.reference.live.len(), "wheel len");
+        prop_assert_eq!(self.heap.len(), self.reference.live.len(), "heap len");
+        prop_assert_eq!(self.wheel.is_empty(), self.reference.live.is_empty());
+        prop_assert_eq!(self.heap.is_empty(), self.reference.live.is_empty());
+        let want_peek = self.reference.peek_time();
+        prop_assert_eq!(
+            self.wheel.peek_time().map(|t| t.as_nanos()),
+            want_peek,
+            "wheel peek"
+        );
+        prop_assert_eq!(
+            self.heap.peek_time().map(|t| t.as_nanos()),
+            want_peek,
+            "heap peek"
+        );
+        prop_assert_eq!(
+            self.wheel.now().as_nanos(),
+            self.reference.now,
+            "wheel clock"
+        );
+        prop_assert_eq!(self.heap.now().as_nanos(), self.reference.now, "heap clock");
+    }
+
+    /// Drain everything left; all three must agree to the last event.
+    fn drain(&mut self) {
+        while self.pop().is_some() {}
+        prop_assert!(self.reference.pop().is_none(), "reference had leftovers");
+        prop_assert_eq!(self.wheel.len(), 0);
+        prop_assert_eq!(self.heap.len(), 0);
+    }
+}
+
 /// One splitmix64 step, for deriving op sequences from a proptest seed.
 fn mix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -59,23 +150,37 @@ fn mix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// The wheel's geometry, mirrored from `event.rs`: 1024 ns ticks, 64-slot
+/// levels, four levels. Deltas built from these hit slot seams exactly.
+const TICK_NS: u64 = 1 << 10;
+const SLOTS: u64 = 64;
+/// One full wheel span in nanoseconds; anything scheduled further out
+/// falls through to the far heap.
+const WHEEL_SPAN_NS: u64 = TICK_NS * SLOTS * SLOTS * SLOTS * SLOTS;
 
+/// Default 64 cases; CI raises this via `PROPTEST_CASES` (the
+/// hot-path differential gate uses ≥1000).
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Arbitrary interleavings of schedule / cancel / pop with mixed
+    /// magnitudes, the broad-spectrum property.
     #[test]
-    fn queue_matches_reference_under_arbitrary_interleavings(
+    fn three_way_agreement_under_arbitrary_interleavings(
         seed in 0u64..u64::MAX,
         ops in 100usize..600,
         cancel_weight in 1u64..6,
         horizon_ns in 1_000u64..1_000_000,
     ) {
         let mut state = seed;
-        let mut queue: EventQueue<u32> = EventQueue::new();
-        let mut reference = Reference::default();
-        // Handles of not-yet-popped schedules, kept in lockstep; stale
-        // entries (fired or cancelled) stay eligible so cancel exercises
-        // its no-op paths too.
-        let mut handles: Vec<(TimerId, u64)> = Vec::new();
+        let mut trio = Trio::default();
 
         for _ in 0..ops {
             match mix(&mut state) % (4 + cancel_weight) {
@@ -84,54 +189,196 @@ proptest! {
                 0..=2 => {
                     let delta = mix(&mut state) % horizon_ns;
                     let payload = mix(&mut state) as u32;
-                    let at = queue.now() + emptcp_sim::SimDuration::from_nanos(delta);
-                    let id = queue.schedule(at, payload);
-                    let seq = reference.schedule(at.as_nanos(), payload);
-                    handles.push((id, seq));
+                    trio.schedule(delta, payload);
                 }
                 // Pop one event.
                 3 => {
-                    let got = queue.pop();
-                    let want = reference.pop();
-                    prop_assert_eq!(
-                        got.map(|(t, p)| (t.as_nanos(), p)),
-                        want,
-                        "pop diverged"
-                    );
+                    trio.pop();
                 }
                 // Cancel a random handle — possibly already fired or
                 // already cancelled (both must be exact no-ops).
                 _ => {
-                    if handles.is_empty() {
-                        continue;
-                    }
-                    let pick = (mix(&mut state) as usize) % handles.len();
-                    let (id, seq) = handles[pick];
-                    queue.cancel(id);
-                    reference.cancel(seq);
+                    let pick = mix(&mut state) as usize;
+                    trio.cancel_nth(pick);
                 }
             }
             // Invariants checked after every step.
-            prop_assert_eq!(queue.len(), reference.live.len(), "len diverged");
-            prop_assert_eq!(queue.is_empty(), reference.live.is_empty());
-            prop_assert_eq!(
-                queue.peek_time().map(|t| t.as_nanos()),
-                reference.peek_time(),
-                "peek diverged"
-            );
-            prop_assert_eq!(queue.now().as_nanos(), reference.now, "clock diverged");
+            trio.check_observers();
         }
-
-        // Drain: remaining events must come out in exactly (time, seq)
-        // order with the right payloads.
-        while let Some((t, p)) = queue.pop() {
-            let want = reference.pop();
-            prop_assert_eq!(Some((t.as_nanos(), p)), want, "drain diverged");
-        }
-        prop_assert!(reference.pop().is_none(), "reference had leftovers");
-        prop_assert_eq!(queue.len(), 0);
+        trio.drain();
     }
 
+    /// Same-instant seams: bursts of events at identical timestamps —
+    /// including timestamps aligned exactly on tick, slot, and level
+    /// boundaries — must come out in schedule (FIFO) order from all three
+    /// queues. This is where (time, seq) total order does all the work.
+    #[test]
+    fn same_instant_bursts_preserve_fifo_order(
+        seed in 0u64..u64::MAX,
+        bursts in 2usize..30,
+        burst_len in 2usize..12,
+    ) {
+        let mut state = seed;
+        let mut trio = Trio::default();
+
+        for _ in 0..bursts {
+            // A burst target: either an arbitrary instant or one aligned
+            // on a wheel seam (tick edge, slot edge of each level).
+            let delta = match mix(&mut state) % 5 {
+                0 => mix(&mut state) % 1_000_000,
+                1 => (mix(&mut state) % 1_000) * TICK_NS,
+                2 => (mix(&mut state) % SLOTS + 1) * TICK_NS * SLOTS,
+                3 => (mix(&mut state) % SLOTS + 1) * TICK_NS * SLOTS * SLOTS,
+                _ => 0, // a burst exactly at `now`
+            };
+            for _ in 0..burst_len {
+                let payload = mix(&mut state) as u32;
+                trio.schedule(delta, payload);
+            }
+            // Interleave pops between bursts so same-instant groups are
+            // sometimes split across a cursor advance.
+            if mix(&mut state).is_multiple_of(2) {
+                trio.pop();
+                trio.check_observers();
+            }
+        }
+        trio.drain();
+    }
+
+    /// Far-future rollover: deltas straddling the wheel span exercise the
+    /// far-heap fallback and its migration back into the wheel as the
+    /// cursor advances past whole rotations; near events keep the wheel
+    /// busy in the foreground.
+    #[test]
+    fn far_future_events_survive_wheel_rollover(
+        seed in 0u64..u64::MAX,
+        ops in 30usize..150,
+    ) {
+        let mut state = seed;
+        let mut trio = Trio::default();
+
+        for _ in 0..ops {
+            match mix(&mut state) % 5 {
+                // Near-term foreground traffic.
+                0 | 1 => {
+                    let delta = mix(&mut state) % (TICK_NS * SLOTS);
+                    let payload = mix(&mut state) as u32;
+                    trio.schedule(delta, payload);
+                }
+                // Just inside / exactly at / beyond the wheel span.
+                2 => {
+                    let offset = mix(&mut state) % (2 * TICK_NS);
+                    let delta = (WHEEL_SPAN_NS - TICK_NS) + offset;
+                    let payload = mix(&mut state) as u32;
+                    trio.schedule(delta, payload);
+                }
+                // Deep future: several spans out.
+                3 => {
+                    let spans = 1 + mix(&mut state) % 3;
+                    let delta = WHEEL_SPAN_NS * spans + mix(&mut state) % WHEEL_SPAN_NS;
+                    let payload = mix(&mut state) as u32;
+                    trio.schedule(delta, payload);
+                }
+                // Pop — dragging the cursor toward (and eventually past)
+                // the far events, forcing their migration into the wheel.
+                _ => {
+                    trio.pop();
+                }
+            }
+            trio.check_observers();
+        }
+        trio.drain();
+    }
+
+    /// Cancel/re-arm storms: the timer-handle pattern every host uses —
+    /// cancel the previous handle and schedule a replacement, nearer or
+    /// farther, over and over, with pops interleaved. Cancellation of
+    /// already-fired and already-cancelled handles must stay a no-op.
+    #[test]
+    fn rearm_storms_agree(
+        seed in 0u64..u64::MAX,
+        rounds in 20usize..200,
+    ) {
+        let mut state = seed;
+        let mut trio = Trio::default();
+        // The "host timer": the latest live handle index, re-armed
+        // aggressively.
+        let mut armed: Option<usize> = None;
+
+        for _ in 0..rounds {
+            match mix(&mut state) % 4 {
+                // Re-arm: cancel the current handle (maybe stale), then
+                // schedule the replacement at a fresh deadline.
+                0 | 1 => {
+                    if let Some(idx) = armed {
+                        trio.cancel_nth(idx);
+                    }
+                    let delta = mix(&mut state) % (TICK_NS * SLOTS * 4);
+                    let payload = mix(&mut state) as u32;
+                    trio.schedule(delta, payload);
+                    armed = Some(trio.handles.len() - 1);
+                }
+                // Background event the storm has to coexist with.
+                2 => {
+                    let delta = mix(&mut state) % 1_000_000;
+                    let payload = mix(&mut state) as u32;
+                    trio.schedule(delta, payload);
+                }
+                _ => {
+                    trio.pop();
+                }
+            }
+            trio.check_observers();
+        }
+        trio.drain();
+    }
+
+    /// Pops interleaved with fresh schedules mid-rotation: every pop is
+    /// followed by schedules whose deltas are biased to land in the slot
+    /// band the cursor is currently draining (small multiples of the slot
+    /// spans, offset by a few ticks). This is the exact class that once
+    /// made an upper-level slot re-fill itself while being drained; the
+    /// strict-descent drain rule is pinned here.
+    #[test]
+    fn mid_rotation_schedules_terminate_and_agree(
+        seed in 0u64..u64::MAX,
+        rounds in 30usize..200,
+    ) {
+        let mut state = seed;
+        let mut trio = Trio::default();
+
+        // Prime the wheel across all levels.
+        for lvl_span in [TICK_NS, TICK_NS * SLOTS, TICK_NS * SLOTS * SLOTS] {
+            for k in 1..4u64 {
+                let payload = mix(&mut state) as u32;
+                trio.schedule(lvl_span * k, payload);
+            }
+        }
+
+        for _ in 0..rounds {
+            trio.pop();
+            // Schedule into the alias band of the just-advanced cursor:
+            // deltas a hair under whole slot spans land in slots whose
+            // residue matches the cursor's own position.
+            let n = 1 + mix(&mut state) % 3;
+            for _ in 0..n {
+                let span = match mix(&mut state) % 3 {
+                    0 => TICK_NS * SLOTS,
+                    1 => TICK_NS * SLOTS * SLOTS,
+                    _ => TICK_NS * SLOTS * SLOTS * SLOTS,
+                };
+                let jitter = mix(&mut state) % (4 * TICK_NS);
+                let delta = span - 2 * TICK_NS + jitter;
+                let payload = mix(&mut state) as u32;
+                trio.schedule(delta, payload);
+            }
+            trio.check_observers();
+        }
+        trio.drain();
+    }
+
+    /// Clock sanity on the wheel alone: pop times are monotone and the
+    /// queue clock tracks them.
     #[test]
     fn clock_is_monotone_and_matches_pop_times(
         seed in 0u64..u64::MAX,

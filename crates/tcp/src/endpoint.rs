@@ -695,23 +695,28 @@ impl TcpEndpoint {
         self.apply_sack(seg);
         if seg.ack > self.snd_una {
             let newly_acked = seg.ack - self.snd_una;
-            // Drop fully-acked segments from the retransmission store.
-            let gone: Vec<u64> = self
-                .inflight
-                .range(..seg.ack)
-                .filter(|(&s, e)| s + e.space() <= seg.ack)
-                .map(|(&s, _)| s)
-                .collect();
+            // Drop fully-acked segments from the retransmission store with a
+            // single tree split. Inflight segments never overlap, so of the
+            // detached entries only the last can straddle the ACK point; it
+            // stays inflight and goes back in.
+            let mut acked = {
+                let keep = self.inflight.split_off(&seg.ack);
+                std::mem::replace(&mut self.inflight, keep)
+            };
+            if let Some((&s, e)) = acked.last_key_value() {
+                if s + e.space() > seg.ack {
+                    let (s, e) = acked.pop_last().expect("entry just observed");
+                    self.inflight.insert(s, e);
+                }
+            }
             let mut payload_acked = 0u64;
-            for s in gone {
-                if let Some(e) = self.inflight.remove(&s) {
-                    payload_acked += e.payload as u64;
-                    if e.sacked {
-                        self.sacked_bytes -= e.space();
-                    }
-                    if e.lost {
-                        self.lost_bytes -= e.space();
-                    }
+            for e in acked.values() {
+                payload_acked += e.payload as u64;
+                if e.sacked {
+                    self.sacked_bytes -= e.space();
+                }
+                if e.lost {
+                    self.lost_bytes -= e.space();
                 }
             }
             self.snd_una = seg.ack;
@@ -1077,6 +1082,19 @@ impl TcpEndpoint {
             self.cc.restart_after_idle(periods as u32);
             // Don't re-trigger until there's new activity.
             self.last_send_time = now;
+        }
+    }
+
+    /// Replay the clock-driven side effect of a [`poll_transmit`] pass
+    /// that comes up empty: RFC 2861 idle validation, which an empty pass
+    /// reaches only once the connection is established. Lets a caller that
+    /// knows the endpoint has nothing to say skip the full transmit walk
+    /// without perturbing the idle-restart schedule.
+    ///
+    /// [`poll_transmit`]: Self::poll_transmit
+    pub fn idle_tick(&mut self, now: SimTime) {
+        if self.state == TcpState::Established {
+            self.maybe_validate_cwnd(now);
         }
     }
 

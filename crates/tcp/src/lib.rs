@@ -21,8 +21,10 @@ pub mod cc;
 pub mod endpoint;
 pub mod rtt;
 pub mod segment;
+pub mod slab;
 
 pub use cc::{CcAlgorithm, CongestionCtrl};
 pub use endpoint::{DeliveredRange, TcpConfig, TcpEndpoint, TcpState};
 pub use rtt::RttEstimator;
 pub use segment::{Dss, SegFlags, Segment};
+pub use slab::{SegRef, SegSlabStats, SegmentSlab};
