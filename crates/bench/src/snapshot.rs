@@ -9,7 +9,10 @@
 //!   `fig16+fig14` job is one metric);
 //! * **micro** — median nanoseconds per iteration of the hot-path
 //!   building blocks (event queue, RNG, EIB lookup, predictor update,
-//!   scheduler decision, an end-to-end transfer).
+//!   scheduler decision, an end-to-end transfer);
+//! * **rates** — higher-is-better throughput figures, currently
+//!   `sim_pkts_per_sec`: packets the sharded fleet engine forwards per
+//!   wall-clock second (the fleet-scale headline number).
 //!
 //! Raw wall-clock numbers are not comparable across machines, so every
 //! snapshot also records a **calibration** measurement: the median time
@@ -24,18 +27,20 @@
 use emptcp_expr::figures::Config;
 use emptcp_expr::repro::{self, ReproOptions};
 use emptcp_expr::runner::Runner;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-/// Format version of `BENCH.json`.
-pub const SCHEMA: u32 = 1;
+/// Format version of `BENCH.json`. Bumped to 2 when the higher-is-better
+/// `rates` family joined the snapshot (schema-1 files parse with an empty
+/// family, so a stale baseline reads as "rates missing", not a crash).
+pub const SCHEMA: u32 = 2;
 
 /// Ratio past which a normalized metric counts as a regression.
 pub const DEFAULT_TOLERANCE: f64 = 2.0;
 
 /// One benchmark snapshot, as serialized to `BENCH.json`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct Snapshot {
     /// Format version ([`SCHEMA`]).
     pub schema: u32,
@@ -46,6 +51,32 @@ pub struct Snapshot {
     pub exhibits: BTreeMap<String, f64>,
     /// Median nanoseconds per iteration of each micro-benchmark.
     pub micro: BTreeMap<String, f64>,
+    /// Higher-is-better throughput metrics (units per wall second); the
+    /// regression gate inverts the ratio for this family.
+    pub rates: BTreeMap<String, f64>,
+}
+
+// Hand-rolled so a schema-1 baseline (no `rates` key) still parses, with
+// the family defaulting to empty.
+impl serde::Deserialize for Snapshot {
+    fn from_value(v: &serde::Value) -> Result<Snapshot, serde::Error> {
+        let serde::Value::Object(m) = v else {
+            return Err(serde::Error::new(format!(
+                "expected object for Snapshot, got {v:?}"
+            )));
+        };
+        let field = |name: &str| m.get(name).unwrap_or(&serde::Value::Null);
+        Ok(Snapshot {
+            schema: serde::Deserialize::from_value(field("schema"))?,
+            calibration_ns: serde::Deserialize::from_value(field("calibration_ns"))?,
+            exhibits: serde::Deserialize::from_value(field("exhibits"))?,
+            micro: serde::Deserialize::from_value(field("micro"))?,
+            rates: match field("rates") {
+                serde::Value::Null => BTreeMap::new(),
+                other => serde::Deserialize::from_value(other)?,
+            },
+        })
+    }
 }
 
 /// Outcome of comparing a fresh snapshot against a baseline.
@@ -355,6 +386,31 @@ fn micro_benches() -> BTreeMap<String, f64> {
     micro
 }
 
+fn rate_benches() -> BTreeMap<String, f64> {
+    use emptcp_net::{FleetConfig, ShardedFleetSim};
+    use emptcp_sim::SimDuration;
+    let mut rates = BTreeMap::new();
+    // Simulator throughput: packets the sharded fleet engine forwards per
+    // wall-clock second, on a contended 64-client fleet split 4 ways. The
+    // packet count is deterministic (it is part of the FleetReport); only
+    // the wall clock varies, so the best of three runs is the measurement
+    // least polluted by scheduler noise.
+    let mut cfg = FleetConfig::contended(64, crate::BENCH_SEED);
+    cfg.duration = SimDuration::from_secs(2);
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let mut sim = ShardedFleetSim::new(cfg.clone(), 4);
+        let start = Instant::now();
+        let report = sim.run();
+        let secs = start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            best = best.max(report.packets_forwarded as f64 / secs);
+        }
+    }
+    rates.insert("sim_pkts_per_sec".to_string(), best);
+    rates
+}
+
 fn exhibit_benches(out_dir: &std::path::Path) -> std::io::Result<BTreeMap<String, f64>> {
     let ids: Vec<String> = repro::IDS.iter().map(|s| s.to_string()).collect();
     let opts = ReproOptions {
@@ -380,11 +436,21 @@ pub fn collect(scratch_dir: &std::path::Path) -> std::io::Result<Snapshot> {
         calibration_ns: calibrate(),
         exhibits: exhibit_benches(scratch_dir)?,
         micro: micro_benches(),
+        rates: rate_benches(),
     })
+}
+
+/// Which way a metric family points: `Time` regresses when the new value
+/// grows, `Rate` regresses when it shrinks.
+#[derive(Clone, Copy)]
+enum Direction {
+    Time,
+    Rate,
 }
 
 fn compare_family(
     family: &str,
+    direction: Direction,
     base: &BTreeMap<String, f64>,
     fresh: &BTreeMap<String, f64>,
     scale: f64,
@@ -396,7 +462,14 @@ fn compare_family(
         match fresh.get(name) {
             None => out.missing.push(metric),
             Some(&new_val) if base_val > 0.0 && new_val > 0.0 => {
-                let ratio = (new_val / base_val) * scale;
+                // Both ratios are "worseness": >1 means the fresh snapshot
+                // is slower. A rate on a 2x-slower machine is expected to
+                // halve, and `scale` (base_calib/fresh_calib) halves too,
+                // so the same factor normalizes both directions.
+                let ratio = match direction {
+                    Direction::Time => (new_val / base_val) * scale,
+                    Direction::Rate => (base_val / new_val) * scale,
+                };
                 let line =
                     format!("{metric}: {base_val:.1} -> {new_val:.1} (x{ratio:.2} normalized)");
                 if ratio > tolerance {
@@ -431,6 +504,7 @@ pub fn compare(base: &Snapshot, fresh: &Snapshot, tolerance: f64) -> Comparison 
     let mut out = Comparison::default();
     compare_family(
         "exhibits",
+        Direction::Time,
         &base.exhibits,
         &fresh.exhibits,
         scale,
@@ -439,8 +513,18 @@ pub fn compare(base: &Snapshot, fresh: &Snapshot, tolerance: f64) -> Comparison 
     );
     compare_family(
         "micro",
+        Direction::Time,
         &base.micro,
         &fresh.micro,
+        scale,
+        tolerance,
+        &mut out,
+    );
+    compare_family(
+        "rates",
+        Direction::Rate,
+        &base.rates,
+        &fresh.rates,
         scale,
         tolerance,
         &mut out,
@@ -458,6 +542,17 @@ mod tests {
             calibration_ns: calib,
             exhibits: BTreeMap::new(),
             micro: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            rates: BTreeMap::new(),
+        }
+    }
+
+    fn rate_snap(calib: f64, pairs: &[(&str, f64)]) -> Snapshot {
+        Snapshot {
+            schema: SCHEMA,
+            calibration_ns: calib,
+            exhibits: BTreeMap::new(),
+            micro: BTreeMap::new(),
+            rates: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         }
     }
 
@@ -505,6 +600,42 @@ mod tests {
         let cmp = compare(&base, &fresh, DEFAULT_TOLERANCE);
         assert!(!cmp.failed());
         assert_eq!(cmp.improvements.len(), 1);
+    }
+
+    #[test]
+    fn rate_regressions_invert_the_ratio() {
+        // Rate halved on the same machine: 2x worse, at the gate's edge —
+        // push slightly past to trip it.
+        let base = rate_snap(100.0, &[("pkts", 1000.0)]);
+        let fresh = rate_snap(100.0, &[("pkts", 450.0)]);
+        let cmp = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(cmp.regressions.len(), 1, "{cmp:?}");
+        // Rate doubled-plus: an improvement, not a regression.
+        let faster = rate_snap(100.0, &[("pkts", 2500.0)]);
+        let cmp = compare(&base, &faster, DEFAULT_TOLERANCE);
+        assert!(!cmp.failed(), "{cmp:?}");
+        assert_eq!(cmp.improvements.len(), 1);
+    }
+
+    #[test]
+    fn calibration_excuses_a_slow_machine_for_rates_too() {
+        // Machine 3x slower (calibration 3x bigger), rate 3x smaller:
+        // normalized ratio is 1.0.
+        let base = rate_snap(100.0, &[("pkts", 900.0)]);
+        let fresh = rate_snap(300.0, &[("pkts", 300.0)]);
+        let cmp = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!cmp.failed(), "{cmp:?}");
+    }
+
+    #[test]
+    fn schema_one_baselines_parse_without_rates() {
+        let old = r#"{"schema":1,"calibration_ns":100.0,"exhibits":{},"micro":{"a":1.0}}"#;
+        let snap: Snapshot = serde_json::from_str(old).expect("schema-1 parses");
+        assert!(snap.rates.is_empty());
+        // A fresh snapshot's rates then surface as "added", not a crash.
+        let fresh = rate_snap(100.0, &[("pkts", 10.0)]);
+        let cmp = compare(&snap, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(cmp.added, vec!["rates.pkts"]);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! repro --trace fig5      also write <out>/<id>.trace.jsonl
 //! repro fleet --trace fleet.jsonl   record one exhibit to an explicit path
 //! repro --clients 100 fleet   size the fleet exhibit's client count
+//! repro --clients 1000000 --shards 8 fleet   sharded million-stack run
 //! repro monitor --clients 16 --duration-s 4   live fleet dashboard
 //! ```
 //!
@@ -104,6 +105,7 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut jobs: Option<usize> = None;
     let mut clients: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter().peekable();
@@ -156,13 +158,21 @@ fn main() {
                         .expect("--clients needs a positive integer"),
                 );
             }
+            "--shards" => {
+                shards = Some(
+                    it.next()
+                        .expect("--shards needs a value")
+                        .parse()
+                        .expect("--shards needs a positive integer"),
+                );
+            }
             "all" => ids.extend(repro::IDS.iter().map(|s| s.to_string())),
             other => ids.push(other.to_string()),
         }
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: repro [--quick] [--quiet] [--trace [PATH]] [--jobs N] [--clients N] [--out DIR] (all | <id>...)"
+            "usage: repro [--quick] [--quiet] [--trace [PATH]] [--jobs N] [--clients N] [--shards N] [--out DIR] (all | <id>...)"
         );
         eprintln!(
             "       repro monitor [--clients N] [--seed N] [--duration-s X] [--record PATH] ..."
@@ -190,6 +200,7 @@ fn main() {
     if let Some(clients) = clients {
         cfg.fleet_clients = clients;
     }
+    cfg.fleet_shards = shards;
     ids.dedup();
     if trace_path.is_some() && ids.len() != 1 {
         eprintln!(

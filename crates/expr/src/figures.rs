@@ -35,6 +35,11 @@ pub struct Config {
     pub wild_iterations: u32,
     /// Client stacks in the fleet exhibit's shared-bottleneck run.
     pub fleet_clients: usize,
+    /// Shard count for the fleet exhibit's sharded engine; `None` picks a
+    /// deterministic default from `fleet_clients`. The report is
+    /// byte-identical for every value, so this is purely a wall-clock
+    /// knob (`repro --shards N`).
+    pub fleet_shards: Option<usize>,
     /// Root seed.
     pub seed: u64,
 }
@@ -48,6 +53,7 @@ impl Config {
             large_size: 16 * MB,
             wild_iterations: 10,
             fleet_clients: 100,
+            fleet_shards: None,
             seed: 0xE0_07C9,
         }
     }
@@ -60,8 +66,19 @@ impl Config {
             large_size: 2 * MB,
             wild_iterations: 1,
             fleet_clients: 32,
+            fleet_shards: None,
             seed: 0xE0_07C9,
         }
+    }
+
+    /// The shard count the fleet exhibit runs with: the explicit
+    /// `fleet_shards` override, else a deterministic function of the
+    /// population (8 shards once the fleet is large enough for the
+    /// partition to pay for its barriers, 1 below that). Never depends on
+    /// the worker pool, so `--jobs` cannot change the output.
+    pub fn fleet_shard_count(&self) -> usize {
+        self.fleet_shards
+            .unwrap_or(if self.fleet_clients >= 1024 { 8 } else { 1 })
     }
 }
 
@@ -1159,14 +1176,25 @@ pub fn sweep_kappa(cfg: &Config) -> FigureOutput {
 /// harm" story at population scale; the uncoupled row is the ablation
 /// showing what coupling buys the single-path clients.
 pub fn fleet(cfg: &Config) -> FigureOutput {
-    use emptcp_net::{FleetConfig, FleetSim};
+    use emptcp_net::{FleetConfig, ShardedFleetSim};
     let variants = [("MPTCP (LIA)", true), ("MPTCP uncoupled", false)];
-    let reports = sweep_points(variants.len(), |i| {
-        let mut fc = FleetConfig::contended(cfg.fleet_clients, cfg.seed);
-        fc.duration = SimDuration::from_secs(5);
-        fc.coupled = variants[i].1;
-        FleetSim::new_with_telemetry(fc, emptcp_telemetry::current()).run()
-    });
+    let shards = cfg.fleet_shard_count();
+    // Variants run sequentially; parallelism lives *inside* each run,
+    // where the sharded engine fans every epoch's shards out across the
+    // worker pool. The report is byte-identical for every (jobs, shards).
+    let reports: Vec<_> = variants
+        .iter()
+        .map(|&(_, coupled)| {
+            let mut fc = FleetConfig::contended(cfg.fleet_clients, cfg.seed);
+            fc.duration = SimDuration::from_secs(5);
+            fc.coupled = coupled;
+            ShardedFleetSim::new_with_telemetry(fc, shards, emptcp_telemetry::current())
+                .run_with(&RunnerShardExecutor)
+        })
+        .collect();
+    // The shard count must NOT appear in the table or payload: exports
+    // are diffed across `--shards` values to certify the partition is
+    // invisible.
     let mut t = Table::new(
         format!(
             "Extension: {} clients share a 100 Mbps core (fleet harness)",
@@ -1182,6 +1210,7 @@ pub fn fleet(cfg: &Config) -> FigureOutput {
             "drops",
             "ECN marks",
             "peak queue kB",
+            "pkts forwarded",
         ],
     );
     let mut payload = Vec::new();
@@ -1196,10 +1225,23 @@ pub fn fleet(cfg: &Config) -> FigureOutput {
             r.bottleneck_drops.to_string(),
             r.bottleneck_ecn_marks.to_string(),
             (r.bottleneck_peak_queue_bytes >> 10).to_string(),
+            r.packets_forwarded.to_string(),
         ]);
         payload.push((label.to_string(), r.clone()));
     }
     FigureOutput::new("fleet", vec![t], payload)
+}
+
+/// Bridge from the experiment runner's worker pool to the sharded fleet
+/// engine: each epoch's shard closures fan out as indexed points on the
+/// [`runner::current`] pool (and, like every other exhibit, fall back to
+/// the calling thread while a trace is being recorded).
+struct RunnerShardExecutor;
+
+impl emptcp_net::ShardExecutor for RunnerShardExecutor {
+    fn run_indexed(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        runner::run_points(n, f);
+    }
 }
 
 /// Extension: the minimal "do no harm" cell — one MPTCP client (two

@@ -106,13 +106,15 @@ pub struct ExhibitReport {
     pub wall_s: f64,
 }
 
-/// `conn3` / `sf1` / `router0` / `port5` style path segments name an
-/// instance, not a family.
+/// `conn3` / `sf1` / `router0` / `port5` / `shard2` style path segments
+/// name an instance, not a family.
 fn is_instance_segment(seg: &str) -> bool {
-    ["conn", "sf", "router", "port"].iter().any(|prefix| {
-        seg.strip_prefix(prefix)
-            .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
-    })
+    ["conn", "sf", "router", "port", "shard"]
+        .iter()
+        .any(|prefix| {
+            seg.strip_prefix(prefix)
+                .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+        })
 }
 
 /// Sum every per-connection/per-subflow counter into its stack-level

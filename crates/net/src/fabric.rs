@@ -179,6 +179,15 @@ impl Fabric {
         self.ports.iter().map(|p| p.link().dropped_queue()).sum()
     }
 
+    /// Total packets forwarded across all ports — the fleet report's
+    /// deterministic work measure.
+    pub fn total_delivered_packets(&self) -> u64 {
+        self.ports
+            .iter()
+            .map(|p| p.link().delivered_packets())
+            .sum()
+    }
+
     /// Total ECN marks across all ports.
     pub fn total_ecn_marks(&self) -> u64 {
         self.ports.iter().map(|p| p.ecn_marked()).sum()

@@ -19,6 +19,7 @@
 //! out across worker threads without changing the output.
 
 use crate::fabric::{Fabric, Hop};
+use crate::reduce;
 use crate::topology::{NodeId, TopologyBuilder};
 use emptcp_faults::injector::FaultInjector;
 use emptcp_faults::{FaultPlan, FaultTarget};
@@ -154,6 +155,11 @@ pub enum FleetConfigError {
     /// Cross-traffic sources were requested with a zero offered rate, so
     /// their next-emission interval is undefined.
     SilentCrossTraffic,
+    /// Every cross-shard link has zero propagation delay, so the sharded
+    /// engine's conservative lookahead bound is zero and epochs cannot
+    /// make progress. Only [`ShardedFleetSim`](crate::shard::ShardedFleetSim)
+    /// construction reports this; the unsharded engine accepts the config.
+    NoLookahead,
 }
 
 impl fmt::Display for FleetConfigError {
@@ -172,6 +178,10 @@ impl fmt::Display for FleetConfigError {
             FleetConfigError::SilentCrossTraffic => write!(
                 f,
                 "fleet config requests cross-traffic sources with a zero offered rate"
+            ),
+            FleetConfigError::NoLookahead => write!(
+                f,
+                "fleet config has no cross-shard link latency to bound epochs (zero lookahead)"
             ),
         }
     }
@@ -211,9 +221,12 @@ pub struct FleetReport {
     pub cross_packets: u64,
     /// Fault events applied (0 without an attached plan).
     pub faults_injected: u64,
+    /// Packets forwarded across every port in the run — the deterministic
+    /// numerator of the `sim_pkts_per_sec` throughput benchmark.
+    pub packets_forwarded: u64,
 }
 
-const CLIENT_REQUEST_BYTES: u64 = 400;
+pub(crate) const CLIENT_REQUEST_BYTES: u64 = 400;
 
 struct ClientStack {
     client: MpConnection,
@@ -270,6 +283,9 @@ pub struct FleetSim {
     telemetry: Telemetry,
     /// In-flight segments, one per queued [`Event::Hop`].
     seg_slab: SegmentSlab,
+    /// Report-assembly buffer, sized once from the config so end-of-run
+    /// summarization allocates nothing beyond the report it hands back.
+    per_client_buf: Vec<f64>,
 }
 
 impl FleetSim {
@@ -417,6 +433,7 @@ impl FleetSim {
             faults_applied: 0,
             telemetry,
             seg_slab: SegmentSlab::new(),
+            per_client_buf: Vec::with_capacity(stack_count),
         };
         for i in 0..sim.cross.len() {
             let at = sim.cross[i].next_event();
@@ -710,65 +727,37 @@ impl FleetSim {
         self.seg_slab.stats()
     }
 
-    fn report(&self) -> FleetReport {
+    fn report(&mut self) -> FleetReport {
         let secs = self.cfg.duration.as_secs_f64();
-        let mbps = |bytes: u64| bytes as f64 * 8.0 / secs / 1e6;
-        let per_client: Vec<f64> = self
-            .stacks
-            .iter()
-            .map(|s| {
-                // Goodput is response payload only; the 400 B request rides
-                // the other direction and is excluded by construction.
-                mbps(s.client.bytes_delivered())
-            })
-            .collect();
-        let mean = |xs: &[f64]| {
-            if xs.is_empty() {
-                0.0
-            } else {
-                xs.iter().sum::<f64>() / xs.len() as f64
-            }
-        };
-        let mptcp: Vec<f64> = per_client
-            .iter()
-            .zip(&self.stacks)
-            .filter(|(_, s)| s.mptcp)
-            .map(|(&x, _)| x)
-            .collect();
-        let tcp: Vec<f64> = per_client
-            .iter()
-            .zip(&self.stacks)
-            .filter(|(_, s)| !s.mptcp)
-            .map(|(&x, _)| x)
-            .collect();
-        let (m_mean, t_mean) = (mean(&mptcp), mean(&tcp));
-        let sum: f64 = per_client.iter().sum();
-        let sq_sum: f64 = per_client.iter().map(|x| x * x).sum();
-        let jain = if sq_sum > 0.0 {
-            sum * sum / (per_client.len() as f64 * sq_sum)
-        } else {
-            0.0
-        };
+        self.per_client_buf.clear();
+        // Goodput is response payload only; the 400 B request rides the
+        // other direction and is excluded by construction. The fold runs
+        // in ascending client id — the fixed reduction order the sharded
+        // engine reproduces regardless of its partition.
+        self.per_client_buf.extend(
+            self.stacks
+                .iter()
+                .map(|s| reduce::mbps(s.client.bytes_delivered(), secs)),
+        );
+        let stacks = &self.stacks;
+        let stats = reduce::fairness_stats(&self.per_client_buf, |i| stacks[i].mptcp);
         let bp = self.fabric.port(self.bottleneck_port);
         FleetReport {
             clients: self.cfg.clients,
             duration_s: secs,
-            aggregate_mbps: sum,
-            mptcp_mean_mbps: m_mean,
-            tcp_mean_mbps: t_mean,
-            mptcp_tcp_ratio: if t_mean > 0.0 && m_mean > 0.0 {
-                m_mean / t_mean
-            } else {
-                0.0
-            },
-            jain_index: jain,
+            aggregate_mbps: stats.aggregate_mbps,
+            mptcp_mean_mbps: stats.mptcp_mean_mbps,
+            tcp_mean_mbps: stats.tcp_mean_mbps,
+            mptcp_tcp_ratio: stats.mptcp_tcp_ratio,
+            jain_index: stats.jain_index,
             bottleneck_drops: bp.link().dropped_queue(),
             bottleneck_ecn_marks: bp.ecn_marked(),
             bottleneck_peak_queue_bytes: bp.peak_queue_bytes(),
             total_queue_drops: self.fabric.total_queue_drops(),
             cross_packets: self.cross_packets,
             faults_injected: self.faults_applied,
-            per_client_mbps: per_client,
+            packets_forwarded: self.fabric.total_delivered_packets(),
+            per_client_mbps: std::mem::take(&mut self.per_client_buf),
         }
     }
 }

@@ -13,15 +13,25 @@
 //! [`SimRng`](emptcp_sim::SimRng) streams, so a fleet run is a pure
 //! function of its config and seed — the property the parallel experiment
 //! runner relies on for byte-identical output at any `--jobs` level.
+//!
+//! For populations beyond what one event queue can turn over, [`shard`]
+//! partitions the fleet into conservative-lookahead shards over flyweight
+//! struct-of-arrays client rows ([`ShardedFleetSim`]), preserving
+//! byte-identical reports and traces for every `(jobs, shards)`
+//! combination; [`reduce`] holds the fixed-order report reductions both
+//! engines share.
 
 #![warn(missing_docs)]
 
 pub mod fabric;
 pub mod fleet;
 pub mod port;
+pub mod reduce;
+pub mod shard;
 pub mod topology;
 
 pub use fabric::{Fabric, Hop};
-pub use fleet::{FleetConfig, FleetReport, FleetSim};
+pub use fleet::{FleetConfig, FleetConfigError, FleetReport, FleetSim};
 pub use port::{Port, PortOutcome};
+pub use shard::{lookahead, SerialExecutor, ShardExecutor, ShardedFleetSim};
 pub use topology::{NodeId, NodeKind, Topology, TopologyBuilder};

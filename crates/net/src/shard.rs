@@ -1,0 +1,1402 @@
+//! Sharded fleet engine: conservative-lookahead epochs over flyweight
+//! client rows.
+//!
+//! [`ShardedFleetSim`] runs the same star-shaped population as
+//! [`FleetSim`](crate::fleet::FleetSim) — N mixed TCP/MPTCP client stacks
+//! answered by per-client server endpoints through one shared core
+//! bottleneck, with optional cross-traffic and core fault injection — but
+//! partitions the fleet so it scales to a million clients:
+//!
+//! * **Shards.** Clients are split into contiguous blocks. Each shard owns
+//!   its own [`EventQueue`] timing wheel, [`SegmentSlab`], telemetry
+//!   pipeline and per-client RNG streams; a dedicated *core* shard owns the
+//!   shared bottleneck port, the reverse (ack) core port, the cross-traffic
+//!   sources and the fault injector. No state is shared between shards
+//!   inside an epoch, so shards execute on independent workers.
+//!
+//! * **Conservative lookahead.** Every packet crossing a shard boundary
+//!   traverses a link whose propagation delay is at least Δ — the minimum
+//!   over the server backbone, the access links in use and the core
+//!   bottleneck ([`lookahead`] computes it; construction fails with
+//!   [`FleetConfigError::NoLookahead`] when it is zero). Shards therefore
+//!   advance in epochs of length Δ ([`EpochClock`]): a message generated at
+//!   time `t` inside epoch `k` arrives at `t + Δ ≥ (k+1)·Δ`, i.e. at or
+//!   after the barrier every shard synchronizes on, so no shard ever sees
+//!   an event from its past. Cross-shard segments ride outboxes drained at
+//!   the barrier.
+//!
+//! * **Canonical event keys.** Determinism across `(jobs, shards)` hinges
+//!   on same-instant ordering being a pure function of the *simulation*,
+//!   not the partition. Every scheduled event carries a caller-assigned
+//!   key `(class, owner, seq)` — owner 0 is the core, owner `i + 1` is
+//!   client `i`, `seq` counts that owner's schedules — installed with
+//!   [`EventQueue::schedule_keyed`]. An owner's schedule sequence depends
+//!   only on its own history, so the key of every event is identical for
+//!   every shard count, and so is the pop order. There is **no** special
+//!   single-shard code path: `shards == 1` runs the identical epoch and
+//!   barrier machinery, which is what makes it the differential reference.
+//!
+//! * **Flyweight rows.** Per-client hot state lives in struct-of-arrays
+//!   columns ([`Rows`]): connection endpoints, the six per-client ports,
+//!   armed-timer slots, key counters and RNG streams are parallel vectors
+//!   indexed by the client's local row. There is no topology graph, no
+//!   routing table and no per-client name strings — the star's next hop is
+//!   closed-form — which is what drops per-client footprint enough for
+//!   `--clients 1000000` to complete.
+//!
+//! Traces stay byte-identical across shard counts: each shard's pipeline
+//! tags every record with the key of the driving event, and the records
+//! are merged into the outer pipeline at end of run by a stable sort on
+//! `(time, key)`. Per-shard pipelines run with invariant checking off; the
+//! engine's aggregate invariant (segment-slab balance) is checked on the
+//! outer pipeline, and chaos certification continues to ride the unsharded
+//! engine.
+
+use crate::fleet::{FleetConfig, FleetConfigError, FleetReport, CLIENT_REQUEST_BYTES};
+use crate::port::{Port, PortOutcome};
+use crate::reduce;
+use crate::topology::NodeId;
+use emptcp_faults::injector::{FaultInjector, FaultSurface};
+use emptcp_faults::{FaultPlan, FaultTarget};
+use emptcp_mptcp::{MpConnection, Role, SubflowId};
+use emptcp_phy::modulation::OnOff;
+use emptcp_phy::{IfaceKind, LinkConfig, LossModel};
+use emptcp_sim::{EpochClock, EventQueue, SimDuration, SimRng, SimTime, TimerId};
+use emptcp_tcp::{CcAlgorithm, SegRef, SegSlabStats, Segment, SegmentSlab, TcpConfig};
+use emptcp_telemetry::{shard_metric, Telemetry, TelemetryScope, TraceEvent, TraceSink};
+use emptcp_workload::CrossTrafficSource;
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------
+// Canonical event keys
+// ---------------------------------------------------------------------
+
+/// Fault-injector polls: applied before any same-instant packet event.
+const CLASS_FAULT: u64 = 0;
+/// Build-time and initial-drain trace tags (never queue keys).
+const CLASS_INIT: u64 = 1;
+/// Ordinary scheduled events.
+const CLASS_EVENT: u64 = 2;
+/// End-of-run finalization trace tags (never queue keys).
+const CLASS_FINAL: u64 = 3;
+
+/// The core shard's owner id; client `i` is owner `i + 1`.
+const CORE_OWNER: u32 = 0;
+
+/// Pack `(class, owner, seq)` into the canonical 64-bit ordering key:
+/// 2 bits of class, 30 bits of owner, 32 bits of per-owner sequence.
+fn pack(class: u64, owner: u32, seq: u32) -> u64 {
+    debug_assert!(owner < (1 << 30));
+    class << 62 | (owner as u64) << 32 | seq as u64
+}
+
+// Stable per-client port labels for trace events and metrics.
+const P_SRV_EGRESS: u32 = 0;
+const P_SRV_INGRESS: u32 = 1;
+const P_DOWN_A: u32 = 2;
+const P_UP_A: u32 = 3;
+const P_DOWN_B: u32 = 4;
+const P_UP_B: u32 = 5;
+// Core shard port labels (router 0).
+const P_BOTTLENECK: u32 = 0;
+const P_REVERSE: u32 = 1;
+const P_CROSS_SINK: u32 = 2;
+
+/// The conservative lookahead bound Δ for a fleet config: the minimum
+/// propagation delay over every link a cross-shard packet can traverse as
+/// its boundary hop — the 1 ms server backbone, the access links in use,
+/// and the core bottleneck (whose delay bounds both core-egress
+/// directions). Fault actions can only *add* delay
+/// ([`Port::set_extra_delay`]) or drop packets, never shorten propagation,
+/// so the bound holds under any fault plan.
+pub fn lookahead(cfg: &FleetConfig) -> SimDuration {
+    let mut d = SERVER_LINK_PROP.min(cfg.bottleneck.prop_delay);
+    d = d.min(cfg.access_a.prop_delay);
+    if cfg.mptcp_every != 0 {
+        d = d.min(cfg.access_b.prop_delay);
+    }
+    d
+}
+
+/// Server-side backbone propagation (mirrors the unsharded harness).
+const SERVER_LINK_PROP: SimDuration = SimDuration::from_millis(1);
+
+// ---------------------------------------------------------------------
+// Executors
+// ---------------------------------------------------------------------
+
+/// Runs the per-epoch shard closures. Implementations only promise that
+/// every index in `0..n` is invoked exactly once before returning; order
+/// and parallelism are theirs to choose — the engine's output is
+/// byte-identical either way.
+pub trait ShardExecutor: Sync {
+    /// Invoke `f(i)` for every `i` in `0..n`.
+    fn run_indexed(&self, n: usize, f: &(dyn Fn(usize) + Sync));
+}
+
+/// The trivial executor: runs every shard on the calling thread.
+pub struct SerialExecutor;
+
+impl ShardExecutor for SerialExecutor {
+    fn run_indexed(&self, n: usize, f: &(dyn Fn(usize) + Sync)) {
+        for i in 0..n {
+            f(i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trace taps
+// ---------------------------------------------------------------------
+
+/// Per-shard trace sink: records every event with the key of the driving
+/// event, so the end-of-run merge can re-serialize all shards' records
+/// into one deterministic `(time, key)` order.
+#[derive(Default)]
+struct ShardTap {
+    tag: u64,
+    records: Vec<(SimTime, u64, TraceEvent)>,
+}
+
+impl TraceSink for ShardTap {
+    fn record(&mut self, t: SimTime, event: &TraceEvent) {
+        self.records.push((t, self.tag, event.clone()));
+    }
+}
+
+type Tap = Arc<Mutex<ShardTap>>;
+
+fn make_pipeline(outer: &Telemetry) -> (Telemetry, Option<Tap>) {
+    if !outer.enabled() {
+        return (Telemetry::disabled(), None);
+    }
+    if outer.tracing_active() {
+        let tap: Tap = Arc::new(Mutex::new(ShardTap::default()));
+        let tel = Telemetry::builder().sink(Box::new(tap.clone())).build();
+        (tel, Some(tap))
+    } else {
+        (Telemetry::builder().build(), None)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client shards
+// ---------------------------------------------------------------------
+
+/// Struct-of-arrays client rows: every per-client column is a parallel
+/// vector indexed by the client's local row in its shard. MPTCP rows
+/// additionally own a boxed `(down_b, up_b)` port pair.
+struct Rows {
+    client: Vec<MpConnection>,
+    server: Vec<MpConnection>,
+    srv_egress: Vec<Port>,
+    srv_ingress: Vec<Port>,
+    down_a: Vec<Port>,
+    up_a: Vec<Port>,
+    b: Vec<Option<Box<(Port, Port)>>>,
+    answered: Vec<bool>,
+    timer: Vec<Option<(SimTime, TimerId)>>,
+    seq: Vec<u32>,
+    rng: Vec<SimRng>,
+}
+
+/// Events local to a client shard. Segment-bearing events park their
+/// payload in the shard's slab; whoever consumes the event must `take` it
+/// back exactly once.
+enum ClientEvent {
+    /// A data segment leaving the core toward this client: charge the
+    /// access downlink of subflow `sf`.
+    DownFromCore {
+        local: u32,
+        sf: SubflowId,
+        seg: SegRef,
+    },
+    /// An ack/request leaving the core toward this client's server:
+    /// charge the server ingress link.
+    UpFromCore {
+        local: u32,
+        sf: SubflowId,
+        seg: SegRef,
+    },
+    /// Access-downlink delivery at the NIC.
+    DeliverClient {
+        local: u32,
+        sf: SubflowId,
+        seg: SegRef,
+    },
+    /// Server-ingress delivery at the server endpoint.
+    DeliverServer {
+        local: u32,
+        sf: SubflowId,
+        seg: SegRef,
+    },
+    /// Per-client re-armed deadline sweep.
+    Timer { local: u32 },
+}
+
+/// A packet bound for the core, generated inside an epoch and delivered
+/// at the next barrier. The segment crosses by value; `key` was assigned
+/// by the sending client's counter, so it is unique and shard-invariant.
+struct CoreMsg {
+    client: u32,
+    sf: SubflowId,
+    at: SimTime,
+    key: u64,
+    seg: Segment,
+    /// True for server→client data (bottleneck direction), false for
+    /// client→server acks (reverse core direction).
+    down: bool,
+}
+
+/// A packet bound for a client shard, generated by the core.
+struct ClientMsg {
+    client: u32,
+    sf: SubflowId,
+    at: SimTime,
+    key: u64,
+    seg: Segment,
+    down: bool,
+}
+
+struct ClientShard {
+    /// Global id of local row 0.
+    base: u32,
+    rows: Rows,
+    queue: EventQueue<(u64, ClientEvent)>,
+    slab: SegmentSlab,
+    outbox: Vec<CoreMsg>,
+    telemetry: Telemetry,
+    port_scope: TelemetryScope,
+    tap: Option<Tap>,
+    events: u64,
+}
+
+impl ClientShard {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        cfg: &FleetConfig,
+        base: usize,
+        count: usize,
+        outer: &Telemetry,
+        client_rng: &SimRng,
+    ) -> ClientShard {
+        let (telemetry, tap) = make_pipeline(outer);
+        let now = SimTime::ZERO;
+        let mut rows = Rows {
+            client: Vec::with_capacity(count),
+            server: Vec::with_capacity(count),
+            srv_egress: Vec::with_capacity(count),
+            srv_ingress: Vec::with_capacity(count),
+            down_a: Vec::with_capacity(count),
+            up_a: Vec::with_capacity(count),
+            b: Vec::with_capacity(count),
+            answered: vec![false; count],
+            timer: vec![None; count],
+            seq: vec![0; count],
+            rng: Vec::with_capacity(count),
+        };
+        let mut mp_tcfg = TcpConfig::default();
+        if cfg.coupled {
+            mp_tcfg.algorithm = CcAlgorithm::Lia;
+        }
+        let backbone = LinkConfig::backbone(SERVER_LINK_PROP);
+        for local in 0..count {
+            let i = base + local;
+            let owner = i as u32 + 1;
+            if let Some(tap) = &tap {
+                tap.lock().expect("tap poisoned").tag = pack(CLASS_INIT, owner, 0);
+            }
+            let mptcp = cfg.mptcp_every != 0 && i.is_multiple_of(cfg.mptcp_every);
+            let tcfg = if mptcp { mp_tcfg } else { TcpConfig::default() };
+            let mut client = MpConnection::new(Role::Client, tcfg);
+            let mut server = MpConnection::new(Role::Server, tcfg);
+            client.set_telemetry(telemetry.scope(i as u32));
+            server.set_telemetry(telemetry.scope(i as u32));
+            client.set_coupled(cfg.coupled);
+            server.set_coupled(cfg.coupled);
+            client.add_subflow(now, IfaceKind::Wifi);
+            server.add_subflow(now, IfaceKind::Wifi);
+            if mptcp {
+                client.add_subflow(now, IfaceKind::CellularLte);
+                server.add_subflow(now, IfaceKind::CellularLte);
+            }
+            client.write(CLIENT_REQUEST_BYTES);
+            rows.client.push(client);
+            rows.server.push(server);
+            // Dummy node ids: the star's routing is closed-form, so port
+            // endpoints are labels only (trace/metric ids are explicit).
+            rows.srv_egress
+                .push(Port::new(NodeId(owner), NodeId(0), backbone));
+            rows.srv_ingress
+                .push(Port::new(NodeId(0), NodeId(owner), backbone));
+            rows.down_a
+                .push(Port::new(NodeId(1), NodeId(owner), cfg.access_a));
+            rows.up_a
+                .push(Port::new(NodeId(owner), NodeId(1), cfg.access_a));
+            rows.b.push(mptcp.then(|| {
+                Box::new((
+                    Port::new(NodeId(1), NodeId(owner), cfg.access_b),
+                    Port::new(NodeId(owner), NodeId(1), cfg.access_b),
+                ))
+            }));
+            let mut forked = client_rng.clone();
+            rows.rng.push(forked.fork(i as u64));
+        }
+        let port_scope = telemetry.scope(u32::MAX);
+        ClientShard {
+            base: base as u32,
+            rows,
+            queue: EventQueue::new(),
+            slab: SegmentSlab::new(),
+            outbox: Vec::new(),
+            telemetry,
+            port_scope,
+            tap,
+            events: 0,
+        }
+    }
+
+    fn owner(&self, local: usize) -> u32 {
+        self.base + local as u32 + 1
+    }
+
+    fn next_key(&mut self, local: usize, class: u64) -> u64 {
+        let seq = self.rows.seq[local];
+        self.rows.seq[local] += 1;
+        pack(class, self.owner(local), seq)
+    }
+
+    fn set_tag(&self, tag: u64) {
+        if let Some(tap) = &self.tap {
+            tap.lock().expect("tap poisoned").tag = tag;
+        }
+    }
+
+    /// Initial drain at time zero: launch the handshakes/requests and arm
+    /// the first per-client timers.
+    fn init(&mut self) {
+        for local in 0..self.rows.client.len() {
+            self.set_tag(pack(CLASS_INIT, self.owner(local), 1));
+            self.touch(SimTime::ZERO, local);
+        }
+    }
+
+    /// Process every queued event strictly before `bound`.
+    fn run_until(&mut self, bound: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= bound {
+                break;
+            }
+            let (now, (key, event)) = self.queue.pop().expect("peeked event vanished");
+            self.events += 1;
+            self.set_tag(key);
+            self.handle(now, event);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, event: ClientEvent) {
+        match event {
+            ClientEvent::DownFromCore { local, sf, seg } => {
+                let seg = self.slab.take(seg).expect("parked segment");
+                self.charge_access(now, local as usize, sf, seg, true);
+            }
+            ClientEvent::UpFromCore { local, sf, seg } => {
+                let seg = self.slab.take(seg).expect("parked segment");
+                let l = local as usize;
+                let wire = seg.wire_bytes();
+                let owner = self.owner(l);
+                let outcome = self.rows.srv_ingress[l].transmit(
+                    now,
+                    wire,
+                    &mut self.rows.rng[l],
+                    owner,
+                    P_SRV_INGRESS,
+                    &self.port_scope,
+                );
+                if let PortOutcome::Forwarded { at, .. } = outcome {
+                    let key = self.next_key(l, CLASS_EVENT);
+                    let seg = self.slab.insert(seg);
+                    self.queue.schedule_keyed(
+                        at,
+                        key,
+                        (key, ClientEvent::DeliverServer { local, sf, seg }),
+                    );
+                }
+            }
+            ClientEvent::DeliverClient { local, sf, seg } => {
+                let seg = self.slab.take(seg).expect("parked segment");
+                let l = local as usize;
+                self.rows.client[l].on_segment(now, sf, seg);
+                self.touch(now, l);
+            }
+            ClientEvent::DeliverServer { local, sf, seg } => {
+                let seg = self.slab.take(seg).expect("parked segment");
+                let l = local as usize;
+                self.rows.server[l].on_segment(now, sf, seg);
+                self.feed_server(l);
+                self.touch(now, l);
+            }
+            ClientEvent::Timer { local } => {
+                let l = local as usize;
+                self.rows.timer[l] = None;
+                self.rows.client[l].on_deadline(now);
+                self.rows.server[l].on_deadline(now);
+                self.touch(now, l);
+            }
+        }
+    }
+
+    /// Charge one access link (downlink when `down`, uplink otherwise).
+    /// Downlink forwards schedule the local NIC delivery; uplink forwards
+    /// emit a core-bound message.
+    fn charge_access(&mut self, now: SimTime, l: usize, sf: SubflowId, seg: Segment, down: bool) {
+        let wire = seg.wire_bytes();
+        let owner = self.owner(l);
+        let (port, label) = match (sf.0, down) {
+            (0, true) => (&mut self.rows.down_a[l], P_DOWN_A),
+            (0, false) => (&mut self.rows.up_a[l], P_UP_A),
+            (_, down) => {
+                let pair = self.rows.b[l].as_mut().expect("subflow b on a TCP row");
+                if down {
+                    (&mut pair.0, P_DOWN_B)
+                } else {
+                    (&mut pair.1, P_UP_B)
+                }
+            }
+        };
+        let outcome = port.transmit(
+            now,
+            wire,
+            &mut self.rows.rng[l],
+            owner,
+            label,
+            &self.port_scope,
+        );
+        let PortOutcome::Forwarded { at, .. } = outcome else {
+            return;
+        };
+        let key = self.next_key(l, CLASS_EVENT);
+        if down {
+            let seg = self.slab.insert(seg);
+            let local = l as u32;
+            self.queue.schedule_keyed(
+                at,
+                key,
+                (key, ClientEvent::DeliverClient { local, sf, seg }),
+            );
+        } else {
+            self.outbox.push(CoreMsg {
+                client: self.base + l as u32,
+                sf,
+                at,
+                key,
+                seg,
+                down: false,
+            });
+        }
+    }
+
+    /// Launch a server→client segment onto the server egress backbone.
+    fn launch_down(&mut self, now: SimTime, l: usize, sf: SubflowId, seg: Segment) {
+        let wire = seg.wire_bytes();
+        let owner = self.owner(l);
+        let outcome = self.rows.srv_egress[l].transmit(
+            now,
+            wire,
+            &mut self.rows.rng[l],
+            owner,
+            P_SRV_EGRESS,
+            &self.port_scope,
+        );
+        if let PortOutcome::Forwarded { at, .. } = outcome {
+            let key = self.next_key(l, CLASS_EVENT);
+            self.outbox.push(CoreMsg {
+                client: self.base + l as u32,
+                sf,
+                at,
+                key,
+                seg,
+                down: true,
+            });
+        }
+    }
+
+    /// Timed bulk: the first complete request unlocks a response far
+    /// larger than any horizon can drain.
+    fn feed_server(&mut self, l: usize) {
+        if !self.rows.answered[l] && self.rows.server[l].bytes_delivered() >= CLIENT_REQUEST_BYTES {
+            self.rows.answered[l] = true;
+            self.rows.server[l].write(1 << 42);
+        }
+    }
+
+    /// Drain both endpoints of row `l` and re-arm its timer.
+    fn touch(&mut self, now: SimTime, l: usize) {
+        while let Some((sf, seg)) = self.rows.client[l].poll_transmit(now) {
+            self.charge_access(now, l, sf, seg, false);
+        }
+        while let Some((sf, seg)) = self.rows.server[l].poll_transmit(now) {
+            self.launch_down(now, l, sf, seg);
+        }
+        self.rearm(now, l);
+    }
+
+    /// Re-arm row `l`'s timer at the earlier of its endpoints' deadlines.
+    /// Like the unsharded harness, the armed time only moves *earlier*
+    /// between fires; a deadline moving later leaves the timer to fire
+    /// spuriously (the sweep is a no-op then).
+    fn rearm(&mut self, now: SimTime, l: usize) {
+        let next = match (
+            self.rows.client[l].next_deadline(),
+            self.rows.server[l].next_deadline(),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let Some(d) = next else { return };
+        let d = d.max(now);
+        let need = match self.rows.timer[l] {
+            Some((t, _)) => d < t,
+            None => true,
+        };
+        if need {
+            if let Some((_, id)) = self.rows.timer[l].take() {
+                self.queue.cancel(id);
+            }
+            let key = self.next_key(l, CLASS_EVENT);
+            let local = l as u32;
+            let id = self
+                .queue
+                .schedule_keyed(d, key, (key, ClientEvent::Timer { local }));
+            self.rows.timer[l] = Some((d, id));
+        }
+    }
+
+    /// Reclaim queued segments, flush delivered-trace residue and publish
+    /// the shard's aggregate metrics.
+    fn finalize(&mut self, sid: usize, horizon: SimTime) -> SegSlabStats {
+        while let Some((_, (_, event))) = self.queue.pop() {
+            match event {
+                ClientEvent::DownFromCore { seg, .. }
+                | ClientEvent::UpFromCore { seg, .. }
+                | ClientEvent::DeliverClient { seg, .. }
+                | ClientEvent::DeliverServer { seg, .. } => {
+                    self.slab
+                        .take(seg)
+                        .expect("queued event holds a parked segment");
+                }
+                ClientEvent::Timer { .. } => {}
+            }
+        }
+        for l in 0..self.rows.client.len() {
+            self.set_tag(pack(CLASS_FINAL, self.owner(l), 0));
+            self.rows.client[l].flush_delivered_trace(horizon);
+            self.rows.server[l].flush_delivered_trace(horizon);
+        }
+        let (mut delivered, mut drops_q, mut drops_c, mut marks) = (0, 0, 0, 0);
+        self.for_each_port(|p| {
+            delivered += p.link().delivered_packets();
+            drops_q += p.link().dropped_queue();
+            drops_c += p.link().dropped_channel();
+            marks += p.ecn_marked();
+        });
+        let events = self.events;
+        self.telemetry.with_metrics(|m| {
+            m.counter_add(&shard_metric(sid as u32, "events"), events);
+            m.counter_add(&shard_metric(sid as u32, "delivered"), delivered);
+            m.counter_add(&shard_metric(sid as u32, "drops_queue"), drops_q);
+            m.counter_add(&shard_metric(sid as u32, "drops_channel"), drops_c);
+            m.counter_add(&shard_metric(sid as u32, "ecn_marked"), marks);
+        });
+        self.slab.stats()
+    }
+
+    fn for_each_port(&self, mut f: impl FnMut(&Port)) {
+        for l in 0..self.rows.client.len() {
+            f(&self.rows.srv_egress[l]);
+            f(&self.rows.srv_ingress[l]);
+            f(&self.rows.down_a[l]);
+            f(&self.rows.up_a[l]);
+            if let Some(pair) = &self.rows.b[l] {
+                f(&pair.0);
+                f(&pair.1);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The core shard
+// ---------------------------------------------------------------------
+
+/// The three core-owned ports. Implements the fault surface: like the
+/// unsharded fabric, `FaultTarget::Core` is designated onto the shared
+/// bottleneck; the access-path targets have no designated ports here.
+struct CorePorts {
+    bottleneck: Port,
+    reverse: Port,
+    cross_sink: Port,
+}
+
+impl FaultSurface for CorePorts {
+    fn set_iface_up(&mut self, now: SimTime, target: FaultTarget, up: bool) {
+        if target == FaultTarget::Core {
+            self.bottleneck.set_admin_up(now, up);
+        }
+    }
+    fn set_rate(&mut self, now: SimTime, target: FaultTarget, rate_bps: Option<u64>) {
+        if target == FaultTarget::Core {
+            self.bottleneck.set_rate(now, rate_bps);
+        }
+    }
+    fn set_loss(&mut self, _now: SimTime, target: FaultTarget, model: Option<LossModel>) {
+        if target == FaultTarget::Core {
+            self.bottleneck.set_loss(model);
+        }
+    }
+    fn set_extra_delay(&mut self, _now: SimTime, target: FaultTarget, extra: Option<SimDuration>) {
+        if target == FaultTarget::Core {
+            self.bottleneck.set_extra_delay(extra);
+        }
+    }
+}
+
+enum CoreEvent {
+    /// Server→client segment arriving at the core: charge the bottleneck.
+    DownAtCore {
+        client: u32,
+        sf: SubflowId,
+        seg: SegRef,
+    },
+    /// Client→server segment arriving at the core: charge the reverse port.
+    UpAtCore {
+        client: u32,
+        sf: SubflowId,
+        seg: SegRef,
+    },
+    /// A cross source is due to emit (or toggle).
+    CrossPoll { src: u32 },
+    /// A cross packet cleared the bottleneck: charge the sink backbone.
+    CrossAtOut { src: u32 },
+    /// A cross packet reached the sink (absorbed).
+    CrossAtSink,
+    /// The fault injector has an event due now.
+    FaultPoll,
+}
+
+struct CoreShard {
+    queue: EventQueue<(u64, CoreEvent)>,
+    slab: SegmentSlab,
+    ports: CorePorts,
+    cross: Vec<CrossTrafficSource>,
+    cross_packets: u64,
+    injector: Option<FaultInjector>,
+    faults_applied: u64,
+    rng: SimRng,
+    seq: u32,
+    outbox: Vec<ClientMsg>,
+    telemetry: Telemetry,
+    port_scope: TelemetryScope,
+    tap: Option<Tap>,
+    events: u64,
+}
+
+impl CoreShard {
+    fn new(cfg: &FleetConfig, outer: &Telemetry, root: &SimRng) -> CoreShard {
+        let (telemetry, tap) = make_pipeline(outer);
+        let now = SimTime::ZERO;
+        let mut cross_rng = root.fork_labeled("cross");
+        let cross = (0..cfg.cross_sources)
+            .map(|i| {
+                CrossTrafficSource::new(
+                    now,
+                    if i % 2 == 0 { OnOff::On } else { OnOff::Off },
+                    cfg.cross_rate_bps,
+                    1500,
+                    0.5,
+                    0.5,
+                    cross_rng.fork(i as u64),
+                )
+            })
+            .collect();
+        let backbone = LinkConfig::backbone(SERVER_LINK_PROP);
+        let port_scope = telemetry.scope(u32::MAX);
+        CoreShard {
+            queue: EventQueue::new(),
+            slab: SegmentSlab::new(),
+            ports: CorePorts {
+                bottleneck: Port::new(NodeId(0), NodeId(1), cfg.bottleneck),
+                reverse: Port::new(
+                    NodeId(1),
+                    NodeId(0),
+                    LinkConfig::backbone(cfg.bottleneck.prop_delay),
+                ),
+                cross_sink: Port::new(NodeId(1), NodeId(2), backbone),
+            },
+            cross,
+            cross_packets: 0,
+            injector: None,
+            faults_applied: 0,
+            rng: root.fork_labeled("net"),
+            seq: 0,
+            outbox: Vec::new(),
+            telemetry,
+            port_scope,
+            tap,
+            events: 0,
+        }
+    }
+
+    fn next_key(&mut self, class: u64) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        pack(class, CORE_OWNER, seq)
+    }
+
+    fn set_tag(&self, tag: u64) {
+        if let Some(tap) = &self.tap {
+            tap.lock().expect("tap poisoned").tag = tag;
+        }
+    }
+
+    /// Apply faults due at time zero and schedule the first fault poll
+    /// and the cross sources' first wake-ups.
+    fn init(&mut self) {
+        self.set_tag(pack(CLASS_INIT, CORE_OWNER, 0));
+        self.poll_faults(SimTime::ZERO);
+        for src in 0..self.cross.len() {
+            let at = self.cross[src].next_event();
+            let key = self.next_key(CLASS_EVENT);
+            let src = src as u32;
+            self.queue
+                .schedule_keyed(at, key, (key, CoreEvent::CrossPoll { src }));
+        }
+    }
+
+    /// Apply every fault due at `now` and schedule the next poll exactly
+    /// at the injector's next deadline (class 0, so it sorts before any
+    /// same-instant packet event).
+    fn poll_faults(&mut self, now: SimTime) {
+        let Some(mut inj) = self.injector.take() else {
+            return;
+        };
+        self.faults_applied += inj.poll(now, &mut self.ports) as u64;
+        if let Some(d) = inj.next_deadline() {
+            let key = self.next_key(CLASS_FAULT);
+            self.queue
+                .schedule_keyed(d, key, (key, CoreEvent::FaultPoll));
+        }
+        self.injector = Some(inj);
+    }
+
+    fn run_until(&mut self, bound: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= bound {
+                break;
+            }
+            let (now, (key, event)) = self.queue.pop().expect("peeked event vanished");
+            self.events += 1;
+            self.set_tag(key);
+            self.handle(now, event);
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, event: CoreEvent) {
+        match event {
+            CoreEvent::DownAtCore { client, sf, seg } => {
+                let seg = self.slab.take(seg).expect("parked segment");
+                let outcome = self.ports.bottleneck.transmit(
+                    now,
+                    seg.wire_bytes(),
+                    &mut self.rng,
+                    0,
+                    P_BOTTLENECK,
+                    &self.port_scope,
+                );
+                // The ECN mark is accounting-only at the port (the
+                // transports are loss-based), same as the unsharded path.
+                if let PortOutcome::Forwarded { at, .. } = outcome {
+                    let key = self.next_key(CLASS_EVENT);
+                    self.outbox.push(ClientMsg {
+                        client,
+                        sf,
+                        at,
+                        key,
+                        seg,
+                        down: true,
+                    });
+                }
+            }
+            CoreEvent::UpAtCore { client, sf, seg } => {
+                let seg = self.slab.take(seg).expect("parked segment");
+                let outcome = self.ports.reverse.transmit(
+                    now,
+                    seg.wire_bytes(),
+                    &mut self.rng,
+                    0,
+                    P_REVERSE,
+                    &self.port_scope,
+                );
+                if let PortOutcome::Forwarded { at, .. } = outcome {
+                    let key = self.next_key(CLASS_EVENT);
+                    self.outbox.push(ClientMsg {
+                        client,
+                        sf,
+                        at,
+                        key,
+                        seg,
+                        down: false,
+                    });
+                }
+            }
+            CoreEvent::CrossPoll { src } => {
+                let i = src as usize;
+                let packets = self.cross[i].poll(now);
+                let bytes = self.cross[i].packet_bytes();
+                for _ in 0..packets {
+                    self.cross_packets += 1;
+                    let outcome = self.ports.bottleneck.transmit(
+                        now,
+                        bytes,
+                        &mut self.rng,
+                        0,
+                        P_BOTTLENECK,
+                        &self.port_scope,
+                    );
+                    if let PortOutcome::Forwarded { at, .. } = outcome {
+                        let key = self.next_key(CLASS_EVENT);
+                        self.queue
+                            .schedule_keyed(at, key, (key, CoreEvent::CrossAtOut { src }));
+                    }
+                }
+                let at = self.cross[i].next_event();
+                let key = self.next_key(CLASS_EVENT);
+                self.queue
+                    .schedule_keyed(at, key, (key, CoreEvent::CrossPoll { src }));
+            }
+            CoreEvent::CrossAtOut { src } => {
+                let bytes = self.cross[src as usize].packet_bytes();
+                let outcome = self.ports.cross_sink.transmit(
+                    now,
+                    bytes,
+                    &mut self.rng,
+                    0,
+                    P_CROSS_SINK,
+                    &self.port_scope,
+                );
+                if let PortOutcome::Forwarded { at, .. } = outcome {
+                    let key = self.next_key(CLASS_EVENT);
+                    self.queue
+                        .schedule_keyed(at, key, (key, CoreEvent::CrossAtSink));
+                }
+            }
+            CoreEvent::CrossAtSink => {}
+            CoreEvent::FaultPoll => self.poll_faults(now),
+        }
+    }
+
+    /// Reclaim queued segments and publish the core's port metrics, keyed
+    /// the same way the unsharded fabric publishes (router 0 = the core).
+    fn finalize(&mut self) -> SegSlabStats {
+        while let Some((_, (_, event))) = self.queue.pop() {
+            match event {
+                CoreEvent::DownAtCore { seg, .. } | CoreEvent::UpAtCore { seg, .. } => {
+                    self.slab
+                        .take(seg)
+                        .expect("queued event holds a parked segment");
+                }
+                _ => {}
+            }
+        }
+        use emptcp_telemetry::router_port_metric;
+        let ports = [
+            (P_BOTTLENECK, &self.ports.bottleneck),
+            (P_REVERSE, &self.ports.reverse),
+            (P_CROSS_SINK, &self.ports.cross_sink),
+        ];
+        self.telemetry.with_metrics(|m| {
+            for (pid, port) in ports {
+                let link = port.link();
+                m.counter_add(
+                    &router_port_metric(0, pid, "delivered"),
+                    link.delivered_packets(),
+                );
+                m.counter_add(
+                    &router_port_metric(0, pid, "drops_queue"),
+                    link.dropped_queue(),
+                );
+                m.counter_add(
+                    &router_port_metric(0, pid, "drops_channel"),
+                    link.dropped_channel(),
+                );
+                m.counter_add(&router_port_metric(0, pid, "ecn_marked"), port.ecn_marked());
+                m.gauge_set(
+                    &router_port_metric(0, pid, "peak_queue_bytes"),
+                    port.peak_queue_bytes() as f64,
+                );
+            }
+        });
+        self.slab.stats()
+    }
+
+    fn for_each_port(&self, mut f: impl FnMut(&Port)) {
+        f(&self.ports.bottleneck);
+        f(&self.ports.reverse);
+        f(&self.ports.cross_sink);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sharded fleet simulation
+// ---------------------------------------------------------------------
+
+/// A fleet simulation partitioned into conservative-lookahead shards.
+///
+/// Construction mirrors [`FleetSim`](crate::fleet::FleetSim) plus a shard
+/// count; [`ShardedFleetSim::run`] executes serially and
+/// [`ShardedFleetSim::run_with`] executes each epoch on a caller-supplied
+/// [`ShardExecutor`]. The report, the trace stream and every metric are
+/// byte-identical for every `(executor, shards)` combination.
+pub struct ShardedFleetSim {
+    cfg: FleetConfig,
+    delta: SimDuration,
+    shards: Vec<Mutex<ClientShard>>,
+    core: Mutex<CoreShard>,
+    /// Global client id of each shard's first row (ascending).
+    starts: Vec<usize>,
+    /// Reused barrier staging: core-outbox messages routed per shard.
+    staging: Vec<Vec<ClientMsg>>,
+    telemetry: Telemetry,
+    per_client_buf: Vec<f64>,
+}
+
+impl ShardedFleetSim {
+    /// Build a sharded fleet. Panics on an invalid configuration; use
+    /// [`ShardedFleetSim::try_new_with_telemetry`] for the typed error.
+    pub fn new(cfg: FleetConfig, shards: usize) -> ShardedFleetSim {
+        ShardedFleetSim::new_with_telemetry(cfg, shards, Telemetry::disabled())
+    }
+
+    /// Build with an attached telemetry pipeline; panics on an invalid
+    /// configuration.
+    pub fn new_with_telemetry(
+        cfg: FleetConfig,
+        shards: usize,
+        telemetry: Telemetry,
+    ) -> ShardedFleetSim {
+        match ShardedFleetSim::try_new_with_telemetry(cfg, shards, telemetry) {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid fleet config: {e}"),
+        }
+    }
+
+    /// Fallible construction. The shard count is clamped to
+    /// `1..=cfg.clients`; a configuration whose minimum cross-shard link
+    /// latency is zero is rejected with [`FleetConfigError::NoLookahead`].
+    pub fn try_new_with_telemetry(
+        cfg: FleetConfig,
+        shards: usize,
+        telemetry: Telemetry,
+    ) -> Result<ShardedFleetSim, FleetConfigError> {
+        cfg.validate()?;
+        let delta = lookahead(&cfg);
+        if delta == SimDuration::ZERO {
+            return Err(FleetConfigError::NoLookahead);
+        }
+        assert!(
+            cfg.clients + 1 < (1 << 30),
+            "client count exceeds the 30-bit owner space"
+        );
+        let s = shards.clamp(1, cfg.clients);
+        let root = SimRng::new(cfg.seed);
+        let client_rng = root.fork_labeled("client_net");
+        let starts: Vec<usize> = (0..s).map(|k| k * cfg.clients / s).collect();
+        let shards: Vec<Mutex<ClientShard>> = (0..s)
+            .map(|k| {
+                let base = starts[k];
+                let end = if k + 1 == s {
+                    cfg.clients
+                } else {
+                    starts[k + 1]
+                };
+                Mutex::new(ClientShard::new(
+                    &cfg,
+                    base,
+                    end - base,
+                    &telemetry,
+                    &client_rng,
+                ))
+            })
+            .collect();
+        let core = Mutex::new(CoreShard::new(&cfg, &telemetry, &root));
+        let staging = (0..s).map(|_| Vec::new()).collect();
+        let per_client_buf = Vec::with_capacity(cfg.clients);
+        Ok(ShardedFleetSim {
+            cfg,
+            delta,
+            shards,
+            core,
+            starts,
+            staging,
+            telemetry,
+            per_client_buf,
+        })
+    }
+
+    /// Attach a fault plan; `FaultTarget::Core` hits the bottleneck port.
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        let mut core = self.core.lock().expect("core shard poisoned");
+        let mut injector = FaultInjector::new(plan);
+        injector.set_telemetry(core.telemetry.scope(u32::MAX));
+        core.injector = Some(injector);
+    }
+
+    /// The number of client shards (after clamping).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative lookahead bound Δ in force for this run.
+    pub fn delta(&self) -> SimDuration {
+        self.delta
+    }
+
+    /// Raw per-client delivered byte counts in ascending client order —
+    /// the quantity the differential harness pins across shard counts.
+    pub fn per_client_delivered(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.cfg.clients);
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            for conn in &shard.rows.client {
+                out.push(conn.bytes_delivered());
+            }
+        }
+        out
+    }
+
+    /// Run serially on the calling thread.
+    pub fn run(&mut self) -> FleetReport {
+        self.run_with(&SerialExecutor)
+    }
+
+    /// Run the fleet to its horizon with `exec` driving the per-epoch
+    /// shard closures, and summarize.
+    pub fn run_with(&mut self, exec: &dyn ShardExecutor) -> FleetReport {
+        let horizon = SimTime::ZERO + self.cfg.duration;
+        let clock = EpochClock::new(self.delta, horizon);
+        self.core.lock().expect("core shard poisoned").init();
+        {
+            let shards = &self.shards;
+            exec.run_indexed(shards.len(), &|i| {
+                shards[i].lock().expect("shard poisoned").init();
+            });
+        }
+        loop {
+            self.exchange();
+            let Some(next) = self.min_peek() else { break };
+            if next > horizon {
+                break;
+            }
+            let bound = clock.bound_for(next);
+            let shards = &self.shards;
+            let core = &self.core;
+            exec.run_indexed(shards.len() + 1, &|i| {
+                if i < shards.len() {
+                    shards[i].lock().expect("shard poisoned").run_until(bound);
+                } else {
+                    core.lock().expect("core shard poisoned").run_until(bound);
+                }
+            });
+        }
+        self.finalize(horizon)
+    }
+
+    /// Barrier exchange: move every outbox message into its destination
+    /// shard's queue under the key its sender assigned. Arrival times are
+    /// at or beyond the epoch bound by the lookahead argument, so no
+    /// message ever lands in a queue's past.
+    fn exchange(&mut self) {
+        let mut core = self.core.lock().expect("core shard poisoned");
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("shard poisoned");
+            for msg in shard.outbox.drain(..) {
+                let seg = core.slab.insert(msg.seg);
+                let event = if msg.down {
+                    CoreEvent::DownAtCore {
+                        client: msg.client,
+                        sf: msg.sf,
+                        seg,
+                    }
+                } else {
+                    CoreEvent::UpAtCore {
+                        client: msg.client,
+                        sf: msg.sf,
+                        seg,
+                    }
+                };
+                core.queue.schedule_keyed(msg.at, msg.key, (msg.key, event));
+            }
+        }
+        if !core.outbox.is_empty() {
+            for msg in core.outbox.drain(..) {
+                let sid = self
+                    .starts
+                    .partition_point(|&start| start <= msg.client as usize)
+                    - 1;
+                self.staging[sid].push(msg);
+            }
+            for (sid, pending) in self.staging.iter_mut().enumerate() {
+                if pending.is_empty() {
+                    continue;
+                }
+                let mut shard = self.shards[sid].lock().expect("shard poisoned");
+                for msg in pending.drain(..) {
+                    let local = msg.client - shard.base;
+                    let seg = shard.slab.insert(msg.seg);
+                    let event = if msg.down {
+                        ClientEvent::DownFromCore {
+                            local,
+                            sf: msg.sf,
+                            seg,
+                        }
+                    } else {
+                        ClientEvent::UpFromCore {
+                            local,
+                            sf: msg.sf,
+                            seg,
+                        }
+                    };
+                    shard
+                        .queue
+                        .schedule_keyed(msg.at, msg.key, (msg.key, event));
+                }
+            }
+        }
+    }
+
+    /// The earliest pending event across every shard, or `None` when all
+    /// queues have drained.
+    fn min_peek(&self) -> Option<SimTime> {
+        let mut min: Option<SimTime> = None;
+        for shard in &self.shards {
+            let t = shard.lock().expect("shard poisoned").queue.peek_time();
+            min = match (min, t) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        let t = self
+            .core
+            .lock()
+            .expect("core shard poisoned")
+            .queue
+            .peek_time();
+        match (min, t) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn finalize(&mut self, horizon: SimTime) -> FleetReport {
+        let mut live = 0;
+        let mut double_frees = 0;
+        for (sid, shard) in self.shards.iter().enumerate() {
+            let stats = shard.lock().expect("shard poisoned").finalize(sid, horizon);
+            live += stats.live;
+            double_frees += stats.double_frees;
+        }
+        let mut core = self.core.lock().expect("core shard poisoned");
+        let stats = core.finalize();
+        live += stats.live;
+        double_frees += stats.double_frees;
+        // Messages still sitting in outboxes carry their segments by value
+        // and drop with them; only slab-parked segments are balance-checked.
+        self.telemetry.check_invariants(horizon, |obs| {
+            obs.check_segment_slab(horizon, "sharded-fleet", live, double_frees)
+        });
+
+        // Merge the shards' trace records into the outer pipeline in the
+        // canonical (time, key) order. Records with equal (time, key) come
+        // from one driving event on one shard, so the stable sort keeps
+        // their emission order.
+        let mut records: Vec<(SimTime, u64, TraceEvent)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            if let Some(tap) = &shard.tap {
+                records.append(&mut tap.lock().expect("tap poisoned").records);
+            }
+        }
+        if let Some(tap) = &core.tap {
+            records.append(&mut tap.lock().expect("tap poisoned").records);
+        }
+        records.sort_by_key(|&(t, key, _)| (t, key));
+        for (t, _, event) in records {
+            self.telemetry.emit(t, event);
+        }
+
+        // Merge metric registries in shard order, core last.
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            if let Some(m) = shard.telemetry.metrics() {
+                self.telemetry.with_metrics(|outer| outer.merge(&m));
+            }
+        }
+        if let Some(m) = core.telemetry.metrics() {
+            self.telemetry.with_metrics(|outer| outer.merge(&m));
+        }
+
+        // Fixed-order report reductions (ascending client id).
+        let secs = self.cfg.duration.as_secs_f64();
+        self.per_client_buf.clear();
+        let mut packets_forwarded = 0;
+        let mut total_queue_drops = 0;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            for conn in &shard.rows.client {
+                self.per_client_buf
+                    .push(reduce::mbps(conn.bytes_delivered(), secs));
+            }
+            shard.for_each_port(|p| {
+                packets_forwarded += p.link().delivered_packets();
+                total_queue_drops += p.link().dropped_queue();
+            });
+        }
+        core.for_each_port(|p| {
+            packets_forwarded += p.link().delivered_packets();
+            total_queue_drops += p.link().dropped_queue();
+        });
+        let mptcp_every = self.cfg.mptcp_every;
+        let stats = reduce::fairness_stats(&self.per_client_buf, |i| {
+            mptcp_every != 0 && i % mptcp_every == 0
+        });
+        let bp = &core.ports.bottleneck;
+        FleetReport {
+            clients: self.cfg.clients,
+            duration_s: secs,
+            aggregate_mbps: stats.aggregate_mbps,
+            mptcp_mean_mbps: stats.mptcp_mean_mbps,
+            tcp_mean_mbps: stats.tcp_mean_mbps,
+            mptcp_tcp_ratio: stats.mptcp_tcp_ratio,
+            jain_index: stats.jain_index,
+            bottleneck_drops: bp.link().dropped_queue(),
+            bottleneck_ecn_marks: bp.ecn_marked(),
+            bottleneck_peak_queue_bytes: bp.peak_queue_bytes(),
+            total_queue_drops,
+            cross_packets: core.cross_packets,
+            faults_injected: core.faults_applied,
+            packets_forwarded,
+            per_client_mbps: std::mem::take(&mut self.per_client_buf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(clients: usize, seed: u64) -> FleetConfig {
+        let mut cfg = FleetConfig::contended(clients, seed);
+        cfg.duration = SimDuration::from_secs(2);
+        cfg.bottleneck.rate_bps = 20_000_000;
+        cfg.cross_sources = 1;
+        cfg
+    }
+
+    fn report_json(r: &FleetReport) -> String {
+        serde_json::to_string(r).expect("report serializes")
+    }
+
+    #[test]
+    fn lookahead_is_the_minimum_boundary_latency() {
+        let cfg = FleetConfig::contended(4, 1);
+        // contended preset: backbone 1 ms, access_a 3 ms, access_b 15 ms,
+        // bottleneck 10 ms → Δ = 1 ms.
+        assert_eq!(lookahead(&cfg), SimDuration::from_millis(1));
+        let mut tcp_only = cfg.clone();
+        tcp_only.mptcp_every = 0;
+        tcp_only.access_b.prop_delay = SimDuration::ZERO;
+        // access_b is out of the boundary set when no client uses it.
+        assert_eq!(lookahead(&tcp_only), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn zero_lookahead_is_rejected() {
+        let mut cfg = small(2, 1);
+        cfg.access_a.prop_delay = SimDuration::ZERO;
+        assert_eq!(
+            ShardedFleetSim::try_new_with_telemetry(cfg, 2, Telemetry::disabled()).err(),
+            Some(FleetConfigError::NoLookahead)
+        );
+    }
+
+    #[test]
+    fn every_client_makes_progress() {
+        let mut sim = ShardedFleetSim::new(small(6, 9), 3);
+        let report = sim.run();
+        assert_eq!(report.per_client_mbps.len(), 6);
+        for (i, &mbps) in report.per_client_mbps.iter().enumerate() {
+            assert!(mbps > 0.05, "client {i} starved: {mbps} Mbps");
+        }
+        assert!(report.aggregate_mbps > 5.0, "{report:?}");
+        assert!(report.jain_index > 0.5, "{report:?}");
+        assert!(report.packets_forwarded > 0, "{report:?}");
+    }
+
+    #[test]
+    fn bottleneck_is_actually_shared() {
+        let mut sim = ShardedFleetSim::new(small(6, 10), 2);
+        let report = sim.run();
+        assert!(report.bottleneck_drops > 0, "{report:?}");
+        assert!(report.aggregate_mbps <= 20.0, "{report:?}");
+        assert!(report.bottleneck_ecn_marks > 0, "{report:?}");
+    }
+
+    #[test]
+    fn shard_count_is_invisible_in_the_report() {
+        let reference = report_json(&ShardedFleetSim::new(small(7, 42), 1).run());
+        for shards in [2, 3, 4, 7] {
+            let got = report_json(&ShardedFleetSim::new(small(7, 42), shards).run());
+            assert_eq!(got, reference, "shards={shards} diverged");
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_the_population() {
+        let mut sim = ShardedFleetSim::new(small(3, 5), 64);
+        assert_eq!(sim.shards(), 3);
+        let report = sim.run();
+        assert_eq!(report.clients, 3);
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let a = ShardedFleetSim::new(small(5, 77), 2).run();
+        let b = ShardedFleetSim::new(small(5, 77), 2).run();
+        assert_eq!(report_json(&a), report_json(&b));
+    }
+
+    #[test]
+    fn faults_cross_epoch_barriers() {
+        let mut cfg = small(4, 5);
+        cfg.duration = SimDuration::from_secs(6);
+        let plan = FaultPlan::new().bandwidth_collapse(
+            FaultTarget::Core,
+            SimTime::from_secs(1),
+            SimDuration::from_secs(2),
+            0,
+            &[5_000_000],
+            SimDuration::from_secs(1),
+        );
+        let run = |shards: usize| {
+            let mut sim = ShardedFleetSim::new(cfg.clone(), shards);
+            sim.attach_faults(plan.clone());
+            sim.run()
+        };
+        let reference = run(1);
+        assert!(reference.faults_injected >= 2, "{reference:?}");
+        for &mbps in &reference.per_client_mbps {
+            assert!(mbps > 0.0, "{reference:?}");
+        }
+        assert_eq!(report_json(&run(4)), report_json(&reference));
+    }
+}

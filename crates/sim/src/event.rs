@@ -222,6 +222,47 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event)
     }
 
+    /// Schedule `event` at `at` under a caller-supplied ordering key.
+    ///
+    /// Same-time events pop in ascending `key` order instead of insertion
+    /// order, which makes the pop order a pure function of the event set —
+    /// the property sharded hosts need so that *where* an event was
+    /// scheduled from (which shard, which barrier exchange) can never leak
+    /// into execution order. The caller must guarantee `key` is unique
+    /// among the events it ever schedules on this queue: a same-`(at, key)`
+    /// pair would fall back to slab-slot order, which is insertion-
+    /// dependent. Auto-keyed [`EventQueue::schedule`] draws from a private
+    /// monotonic counter; a queue should use one discipline or the other,
+    /// not both, unless the caller keys from a disjoint range.
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: E) -> TimerId {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past ({at:?} < {:?})",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = key;
+        let slot = match self.free_slots.pop() {
+            Some(i) => {
+                let s = &mut self.slots[i as usize];
+                s.seq = seq;
+                s.payload = Some(event);
+                i
+            }
+            None => {
+                debug_assert!(self.slots.len() < u32::MAX as usize, "slab full");
+                self.slots.push(SlabSlot {
+                    seq,
+                    payload: Some(event),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.live += 1;
+        self.place(Key { at, seq, slot });
+        TimerId { seq, slot }
+    }
+
     /// Cancel a previously scheduled event. Cancelling an already-fired or
     /// already-cancelled event is a no-op. The payload is dropped and its
     /// slab slot recycled immediately; the stored key becomes a tombstone
@@ -534,6 +575,29 @@ impl<E> KeyHeapQueue<E> {
         self.schedule(self.now + delay, event)
     }
 
+    /// Schedule `event` at `at` under a caller-supplied ordering key; see
+    /// [`EventQueue::schedule_keyed`] for the contract. Here the key also
+    /// doubles as the payload-map key, so uniqueness among *live* events is
+    /// a hard requirement, not just an ordering nicety.
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: E) -> TimerId {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past ({at:?} < {:?})",
+            self.now
+        );
+        let at = at.max(self.now);
+        debug_assert!(
+            !self.events.contains_key(&key),
+            "schedule_keyed: duplicate live key {key}"
+        );
+        self.heap.push(Reverse((at, key)));
+        self.events.insert(key, event);
+        TimerId {
+            seq: key,
+            slot: u32::MAX,
+        }
+    }
+
     /// Cancel a previously scheduled event (no-op when already fired or
     /// cancelled). The payload is dropped immediately; its heap key becomes
     /// a tombstone dropped lazily at pop/peek or swept by compaction.
@@ -698,6 +762,40 @@ mod tests {
                     }
                     let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
                     assert_eq!(order, (0..100).collect::<Vec<_>>());
+                }
+
+                #[test]
+                fn keyed_same_instant_pops_in_key_order() {
+                    let mut q = $Q::new();
+                    let t = SimTime::from_secs(1);
+                    // Insertion order deliberately scrambled: pop order must
+                    // follow the caller-supplied keys, not insertion.
+                    q.schedule_keyed(t, 7, "g");
+                    q.schedule_keyed(t, 2, "b");
+                    q.schedule_keyed(t, 5, "e");
+                    q.schedule_keyed(t, 1, "a");
+                    let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+                    assert_eq!(order, vec!["a", "b", "e", "g"]);
+                }
+
+                #[test]
+                fn keyed_respects_time_before_key() {
+                    let mut q = $Q::new();
+                    q.schedule_keyed(SimTime::from_secs(2), 1, "late");
+                    q.schedule_keyed(SimTime::from_secs(1), 9, "early");
+                    let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+                    assert_eq!(order, vec!["early", "late"]);
+                }
+
+                #[test]
+                fn keyed_events_cancel() {
+                    let mut q = $Q::new();
+                    q.schedule_keyed(SimTime::from_secs(1), 1, "a");
+                    let b = q.schedule_keyed(SimTime::from_secs(1), 2, "b");
+                    q.schedule_keyed(SimTime::from_secs(1), 3, "c");
+                    q.cancel(b);
+                    let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+                    assert_eq!(order, vec!["a", "c"]);
                 }
 
                 #[test]

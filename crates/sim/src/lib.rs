@@ -23,12 +23,14 @@
 //! assert_eq!((at, event), (SimTime::from_millis(30), "rto"));
 //! ```
 
+pub mod epoch;
 pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use epoch::EpochClock;
 pub use event::{EventQueue, KeyHeapQueue, Scheduler, TimerId};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -28,7 +28,10 @@ mod sink;
 
 pub use events::{TraceEvent, DELIVERED_EMIT_BYTES};
 pub use invariant::{InvariantObserver, Violation};
-pub use metrics::{parse_router_port_metric, router_port_metric, Histogram, MetricsRegistry};
+pub use metrics::{
+    parse_router_port_metric, parse_shard_metric, router_port_metric, shard_metric, Histogram,
+    MetricsRegistry,
+};
 pub use sink::{jsonl_line, parse_jsonl_line, JsonlSink, MemorySink, NullSink, TeeSink, TraceSink};
 
 use emptcp_sim::SimTime;

@@ -150,6 +150,23 @@ pub fn parse_router_port_metric(key: &str) -> Option<(u32, u32, &str)> {
     Some((router.parse().ok()?, port.parse().ok()?, field))
 }
 
+/// Canonical metric key for a per-shard fleet statistic:
+/// `fleet.shard{shard}.{field}`. Same single-helper discipline as
+/// [`router_port_metric`]: the sharded fleet engine emits through this, and
+/// the experiment roll-up recognizes `shard{N}` as an instance segment so
+/// families sum across shard counts.
+pub fn shard_metric(shard: u32, field: &str) -> String {
+    format!("fleet.shard{shard}.{field}")
+}
+
+/// Parse a key produced by [`shard_metric`] back into `(shard, field)`.
+/// Returns `None` for keys outside the scheme.
+pub fn parse_shard_metric(key: &str) -> Option<(u32, &str)> {
+    let rest = key.strip_prefix("fleet.shard")?;
+    let (shard, field) = rest.split_once('.')?;
+    Some((shard.parse().ok()?, field))
+}
+
 /// Registry of named metrics. One per instrumented run (or one global per
 /// experiment batch — counters merge deterministically).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -302,6 +319,16 @@ mod tests {
         assert_eq!(parse_router_port_metric("net.router3.port17"), None);
         assert_eq!(parse_router_port_metric("conn0.iface.wifi.rx_bytes"), None);
         assert_eq!(parse_router_port_metric("net.routerX.port1.drops"), None);
+    }
+
+    #[test]
+    fn shard_metric_round_trips() {
+        let key = shard_metric(5, "events");
+        assert_eq!(key, "fleet.shard5.events");
+        assert_eq!(parse_shard_metric(&key), Some((5, "events")));
+        assert_eq!(parse_shard_metric("fleet.shard5"), None);
+        assert_eq!(parse_shard_metric("fleet.shardX.events"), None);
+        assert_eq!(parse_shard_metric("net.router0.port0.delivered"), None);
     }
 
     #[test]
