@@ -42,6 +42,11 @@ fn monitor_usage() -> ! {
   --seed N             simulation seed                   (default 42)
   --duration-s X       simulated seconds                 (default 4)
   --record PATH        also record the trace as JSONL for later replay
+  --follow PATH        tail a JSONL trace another process is writing
+                       (e.g. simulate serve --trace PATH) instead of
+                       running a fleet; dashboards events as they land
+  --idle-timeout-s X   with --follow: exit after X s without new data
+                       (default 3)
   --export-json PATH   write the deterministic time-series JSON export
   --export-csv PATH    write the per-bin CSV export
   --bin-ms N           aggregation bin width in ms       (default 100)
@@ -54,6 +59,8 @@ fn monitor_usage() -> ! {
 
 fn monitor_main(args: Vec<String>) -> ! {
     let mut opts = LiveOptions::default();
+    let mut follow: Option<PathBuf> = None;
+    let mut idle_timeout_s = 3.0f64;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         let mut value = |what: &str| -> String {
@@ -69,6 +76,12 @@ fn monitor_main(args: Vec<String>) -> ! {
                 opts.duration_s = value("--duration-s").parse().expect("--duration-s: number")
             }
             "--record" => opts.record = Some(PathBuf::from(value("--record"))),
+            "--follow" => follow = Some(PathBuf::from(value("--follow"))),
+            "--idle-timeout-s" => {
+                idle_timeout_s = value("--idle-timeout-s")
+                    .parse()
+                    .expect("--idle-timeout-s: number")
+            }
             "--export-json" => opts.export_json = Some(PathBuf::from(value("--export-json"))),
             "--export-csv" => opts.export_csv = Some(PathBuf::from(value("--export-csv"))),
             "--bin-ms" => opts.knobs.bin_ms = value("--bin-ms").parse().expect("--bin-ms: integer"),
@@ -82,6 +95,23 @@ fn monitor_main(args: Vec<String>) -> ! {
     }
     if opts.quiet {
         log::set_level(log::Level::Quiet);
+    }
+    if let Some(trace) = follow {
+        let fopts = monitor::FollowOptions {
+            trace,
+            idle_timeout_s,
+            export_json: opts.export_json,
+            export_csv: opts.export_csv,
+            quiet: opts.quiet,
+            knobs: opts.knobs,
+        };
+        match monitor::run_follow(&fopts) {
+            Ok(code) => std::process::exit(code),
+            Err(e) => {
+                eprintln!("repro monitor: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     match monitor::run_live(&opts) {
         Ok(_) => std::process::exit(0),

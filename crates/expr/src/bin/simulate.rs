@@ -13,6 +13,8 @@
 //! simulate scenario --corpus --check --jobs 4
 //! simulate scenario --fuzz --cases 100 --seed 7
 //! simulate scenario --file results/repros/fuzz-7-12-min.scenario --check
+//! simulate serve --port 46100 --size-mb 4 --trace serve.jsonl
+//! simulate connect --port 46110 --peer 127.0.0.1:46100 --size-mb 4
 //! ```
 //!
 //! This is the downstream-user entry point: where `repro` regenerates the
@@ -172,6 +174,148 @@ fn monitor_main(args: Vec<String>) -> ! {
             std::process::exit(1);
         }
     }
+}
+
+fn live_usage(role: &str) -> ! {
+    let (extra, what) = if role == "serve" {
+        (
+            "",
+            "host the data sender: bind ports, learn the peer, push bytes",
+        )
+    } else {
+        (
+            "\n  --peer ADDR          serving side's first port, e.g. 127.0.0.1:46100 (required)",
+            "run the receiver: initiate subflow handshakes, pull bytes",
+        )
+    };
+    eprintln!(
+        "usage: simulate {role} [options]
+  ({what})
+  --port N             first local UDP port; path i binds port+i (default {})
+  --size-mb X          transfer size in MiB                  (default 4){extra}
+  --seed N             shaping-draw seed                     (default 1)
+  --wifi-delay-ms N    one-way delay injected on the WiFi path    (default 0)
+  --cell-delay-ms N    one-way delay injected on the cellular path (default 0)
+  --wifi-loss X        loss probability on the WiFi path     (default 0)
+  --cell-loss X        loss probability on the cellular path (default 0)
+  --jitter-ms N        per-frame jitter bound, both paths    (default 0)
+  --handover-ms A:G    WiFi blackout at A ms lasting G ms (FaultPlan handover)
+  --trace PATH         write the JSONL decision trace (follow with
+                       `repro monitor --follow PATH`)
+  --limit-s N          give up after N wall seconds          (default 60)
+  --json               print the transfer report as JSON",
+        if role == "serve" { 46100 } else { 46110 }
+    );
+    std::process::exit(2);
+}
+
+fn live_main(role: &str, args: Vec<String>) -> ! {
+    use emptcp_live::{run_connect, run_serve, SessionConfig};
+
+    let mut cfg = SessionConfig::new(if role == "serve" { 46100 } else { 46110 }, 4 << 20);
+    let mut wifi_delay = 0u64;
+    let mut cell_delay = 0u64;
+    let mut wifi_loss = 0.0f64;
+    let mut cell_loss = 0.0f64;
+    let mut jitter = 0u64;
+    let mut json = false;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                live_usage(role)
+            })
+        };
+        match arg.as_str() {
+            "--port" => cfg.port_base = value("--port").parse().expect("--port: u16"),
+            "--size-mb" => {
+                let mb: f64 = value("--size-mb").parse().expect("--size-mb: number");
+                cfg.size = (mb * (1 << 20) as f64) as u64;
+            }
+            "--peer" => cfg.peer = Some(value("--peer").parse().expect("--peer: host:port")),
+            "--seed" => cfg.seed = value("--seed").parse().expect("--seed: integer"),
+            "--wifi-delay-ms" => {
+                wifi_delay = value("--wifi-delay-ms")
+                    .parse()
+                    .expect("--wifi-delay-ms: ms")
+            }
+            "--cell-delay-ms" => {
+                cell_delay = value("--cell-delay-ms")
+                    .parse()
+                    .expect("--cell-delay-ms: ms")
+            }
+            "--wifi-loss" => wifi_loss = value("--wifi-loss").parse().expect("--wifi-loss: 0..1"),
+            "--cell-loss" => cell_loss = value("--cell-loss").parse().expect("--cell-loss: 0..1"),
+            "--jitter-ms" => jitter = value("--jitter-ms").parse().expect("--jitter-ms: ms"),
+            "--handover-ms" => {
+                let spec = value("--handover-ms");
+                let (at, gap) = spec.split_once(':').unwrap_or_else(|| {
+                    eprintln!("--handover-ms wants AT:GAP in ms");
+                    live_usage(role)
+                });
+                cfg.faults = cfg.faults.clone().handover(
+                    SimTime::from_millis(at.parse().expect("--handover-ms AT: ms")),
+                    SimDuration::from_millis(gap.parse().expect("--handover-ms GAP: ms")),
+                );
+            }
+            "--trace" => cfg.trace = Some(std::path::PathBuf::from(value("--trace"))),
+            "--limit-s" => {
+                cfg.wall_limit =
+                    SimTime::from_secs(value("--limit-s").parse().expect("--limit-s: seconds"))
+            }
+            "--json" => json = true,
+            "--help" | "-h" => live_usage(role),
+            other => {
+                eprintln!("unknown option: {other}");
+                live_usage(role);
+            }
+        }
+    }
+    cfg.paths = vec![
+        emptcp_live::ChaosPath::new(wifi_loss, SimDuration::from_millis(wifi_delay), jitter),
+        emptcp_live::ChaosPath::new(cell_loss, SimDuration::from_millis(cell_delay), jitter),
+    ];
+
+    let report = if role == "serve" {
+        run_serve(&cfg)
+    } else {
+        run_connect(&cfg)
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("simulate {role}: {e}");
+        std::process::exit(1);
+    });
+
+    if json {
+        // Hand-rolled: the report is flat and this keeps serde out of it.
+        println!(
+            "{{\"role\":\"{role}\",\"complete\":{},\"bytes\":{},\"wifi\":{},\"cellular\":{},\
+             \"elapsed_s\":{:.3},\"datagrams_sent\":{},\"datagrams_received\":{}}}",
+            report.complete,
+            report.bytes,
+            report.wifi,
+            report.cellular,
+            report.elapsed.as_secs_f64(),
+            report.datagrams_sent,
+            report.datagrams_received
+        );
+    } else {
+        // One greppable line per run; CI parses this.
+        println!(
+            "live-transfer role={role} complete={} bytes={} wifi={} cellular={} \
+             elapsed_s={:.3} datagrams_sent={} datagrams_received={}",
+            report.complete,
+            report.bytes,
+            report.wifi,
+            report.cellular,
+            report.elapsed.as_secs_f64(),
+            report.datagrams_sent,
+            report.datagrams_received
+        );
+    }
+    std::process::exit(if report.complete { 0 } else { 1 });
 }
 
 fn faults_main(args: Vec<String>) -> ! {
@@ -493,6 +637,11 @@ fn main() {
     if args_vec.first().map(String::as_str) == Some("scenario") {
         args_vec.remove(0);
         scenario_main(args_vec);
+    }
+    if let Some(role @ ("serve" | "connect")) = args_vec.first().map(String::as_str) {
+        let role = role.to_string();
+        args_vec.remove(0);
+        live_main(&role, args_vec);
     }
 
     let mut strategy_name = "emptcp".to_string();

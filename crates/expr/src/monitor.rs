@@ -94,6 +94,25 @@ impl Default for LiveOptions {
     }
 }
 
+/// Options for `repro monitor --follow`.
+#[derive(Debug, Clone)]
+pub struct FollowOptions {
+    /// The JSONL trace to tail — typically one a `simulate serve` or
+    /// `simulate connect` process is writing right now.
+    pub trace: PathBuf,
+    /// Exit after this much wall time without new trace data. A finished
+    /// file is followed to EOF and then times out normally.
+    pub idle_timeout_s: f64,
+    /// Write the time-series JSON export here.
+    pub export_json: Option<PathBuf>,
+    /// Write the per-bin CSV export here.
+    pub export_csv: Option<PathBuf>,
+    /// Suppress the dashboard (exports still written).
+    pub quiet: bool,
+    /// Aggregation parameters.
+    pub knobs: PipelineKnobs,
+}
+
 /// Options for `simulate monitor --replay`.
 #[derive(Debug, Clone)]
 pub struct ReplayOptions {
@@ -196,6 +215,95 @@ pub fn run_live(opts: &LiveOptions) -> std::io::Result<Pipeline> {
     }
     write_exports(&pipeline, &opts.export_json, &opts.export_csv)?;
     Ok(pipeline)
+}
+
+/// Tail a JSONL trace as it is being written, dashboarding the events as
+/// they land — this is how `repro monitor --follow` observes a live
+/// serve/connect transfer from a third process. Works equally on a
+/// finished file (reads to EOF, then times out idle). Returns the process
+/// exit code (non-zero when malformed lines were seen).
+pub fn run_follow(opts: &FollowOptions) -> std::io::Result<i32> {
+    use emptcp_telemetry::parse_jsonl_line;
+    use std::io::BufRead;
+    use std::time::{Duration, Instant};
+
+    let idle = Duration::from_nanos((opts.idle_timeout_s.max(0.05) * 1e9) as u64);
+    let poll = Duration::from_millis(25);
+
+    // The producer may not have created the file yet (serve starting up);
+    // waiting for it counts against the same idle budget.
+    let start = Instant::now();
+    let file = loop {
+        match std::fs::File::open(&opts.trace) {
+            Ok(f) => break f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && start.elapsed() < idle => {
+                std::thread::sleep(poll);
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    let mut pipeline = Pipeline::new(opts.knobs.config());
+    let mut reader = BufReader::new(file);
+    let mut line = String::new();
+    let mut events = 0u64;
+    let mut malformed = 0u64;
+    let mut last_data = Instant::now();
+
+    let want_dash = !opts.quiet && std::io::stdout().is_terminal();
+    let mut dashboard = Dashboard::new();
+    let mut last_frame = Instant::now() - Duration::from_secs(1);
+
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            if last_data.elapsed() >= idle {
+                break;
+            }
+            std::thread::sleep(poll);
+            continue;
+        }
+        if !line.ends_with('\n') {
+            // Caught the producer mid-line: rewind and let it finish.
+            reader.seek_relative(-(n as i64))?;
+            std::thread::sleep(poll);
+            continue;
+        }
+        last_data = Instant::now();
+        match parse_jsonl_line(line.trim_end()) {
+            Ok((t, event)) => {
+                pipeline.ingest(t, &event);
+                events += 1;
+            }
+            Err(err) => {
+                malformed += 1;
+                eprintln!("{}: {err}", opts.trace.display());
+            }
+        }
+        if want_dash && last_frame.elapsed().as_millis() >= 50 {
+            last_frame = Instant::now();
+            let _ = dashboard.draw(&mut std::io::stdout(), &render(&pipeline));
+        }
+    }
+
+    let mut stdout = std::io::stdout();
+    if !opts.quiet {
+        if want_dash {
+            dashboard.draw(&mut stdout, &render(&pipeline))?;
+        } else {
+            stdout.write_all(render(&pipeline).as_bytes())?;
+        }
+        writeln!(
+            stdout,
+            "follow: {} event(s) from {} ({} malformed)",
+            events,
+            opts.trace.display(),
+            malformed
+        )?;
+    }
+    write_exports(&pipeline, &opts.export_json, &opts.export_csv)?;
+    Ok(if malformed > 0 { 1 } else { 0 })
 }
 
 /// Replay a recorded JSONL trace through the pipeline. Returns the process

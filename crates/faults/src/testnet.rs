@@ -73,6 +73,24 @@ impl ChaosPath {
     pub fn passes_traffic(&self) -> bool {
         self.up && !self.rate_zero
     }
+
+    /// The scenario's nominal loss model (what `set_loss(None)` restores).
+    pub fn nominal_loss(&self) -> LossModel {
+        self.nominal_loss
+    }
+
+    /// Administrative up/down. Out-of-crate fault surfaces (the live
+    /// backend's shaped transports) apply [`FaultAction::IfaceDown`] /
+    /// [`FaultAction::IfaceUp`](crate::FaultAction) through this.
+    pub fn set_up(&mut self, up: bool) {
+        self.up = up;
+    }
+
+    /// Engage or release the silent rate-zero blackhole (the delay-based
+    /// rendering of [`FaultAction::Rate`](crate::FaultAction)`(Some(0))`).
+    pub fn set_rate_zero(&mut self, rate_zero: bool) {
+        self.rate_zero = rate_zero;
+    }
 }
 
 /// A multi-path lossy, jittery, duplicating network between two endpoints.

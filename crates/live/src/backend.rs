@@ -1,0 +1,165 @@
+//! The two engines behind one protocol core.
+//!
+//! [`Backend::Sim`] is the existing deterministic engine — the
+//! [`MpChaosRig`] event loop every chaos and fault test already runs —
+//! untouched. [`Backend::Live`] is the [`Reactor`] from this crate on a
+//! virtual clock over the [`DuplexTransport`]: same state machines, but
+//! every segment is encoded to wire bytes, carried through a shaped byte
+//! channel, decoded, and pumped by the readiness/timer loop a real
+//! deployment uses. [`run_script`] drives either backend from one
+//! [`ParityScript`] — the scripted input (path delays and loss, fault
+//! windows, transfer size, seed) that determines every arrival and ACK
+//! timing — and returns the transport-decision log the run produced.
+
+use crate::clock::ClockSource;
+use crate::reactor::{ConnWorker, Reactor, ReactorStats};
+use crate::transport::DuplexTransport;
+use emptcp_faults::{ChaosPath, FaultInjector, FaultPlan, MpChaosRig};
+use emptcp_mptcp::{MpConnection, Role};
+use emptcp_phy::IfaceKind;
+use emptcp_sim::{SimDuration, SimTime};
+use emptcp_tcp::TcpConfig;
+use emptcp_telemetry::{MemorySink, Telemetry, TraceEvent};
+use std::sync::{Arc, Mutex};
+
+/// Which engine drives the stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The deterministic simulator loop ([`MpChaosRig`]).
+    Sim,
+    /// The reactor on a virtual clock over the duplex transport.
+    Live,
+}
+
+/// One scripted input, sufficient to determine both backends' runs
+/// completely: every arrival time, ACK timing and fault window follows
+/// from these fields plus the seeded RNG streams.
+#[derive(Clone, Debug)]
+pub struct ParityScript {
+    /// Seed for the shaping draws (split identically by both backends).
+    pub seed: u64,
+    /// Paths: WiFi first, then cellular — loss, one-way delay, jitter.
+    pub paths: Vec<ChaosPath>,
+    /// Bytes the server pushes to the client.
+    pub total_bytes: u64,
+    /// Fault windows replayed against the shaped paths as time passes.
+    pub faults: FaultPlan,
+    /// Whether interface faults notify the stacks (link-layer visibility)
+    /// or must be discovered through RTOs.
+    pub notify_link_down: bool,
+    /// Absolute cut-off.
+    pub wall_limit: SimTime,
+}
+
+impl ParityScript {
+    /// A clean two-path script: 12 ms WiFi, 35 ms cellular, no loss.
+    pub fn two_path(seed: u64, total_bytes: u64) -> ParityScript {
+        ParityScript {
+            seed,
+            paths: vec![
+                ChaosPath::new(0.0, SimDuration::from_millis(12), 0),
+                ChaosPath::new(0.0, SimDuration::from_millis(35), 0),
+            ],
+            total_bytes,
+            faults: FaultPlan::new(),
+            notify_link_down: true,
+            wall_limit: SimTime::from_secs(900),
+        }
+    }
+}
+
+/// What a scripted run produced: the accounting and the decision log.
+#[derive(Debug)]
+pub struct ScriptOutcome {
+    /// Connection-level bytes the client delivered to the application.
+    pub delivered: u64,
+    /// Delivered bytes that rode the WiFi subflow.
+    pub delivered_wifi: u64,
+    /// Delivered bytes that rode the cellular subflow.
+    pub delivered_cellular: u64,
+    /// Every trace event both stacks emitted, in emission order — the
+    /// transport-decision log (scheduler picks, subflow transitions, cwnd
+    /// trajectory, retransmissions, delivered-byte coalescing).
+    pub decisions: Vec<(SimTime, TraceEvent)>,
+    /// Reactor stats (live backend only).
+    pub stats: Option<ReactorStats>,
+}
+
+/// Build the connection pair exactly as [`MpChaosRig::new`] does: one
+/// subflow per path, WiFi first, default TCP config.
+fn build_pair(paths: usize) -> (MpConnection, MpConnection) {
+    let mut client = MpConnection::new(Role::Client, TcpConfig::default());
+    let mut server = MpConnection::new(Role::Server, TcpConfig::default());
+    for idx in 0..paths {
+        let iface = if idx == 0 {
+            IfaceKind::Wifi
+        } else {
+            IfaceKind::CellularLte
+        };
+        client.add_subflow(SimTime::ZERO, iface);
+        server.add_subflow(SimTime::ZERO, iface);
+    }
+    (client, server)
+}
+
+fn drain_sink(sink: Arc<Mutex<MemorySink>>) -> Vec<(SimTime, TraceEvent)> {
+    std::mem::take(&mut sink.lock().expect("sink poisoned").records)
+}
+
+/// Run `script` on `backend`, capturing the decision log through a
+/// [`MemorySink`]. Client is telemetry conn 0, server conn 1, in both
+/// backends — the logs are directly comparable.
+pub fn run_script(backend: Backend, script: &ParityScript) -> ScriptOutcome {
+    let sink = Arc::new(Mutex::new(MemorySink::new()));
+    let telemetry = Telemetry::builder()
+        .sink(Box::new(Arc::clone(&sink)))
+        .invariants(true)
+        .build();
+    match backend {
+        Backend::Sim => {
+            let mut rig = MpChaosRig::new(script.seed, script.paths.clone());
+            rig.client.set_telemetry(telemetry.scope(0));
+            rig.server.set_telemetry(telemetry.scope(1));
+            rig.notify_link_down = script.notify_link_down;
+            rig.wall_limit = script.wall_limit;
+            if !script.faults.is_empty() {
+                rig.attach_faults(script.faults.clone());
+            }
+            let delivered = rig.run(script.total_bytes);
+            ScriptOutcome {
+                delivered,
+                delivered_wifi: rig.client.delivered_by_iface(IfaceKind::Wifi),
+                delivered_cellular: rig.client.delivered_by_iface(IfaceKind::CellularLte),
+                decisions: drain_sink(sink),
+                stats: None,
+            }
+        }
+        Backend::Live => {
+            let (mut client, mut server) = build_pair(script.paths.len());
+            client.set_telemetry(telemetry.scope(0));
+            server.set_telemetry(telemetry.scope(1));
+            server.write(script.total_bytes);
+            let transport = DuplexTransport::new(script.seed, script.paths.clone());
+            let mut reactor = Reactor::new(ClockSource::scripted(), transport);
+            reactor.notify_link_down = script.notify_link_down;
+            reactor.wall_limit = script.wall_limit;
+            if !script.faults.is_empty() {
+                reactor.injector = Some(FaultInjector::new(script.faults.clone()));
+            }
+            // Registration order is settle order: client first, matching
+            // the rig's transmit(client) / transmit(server) sequence.
+            reactor.register(ConnWorker::new(client, 0));
+            reactor.register(ConnWorker::new(server, 1));
+            let total = script.total_bytes;
+            let stats = reactor.run_until(|workers| workers[0].conn.bytes_delivered() >= total);
+            let client = &reactor.workers[0].conn;
+            ScriptOutcome {
+                delivered: client.bytes_delivered(),
+                delivered_wifi: client.delivered_by_iface(IfaceKind::Wifi),
+                delivered_cellular: client.delivered_by_iface(IfaceKind::CellularLte),
+                decisions: drain_sink(sink),
+                stats: Some(stats),
+            }
+        }
+    }
+}

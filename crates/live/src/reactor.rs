@@ -1,0 +1,304 @@
+//! The poll-loop reactor: the live engine under the protocol cores.
+//!
+//! There is no async runtime in this workspace (offline-vendored, no
+//! tokio), and none is needed: the protocol cores are synchronous state
+//! machines, so the engine under them is a classic reactor — a readiness
+//! sweep over the transport, a timer sweep over per-connection deadlines,
+//! and per-connection workers that feed arrivals into [`MpConnection`]
+//! and drain its `poll_transmit` output back to the wire. The timer wheel
+//! is `crates/sim`'s [`EventQueue`](emptcp_sim::EventQueue) living inside
+//! the shaped transports, keyed on the same monotonic nanoseconds the
+//! wall clock produces.
+//!
+//! **The drain discipline is load-bearing.** Each iteration advances the
+//! clock to the next known instant, applies due faults, delivers *at most
+//! one* frame, then runs every worker's deadline sweep and transmit drain
+//! in registration order. That is, deliberately, the exact event loop of
+//! [`MpChaosRig`](emptcp_faults::MpChaosRig) — the simulator's engine —
+//! which is what makes event-for-event decision parity between the two
+//! backends a theorem about code structure rather than a hope. A
+//! dirty-set optimization (only settling touched connections) would be
+//! faster for thousands of connections per reactor, but would perturb the
+//! clock-coupled replay cadence ([`Clocked`]) and break exact parity; it
+//! is explicitly out of scope until the determinism contract moves to
+//! delivered-byte accounting (see DESIGN §17).
+//!
+//! On a wall clock the same loop sleeps in bounded slices
+//! ([`MAX_WALL_SLEEP`](crate::clock::MAX_WALL_SLEEP)) so socket readiness
+//! is re-checked at a steady cadence, and each iteration drives
+//! [`Clocked::clock_tick`] — live wall ticks and sim virtual ticks reach
+//! the identical side-effect replay.
+//!
+//! [`MpConnection`]: emptcp_mptcp::MpConnection
+
+use crate::clock::{ClockSource, MAX_WALL_SLEEP};
+use crate::transport::Transport;
+use emptcp_faults::{FaultInjector, FaultTarget};
+use emptcp_mptcp::{MpConnection, SubflowId};
+use emptcp_phy::LossModel;
+use emptcp_sim::{Clocked, SimDuration, SimTime};
+
+/// Iteration cap, matching the simulator rig's runaway guard.
+const GUARD_MAX: u64 = 3_000_000;
+
+/// One connection plus its transport endpoint: the unit the reactor
+/// pumps. Workers are plain structs driven by the loop (not threads) so
+/// the whole engine stays deterministic under a virtual clock.
+pub struct ConnWorker {
+    /// The protocol core — the exact type the simulator drives.
+    pub conn: MpConnection,
+    /// Which transport endpoint this worker's frames enter and leave by.
+    pub endpoint: usize,
+}
+
+impl ConnWorker {
+    pub fn new(conn: MpConnection, endpoint: usize) -> ConnWorker {
+        ConnWorker { conn, endpoint }
+    }
+}
+
+/// What a reactor run did, for reports and assertions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReactorStats {
+    /// Loop iterations executed.
+    pub iterations: u64,
+    /// Frames delivered into workers.
+    pub arrivals: u64,
+    /// Segments drained from workers onto the transport.
+    pub sends: u64,
+    /// Fault-plan events applied.
+    pub fault_events: u64,
+    /// Clock reading when the run ended.
+    pub finished_at: SimTime,
+}
+
+/// The engine: clock + transport + workers (+ an optional fault plan).
+pub struct Reactor<T: Transport> {
+    pub clock: ClockSource,
+    pub transport: T,
+    pub workers: Vec<ConnWorker>,
+    /// Replays a [`FaultPlan`](emptcp_faults::FaultPlan) against the
+    /// transport's shaped paths as the clock passes each event.
+    pub injector: Option<FaultInjector>,
+    /// Deliver link-layer up/down notifications to the stacks on
+    /// interface faults (a real de-association is visible to the kernel);
+    /// disable to force detection through RTOs alone.
+    pub notify_link_down: bool,
+    /// Absolute clock cut-off for [`Reactor::run_until`].
+    pub wall_limit: SimTime,
+    stats: ReactorStats,
+}
+
+impl<T: Transport> Reactor<T> {
+    pub fn new(clock: ClockSource, transport: T) -> Reactor<T> {
+        Reactor {
+            clock,
+            transport,
+            workers: Vec::new(),
+            injector: None,
+            notify_link_down: true,
+            wall_limit: SimTime::from_secs(900),
+            stats: ReactorStats::default(),
+        }
+    }
+
+    /// Register a worker; returns its index. Registration order is the
+    /// settle order, which parity-sensitive callers must keep identical
+    /// to the simulator's drain order (client first).
+    pub fn register(&mut self, worker: ConnWorker) -> usize {
+        self.workers.push(worker);
+        self.workers.len() - 1
+    }
+
+    fn poll_faults(&mut self, now: SimTime) {
+        if let Some(mut inj) = self.injector.take() {
+            self.stats.fault_events += inj.poll(now, self) as u64;
+            self.injector = Some(inj);
+        }
+    }
+
+    /// Drain every worker's pending transmissions onto the transport, in
+    /// registration order (the simulator's client-then-server order).
+    fn pump_transmit(&mut self, now: SimTime) {
+        let Reactor {
+            workers,
+            transport,
+            stats,
+            ..
+        } = self;
+        for w in workers.iter_mut() {
+            while let Some((sf, seg)) = w.conn.poll_transmit(now) {
+                transport.send(now, w.endpoint, sf.0, &seg);
+                stats.sends += 1;
+            }
+        }
+    }
+
+    /// Deliver at most one due frame into its worker.
+    fn deliver_one(&mut self, now: SimTime) -> bool {
+        let Some((ep, path, seg)) = self.transport.poll_recv(now) else {
+            return false;
+        };
+        self.stats.arrivals += 1;
+        let w = self
+            .workers
+            .iter_mut()
+            .find(|w| w.endpoint == ep)
+            .expect("frame for an unregistered endpoint");
+        w.conn.on_segment(now, SubflowId(path), seg);
+        true
+    }
+
+    /// Earliest pending protocol or fault deadline across all workers.
+    fn next_deadline(&mut self) -> Option<SimTime> {
+        self.workers
+            .iter_mut()
+            .filter_map(|w| w.conn.next_deadline())
+            .chain(self.injector.as_ref().and_then(|i| i.next_deadline()))
+            .min()
+    }
+
+    /// Run the loop until `done` says so, no event source has anything
+    /// left (virtual clock), or the wall limit passes. Returns the run's
+    /// stats; cumulative stats stay on the reactor.
+    pub fn run_until(&mut self, mut done: impl FnMut(&[ConnWorker]) -> bool) -> ReactorStats {
+        let start = self.clock.now();
+        // Prologue, as the simulator rig does it: apply faults due at the
+        // start instant and drain the initial transmissions (SYNs, the
+        // first data the sender already queued) — no deadline sweep yet.
+        self.poll_faults(start);
+        self.pump_transmit(start);
+        if self.clock.is_wall() {
+            self.run_wall(&mut done)
+        } else {
+            self.run_virtual(&mut done)
+        }
+    }
+
+    /// Virtual-clock flavor: jump instant-to-instant, mirroring
+    /// `MpChaosRig::run` iteration-for-iteration.
+    fn run_virtual(&mut self, done: &mut impl FnMut(&[ConnWorker]) -> bool) -> ReactorStats {
+        let mut guard = 0u64;
+        loop {
+            guard += 1;
+            if guard > GUARD_MAX || done(&self.workers) {
+                break;
+            }
+            let timer = self.next_deadline();
+            let pkt = self.transport.next_wakeup();
+            let next = match (pkt, timer) {
+                (Some(p), Some(t)) => p.min(t),
+                (Some(p), None) => p,
+                (None, Some(t)) => t,
+                (None, None) => break,
+            };
+            if next > self.wall_limit {
+                break;
+            }
+            let now = self.clock.advance_to(next);
+            self.stats.iterations += 1;
+            self.poll_faults(now);
+            self.deliver_one(now);
+            for w in &mut self.workers {
+                w.conn.on_deadline(now);
+            }
+            self.pump_transmit(now);
+        }
+        self.stats.finished_at = self.clock.now();
+        self.stats
+    }
+
+    /// Wall-clock flavor: the same settle discipline, but readiness is
+    /// polled at a bounded sleep cadence (sockets can't announce their
+    /// next arrival) and every iteration drives the [`Clocked`] replay —
+    /// wall ticks and virtual ticks land in the identical code path.
+    fn run_wall(&mut self, done: &mut impl FnMut(&[ConnWorker]) -> bool) -> ReactorStats {
+        loop {
+            if done(&self.workers) {
+                break;
+            }
+            let now = self.clock.now();
+            if now > self.wall_limit {
+                break;
+            }
+            self.stats.iterations += 1;
+            self.poll_faults(now);
+            let progressed = self.deliver_one(now);
+            for w in &mut self.workers {
+                w.conn.clock_tick(now);
+                w.conn.on_deadline(now);
+            }
+            self.pump_transmit(now);
+            if !progressed {
+                // Nothing arrived: sleep toward the next known deadline,
+                // capped so socket readiness is re-checked promptly.
+                let target = self
+                    .next_deadline()
+                    .into_iter()
+                    .chain(self.transport.next_wakeup())
+                    .min()
+                    .unwrap_or(now + MAX_WALL_SLEEP)
+                    .min(now + MAX_WALL_SLEEP)
+                    .max(now + SimDuration::from_micros(50));
+                self.clock.advance_to(target);
+            }
+        }
+        self.stats.finished_at = self.clock.now();
+        self.stats
+    }
+
+    /// Stats accumulated so far.
+    pub fn stats(&self) -> ReactorStats {
+        self.stats
+    }
+}
+
+/// Fault application: plan targets map to transport paths by the
+/// WiFi-first convention ([`FaultTarget::path_index`]), interface faults
+/// optionally notify every stack — the same semantics `MpChaosRig` gives
+/// the simulator.
+impl<T: Transport> Reactor<T> {
+    fn target_paths(&mut self, target: FaultTarget) -> std::ops::Range<usize> {
+        let n = self.transport.paths_mut().len();
+        match target.path_index() {
+            Some(idx) if idx < n => idx..idx + 1,
+            Some(_) => 0..0,
+            None => 0..n,
+        }
+    }
+}
+
+impl<T: Transport> emptcp_faults::FaultSurface for Reactor<T> {
+    fn set_iface_up(&mut self, now: SimTime, target: FaultTarget, up: bool) {
+        for idx in self.target_paths(target) {
+            self.transport.paths_mut()[idx].set_up(up);
+            if self.notify_link_down {
+                for w in &mut self.workers {
+                    w.conn.set_subflow_link_up(now, SubflowId(idx as u8), up);
+                }
+            }
+        }
+    }
+
+    fn set_rate(&mut self, _now: SimTime, target: FaultTarget, rate_bps: Option<u64>) {
+        // Shaped paths are delay-based (no serializer): only the
+        // rate-zero silent blackhole is meaningful, as in the sim rig.
+        for idx in self.target_paths(target) {
+            self.transport.paths_mut()[idx].set_rate_zero(rate_bps == Some(0));
+        }
+    }
+
+    fn set_loss(&mut self, _now: SimTime, target: FaultTarget, model: Option<LossModel>) {
+        for idx in self.target_paths(target) {
+            let path = &mut self.transport.paths_mut()[idx];
+            let nominal = path.nominal_loss();
+            path.loss.set_model(model.unwrap_or(nominal));
+        }
+    }
+
+    fn set_extra_delay(&mut self, _now: SimTime, target: FaultTarget, extra: Option<SimDuration>) {
+        for idx in self.target_paths(target) {
+            self.transport.paths_mut()[idx].extra_delay = extra.unwrap_or(SimDuration::ZERO);
+        }
+    }
+}

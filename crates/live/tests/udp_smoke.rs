@@ -1,0 +1,35 @@
+//! In-process UDP smoke: a serve/connect pair over real localhost
+//! sockets, one thread per side — the same code path the `simulate
+//! serve`/`simulate connect` CLI runs across two processes.
+
+use emptcp_live::{run_connect, run_serve, SessionConfig};
+use emptcp_sim::SimTime;
+
+const SIZE: u64 = 256 * 1024;
+
+#[test]
+fn serve_connect_transfer_over_localhost_udp() {
+    let mut serve_cfg = SessionConfig::new(47310, SIZE);
+    serve_cfg.wall_limit = SimTime::from_secs(20);
+    let server = std::thread::spawn(move || run_serve(&serve_cfg));
+
+    let mut connect_cfg = SessionConfig::new(47320, SIZE);
+    connect_cfg.peer = Some("127.0.0.1:47310".parse().unwrap());
+    connect_cfg.wall_limit = SimTime::from_secs(20);
+    let client = run_connect(&connect_cfg).expect("connect side ran");
+    let server = server
+        .join()
+        .expect("serve thread")
+        .expect("serve side ran");
+
+    assert!(client.complete, "client delivered everything: {client:?}");
+    assert!(server.complete, "server saw everything ACKed: {server:?}");
+    assert_eq!(client.bytes, SIZE);
+    assert!(
+        client.wifi > 0 && client.cellular > 0,
+        "both subflows carried data (wifi {}, cellular {})",
+        client.wifi,
+        client.cellular
+    );
+    assert!(client.datagrams_received > 0 && server.datagrams_received > 0);
+}

@@ -21,7 +21,7 @@
 use crate::sched::{pick_subflow, pick_subflow_detailed};
 use crate::subflow::{Subflow, SubflowId};
 use emptcp_phy::IfaceKind;
-use emptcp_sim::{SimDuration, SimTime};
+use emptcp_sim::{Clocked, SimDuration, SimTime};
 use emptcp_tcp::cc::lia_alpha;
 use emptcp_tcp::{Segment, TcpConfig, TcpState};
 use emptcp_telemetry::{TelemetryScope, TraceEvent, DELIVERED_EMIT_BYTES};
@@ -591,13 +591,8 @@ impl MpConnection {
         if self.quiescent {
             // Nothing has touched the connection since a poll came up
             // empty: a full pass could only replay its clock-driven side
-            // effects. Replay exactly those — the LIA refresh and, for each
-            // established subflow (the ones an empty pass walks all the way
-            // through), RFC 2861 idle validation — and skip the rest.
-            self.update_lia(now);
-            for sf in &mut self.subflows {
-                sf.tcp.idle_tick(now);
-            }
+            // effects, which is exactly the `Clocked` contract.
+            self.clock_tick(now);
             return None;
         }
         self.update_lia(now);
@@ -853,6 +848,21 @@ impl MpConnection {
         self.subflows
             .iter()
             .all(|sf| now.saturating_since(sf.last_activity()) > window)
+    }
+}
+
+/// Clock-coupled side effects of an MPTCP connection: the LIA alpha
+/// refresh (rate-limited to RTT timescales) and, per subflow, the TCP
+/// endpoint's own [`Clocked`] replay (RFC 2861 idle validation). The
+/// simulator reaches this through the quiescence fast path of
+/// [`MpConnection::poll_transmit`]; the live reactor calls it directly on
+/// wall-clock ticks — one code path, two engines.
+impl Clocked for MpConnection {
+    fn clock_tick(&mut self, now: SimTime) {
+        self.update_lia(now);
+        for sf in &mut self.subflows {
+            sf.tcp.clock_tick(now);
+        }
     }
 }
 

@@ -185,7 +185,10 @@ fn make_pipeline(outer: &Telemetry) -> (Telemetry, Option<Tap>) {
 
 /// Struct-of-arrays client rows: every per-client column is a parallel
 /// vector indexed by the client's local row in its shard. MPTCP rows
-/// additionally own a boxed `(down_b, up_b)` port pair.
+/// additionally reference a `(down_b, up_b)` port pair in the shard's
+/// arena — one contiguous allocation for all second-path pairs instead of
+/// one heap box per MPTCP row, which at fleet scale removes millions of
+/// small allocations and keeps the pairs cache-adjacent in shard order.
 struct Rows {
     client: Vec<MpConnection>,
     server: Vec<MpConnection>,
@@ -193,7 +196,10 @@ struct Rows {
     srv_ingress: Vec<Port>,
     down_a: Vec<Port>,
     up_a: Vec<Port>,
-    b: Vec<Option<Box<(Port, Port)>>>,
+    /// Index into `b_arena` for MPTCP rows, `None` for plain-TCP rows.
+    b_idx: Vec<Option<u32>>,
+    /// Arena of second-path port pairs, in row order.
+    b_arena: Vec<(Port, Port)>,
     answered: Vec<bool>,
     timer: Vec<Option<(SimTime, TimerId)>>,
     seq: Vec<u32>,
@@ -289,7 +295,8 @@ impl ClientShard {
             srv_ingress: Vec::with_capacity(count),
             down_a: Vec::with_capacity(count),
             up_a: Vec::with_capacity(count),
-            b: Vec::with_capacity(count),
+            b_idx: Vec::with_capacity(count),
+            b_arena: Vec::new(),
             answered: vec![false; count],
             timer: vec![None; count],
             seq: vec![0; count],
@@ -333,12 +340,14 @@ impl ClientShard {
                 .push(Port::new(NodeId(1), NodeId(owner), cfg.access_a));
             rows.up_a
                 .push(Port::new(NodeId(owner), NodeId(1), cfg.access_a));
-            rows.b.push(mptcp.then(|| {
-                Box::new((
+            let b_idx = mptcp.then(|| {
+                rows.b_arena.push((
                     Port::new(NodeId(1), NodeId(owner), cfg.access_b),
                     Port::new(NodeId(owner), NodeId(1), cfg.access_b),
-                ))
-            }));
+                ));
+                (rows.b_arena.len() - 1) as u32
+            });
+            rows.b_idx.push(b_idx);
             let mut forked = client_rng.clone();
             rows.rng.push(forked.fork(i as u64));
         }
@@ -456,7 +465,8 @@ impl ClientShard {
             (0, true) => (&mut self.rows.down_a[l], P_DOWN_A),
             (0, false) => (&mut self.rows.up_a[l], P_UP_A),
             (_, down) => {
-                let pair = self.rows.b[l].as_mut().expect("subflow b on a TCP row");
+                let idx = self.rows.b_idx[l].expect("subflow b on a TCP row") as usize;
+                let pair = &mut self.rows.b_arena[idx];
                 if down {
                     (&mut pair.0, P_DOWN_B)
                 } else {
@@ -617,7 +627,8 @@ impl ClientShard {
             f(&self.rows.srv_ingress[l]);
             f(&self.rows.down_a[l]);
             f(&self.rows.up_a[l]);
-            if let Some(pair) = &self.rows.b[l] {
+            if let Some(idx) = self.rows.b_idx[l] {
+                let pair = &self.rows.b_arena[idx as usize];
                 f(&pair.0);
                 f(&pair.1);
             }

@@ -1,0 +1,33 @@
+//! The clock-coupled side-effect contract shared by every engine.
+//!
+//! Several protocol components carry state whose evolution is driven by
+//! the mere passage of time, not by any packet or timer event: the LIA
+//! coupling coefficient refreshes on RTT timescales, and RFC 2861
+//! congestion-window validation decays an idle window. In the simulator
+//! those side effects are replayed by the quiescence fast path of the
+//! drain loop; a live reactor reaches the very same state transitions
+//! from wall-clock ticks. [`Clocked`] is the single seam both engines
+//! call through, so "virtual ticks" and "wall ticks" drive *identical*
+//! code — which is what makes sim/live decision parity provable rather
+//! than aspirational (and is the narrow waist of the byte-identity wall
+//! described in the ROADMAP).
+
+use crate::time::SimTime;
+
+/// A component with clock-coupled side effects.
+///
+/// `clock_tick(now)` must replay exactly the time-driven state updates
+/// that a full event-processing pass reaching `now` would have performed
+/// on an otherwise untouched component. Implementations must be:
+///
+/// * **idempotent at an instant** — calling `clock_tick` twice with the
+///   same `now` is indistinguishable from calling it once;
+/// * **cadence-insensitive on the quiescent path** — extra intermediate
+///   ticks between two event times must not change the state reached at
+///   the second event time (rate-limited refreshes make this cheap);
+/// * **monotonic** — `now` never goes backwards; behavior on a
+///   time-reversed call is unspecified.
+pub trait Clocked {
+    /// Advance clock-coupled state to `now`.
+    fn clock_tick(&mut self, now: SimTime);
+}

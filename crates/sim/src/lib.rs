@@ -23,6 +23,7 @@
 //! assert_eq!((at, event), (SimTime::from_millis(30), "rto"));
 //! ```
 
+pub mod clocked;
 pub mod epoch;
 pub mod event;
 pub mod rng;
@@ -30,6 +31,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use clocked::Clocked;
 pub use epoch::EpochClock;
 pub use event::{EventQueue, KeyHeapQueue, Scheduler, TimerId};
 pub use rng::SimRng;

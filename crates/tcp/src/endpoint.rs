@@ -1104,6 +1104,15 @@ impl TcpEndpoint {
     }
 }
 
+/// The endpoint's only clock-coupled side effect is RFC 2861 idle
+/// validation; both the simulator's quiescence fast path and the live
+/// reactor's wall ticks land here.
+impl emptcp_sim::Clocked for TcpEndpoint {
+    fn clock_tick(&mut self, now: SimTime) {
+        self.idle_tick(now);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

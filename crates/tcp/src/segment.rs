@@ -49,7 +49,7 @@ pub struct Dss {
 }
 
 /// One TCP segment.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct Segment {
     /// Subflow-level sequence number of the first payload byte (or of the
     /// SYN/FIN if flagged).
